@@ -1,0 +1,30 @@
+"""Plain-text artefact writing shared by the benchmark modules.
+
+Each benchmark regenerates one table or figure of the paper; besides the
+timings collected by pytest-benchmark, the regenerated rows are written to
+``benchmarks/results/*.txt`` so that ``EXPERIMENTS.md`` can be refreshed by
+re-running the harness.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Iterable, Sequence
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_table(name: str, header: Sequence[str], rows: Iterable[Sequence[object]]) -> None:
+    """Write a plain-text table artefact under ``benchmarks/results``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    widths = [max(len(str(h)), 12) for h in header]
+    lines = ["  ".join(str(h).ljust(w) for h, w in zip(header, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(
+                (f"{value:.4f}" if isinstance(value, float) else str(value)).ljust(w)
+                for value, w in zip(row, widths)
+            )
+        )
+    (RESULTS_DIR / f"{name}.txt").write_text("\n".join(lines) + "\n")

@@ -1,0 +1,47 @@
+"""Ablation: how the ω-submodular width depends on ω (Propositions 4.9/4.10).
+
+Sweeps ω over [2, 3] for the clustered queries (triangle, 4-clique,
+3-pyramid) and records the exact ω-subw value at every point: the curve is
+non-decreasing in ω, sits below the submodular width, and meets it exactly
+at ω = 3.  Results land in ``benchmarks/results/ablation_omega.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hypergraph import four_clique, three_pyramid, triangle
+from repro.width import omega_submodular_width, submodular_width
+
+from benchmarks._reporting import write_table
+
+ROWS = []
+OMEGAS = (2.0, 2.2, 2.371552, 2.6, 2.8, 3.0)
+CASES = [
+    ("triangle", triangle()),
+    ("4-clique", four_clique()),
+    ("3-pyramid", three_pyramid()),
+]
+
+
+@pytest.mark.parametrize("name,hypergraph", CASES, ids=[c[0] for c in CASES])
+def test_omega_sweep(benchmark, name, hypergraph):
+    subw = submodular_width(hypergraph).value
+
+    def sweep():
+        return [
+            (omega, omega_submodular_width(hypergraph, omega).value) for omega in OMEGAS
+        ]
+
+    curve = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    values = [value for _, value in curve]
+    assert values == sorted(values)  # non-decreasing in ω
+    assert all(value <= subw + 1e-6 for value in values)  # Proposition 4.9
+    assert values[-1] == pytest.approx(subw, abs=1e-5)  # Proposition 4.10
+    for omega, value in curve:
+        ROWS.append((name, omega, value, subw))
+    write_table(
+        "ablation_omega",
+        ("query", "omega", "ω-subw", "subw"),
+        sorted(ROWS),
+    )

@@ -1,0 +1,71 @@
+"""k-cycle exponents: Table 2's cycle rows and the c□_k machinery (Eqs. 45–46).
+
+For the 4-cycle the paper gives the exact value ``2 - 3/(2·min(ω,5/2)+1)``;
+for longer cycles Table 2 only reports the square-MM cycle-detection
+exponent ``c□_k`` as an upper bound.  The benchmark regenerates the series:
+exact ω-subw for the 4-cycle (LP), the submodular width ``2 - 1/⌈k/2⌉`` for
+every k, and the heuristic DP estimate of ``c□_k``.  Results land in
+``benchmarks/results/cycle_exponents.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constants import OMEGA_BEST_KNOWN
+from repro.width import (
+    cycle_exponent_estimate,
+    four_cycle_closed_form,
+    omega_subw_cycle_upper_bound,
+    subw_cycle,
+)
+
+from benchmarks._reporting import write_table
+
+ROWS = []
+OMEGAS = (2.0, OMEGA_BEST_KNOWN, 3.0)
+
+
+@pytest.mark.parametrize("k", [4, 5, 6, 7])
+def test_cycle_exponent_series(benchmark, k):
+    def compute():
+        series = []
+        for omega in OMEGAS:
+            estimate = cycle_exponent_estimate(k, omega, grid_steps=6, refinement_rounds=2)
+            series.append(
+                (
+                    k,
+                    omega,
+                    subw_cycle(k),
+                    omega_subw_cycle_upper_bound(k, omega),
+                    estimate,
+                )
+            )
+        return series
+
+    series = benchmark.pedantic(compute, rounds=1, iterations=1)
+    for k_value, omega, subw, paper_bound, estimate in series:
+        # The DP estimate is a heuristic lower bound of the defining maximum
+        # and must stay within the trivial bracket [1, 2].
+        assert 1.0 <= estimate <= 2.0
+        # The paper's ω-subw upper bound never exceeds the submodular width.
+        assert paper_bound <= subw + 1e-9
+        ROWS.append((k_value, omega, subw, paper_bound, estimate))
+    write_table(
+        "cycle_exponents",
+        ("k", "omega", "subw(k-cycle)", "paper ω-subw bound", "c□ DP estimate"),
+        sorted(ROWS),
+    )
+
+
+def test_four_cycle_closed_form_consistency(benchmark):
+    def check():
+        values = []
+        for omega in (2.0, 2.2, OMEGA_BEST_KNOWN, 2.5, 2.8, 3.0):
+            values.append((omega, four_cycle_closed_form(omega)))
+        return values
+
+    values = benchmark.pedantic(check, rounds=1, iterations=1)
+    for omega, value in values:
+        assert value == pytest.approx(2 - 3 / (2 * min(omega, 2.5) + 1))
+        assert value <= subw_cycle(4) + 1e-9

@@ -1,0 +1,75 @@
+"""Figure 1: the proof-sequence-driven triangle algorithm in action.
+
+The paper's Figure 1 turns the Shannon inequality (13) into an algorithm:
+partition by degree, join the light parts, multiply the heavy parts.  The
+benchmark runs that algorithm against the naive join, the worst-case
+optimal join and the un-partitioned matrix multiplication on uniform and
+hub-skewed instances of growing size; the timing series (the "shape" the
+paper predicts: the partitioned algorithm tracks the best strategy on every
+skew) is written to ``benchmarks/results/figure1_triangle.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constants import OMEGA_BEST_KNOWN
+from repro.core import (
+    triangle_figure1,
+    triangle_generic_join,
+    triangle_matrix_only,
+    triangle_naive,
+)
+from repro.db import triangle_instance
+
+from benchmarks._reporting import write_table
+
+OMEGA = OMEGA_BEST_KNOWN
+ROWS = []
+
+SIZES = (1_000, 4_000)
+SKEWS = ("uniform", "heavy")
+STRATEGIES = {
+    "naive": triangle_naive,
+    "generic_join": triangle_generic_join,
+    "matrix_only": triangle_matrix_only,
+    "figure1": lambda db: triangle_figure1(db, OMEGA).answer,
+}
+
+
+def _instance(num_edges: int, skew: str):
+    return triangle_instance(
+        num_edges=num_edges,
+        domain_size=max(50, num_edges // 20),
+        skew=skew,
+        plant_triangle=False,
+        seed=num_edges,
+    )
+
+
+@pytest.mark.parametrize("num_edges", SIZES)
+@pytest.mark.parametrize("skew", SKEWS)
+@pytest.mark.parametrize("strategy", sorted(STRATEGIES), ids=sorted(STRATEGIES))
+def test_figure1_strategies(benchmark, num_edges, skew, strategy):
+    database = _instance(num_edges, skew)
+    expected = triangle_naive(database)
+    answer = benchmark.pedantic(
+        lambda: STRATEGIES[strategy](database), rounds=1, iterations=1
+    )
+    assert answer == expected
+    ROWS.append((skew, num_edges, strategy, float(benchmark.stats.stats.mean)))
+    write_table(
+        "figure1_triangle",
+        ("skew", "N", "strategy", "seconds"),
+        sorted(ROWS),
+    )
+
+
+def test_figure1_report_details():
+    """The heavy part of a skewed instance really goes through the MM path."""
+    database = _instance(4_000, "heavy")
+    report = triangle_figure1(database, OMEGA)
+    assert report.threshold > 1
+    rows, inner, cols = report.heavy_matrix_shape
+    if report.answer and report.found_in == "heavy":
+        assert rows > 0 and cols > 0

@@ -1,0 +1,80 @@
+"""Substrate micro-benchmarks: the building blocks behind every experiment.
+
+Not tied to a specific table, these benchmarks document the raw performance
+of the substrates the paper's algorithms are assembled from: square matrix
+multiplication (naive vs. Strassen vs. BLAS), Boolean rectangular products,
+and the join algorithms (hash join vs. worst-case optimal join).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.db import generic_join_boolean, naive_boolean, parse_query, triangle_instance
+from repro.matmul import (
+    blocked_multiply,
+    boolean_multiply,
+    naive_multiply,
+    strassen_multiply,
+)
+
+TRIANGLE = parse_query("Q() :- R(X, Y), S(Y, Z), T(X, Z)")
+
+
+def _square_matrices(n: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((n, n)), rng.standard_normal((n, n))
+
+
+class TestMatrixKernels:
+    def test_naive_multiply(self, benchmark):
+        a, b = _square_matrices(128)
+        result = benchmark.pedantic(lambda: naive_multiply(a, b), rounds=3, iterations=1)
+        assert np.allclose(result, a @ b)
+
+    def test_strassen_multiply(self, benchmark):
+        a, b = _square_matrices(128)
+        result = benchmark.pedantic(
+            lambda: strassen_multiply(a, b, cutoff=32), rounds=3, iterations=1
+        )
+        assert np.allclose(result, a @ b)
+
+    def test_blas_multiply(self, benchmark):
+        a, b = _square_matrices(128)
+        result = benchmark.pedantic(lambda: a @ b, rounds=3, iterations=1)
+        assert result.shape == (128, 128)
+
+    def test_blocked_rectangular(self, benchmark):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 2, size=(512, 32)).astype(float)
+        b = rng.integers(0, 2, size=(32, 512)).astype(float)
+        product, stats = benchmark.pedantic(
+            lambda: blocked_multiply(a, b, omega=2.371552), rounds=3, iterations=1
+        )
+        assert stats.block_products == 16 * 16
+        assert np.allclose(product, a @ b)
+
+    def test_boolean_product(self, benchmark):
+        rng = np.random.default_rng(2)
+        a = rng.integers(0, 2, size=(256, 256))
+        b = rng.integers(0, 2, size=(256, 256))
+        result = benchmark.pedantic(lambda: boolean_multiply(a, b), rounds=3, iterations=1)
+        assert result.dtype == bool
+
+
+class TestJoinKernels:
+    def test_hash_join_chain(self, benchmark):
+        database = triangle_instance(2_000, domain_size=120, seed=11)
+        answer = benchmark.pedantic(
+            lambda: naive_boolean(TRIANGLE, database), rounds=3, iterations=1
+        )
+        assert isinstance(answer, bool)
+
+    def test_generic_join(self, benchmark):
+        database = triangle_instance(2_000, domain_size=120, seed=11)
+        expected = naive_boolean(TRIANGLE, database)
+        answer = benchmark.pedantic(
+            lambda: generic_join_boolean(TRIANGLE, database), rounds=3, iterations=1
+        )
+        assert answer == expected

@@ -1,0 +1,108 @@
+"""Table 1: best prior exponent vs. the exponent our framework computes.
+
+For every query class of Table 1 (instantiated at small k) the benchmark
+recomputes the ω-submodular width mechanically (LP + branch and bound) and
+compares it against the paper's closed-form entry for both the prior bound
+and the new bound.  The regenerated table is written to
+``benchmarks/results/table1.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constants import OMEGA_BEST_KNOWN
+from repro.hypergraph import clique, five_clique, four_clique, pyramid, three_pyramid, triangle
+from repro.polymatroid import (
+    five_clique_witness,
+    four_clique_witness,
+    k_clique_witness,
+    three_pyramid_witness,
+    triangle_witness,
+)
+from repro.width import (
+    omega_submodular_width,
+    omega_subw_clique,
+    omega_subw_pyramid_upper_bound,
+    omega_subw_three_pyramid,
+    omega_subw_triangle,
+    prior_clique,
+    prior_pyramid,
+    prior_triangle,
+    subw_pyramid,
+)
+
+from benchmarks._reporting import write_table
+
+OMEGA = OMEGA_BEST_KNOWN
+
+TABLE1_ROWS = []
+
+
+CASES = [
+    (
+        "triangle",
+        triangle(),
+        lambda: [triangle_witness(OMEGA)],
+        prior_triangle(OMEGA),
+        omega_subw_triangle(OMEGA),
+    ),
+    (
+        "4-clique",
+        four_clique(),
+        lambda: [four_clique_witness()],
+        prior_clique(4, OMEGA),
+        omega_subw_clique(4, OMEGA),
+    ),
+    (
+        "5-clique",
+        five_clique(),
+        lambda: [five_clique_witness()],
+        prior_clique(5, OMEGA),
+        omega_subw_clique(5, OMEGA),
+    ),
+    (
+        "6-clique",
+        clique(6),
+        lambda: [k_clique_witness(6)],
+        prior_clique(6, OMEGA),
+        omega_subw_clique(6, OMEGA),
+    ),
+    (
+        "3-pyramid",
+        three_pyramid(),
+        lambda: [three_pyramid_witness(OMEGA)],
+        prior_pyramid(3),
+        omega_subw_three_pyramid(OMEGA),
+    ),
+    (
+        "4-pyramid",
+        pyramid(4),
+        lambda: [],
+        prior_pyramid(4),
+        omega_subw_pyramid_upper_bound(4, OMEGA),
+    ),
+]
+
+
+@pytest.mark.parametrize("name,hypergraph,seeds,prior,paper", CASES, ids=[c[0] for c in CASES])
+def test_table1_row(benchmark, name, hypergraph, seeds, prior, paper):
+    result = benchmark.pedantic(
+        lambda: omega_submodular_width(hypergraph, OMEGA, seeds=seeds()),
+        rounds=1,
+        iterations=1,
+    )
+    measured = result.value
+    # Pyramid entries of Table 1 are upper bounds; everything else is exact.
+    if name.endswith("pyramid") and name != "3-pyramid":
+        assert measured <= paper + 1e-6
+    else:
+        assert measured == pytest.approx(paper, abs=1e-5)
+    # The new exponent never exceeds the best prior exponent.
+    assert measured <= prior + 1e-6
+    TABLE1_ROWS.append((name, prior, paper, measured))
+    write_table(
+        "table1",
+        ("query", "prior exponent", "paper ω-subw", "measured ω-subw"),
+        sorted(TABLE1_ROWS),
+    )

@@ -1,0 +1,12 @@
+"""Shared fixtures for the benchmark harness."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def omega() -> float:
+    from repro.constants import OMEGA_BEST_KNOWN
+
+    return OMEGA_BEST_KNOWN

@@ -1,0 +1,48 @@
+"""repro: a reproduction of "Fast Matrix Multiplication meets the Submodular Width".
+
+The package is organised by subsystem:
+
+* :mod:`repro.hypergraph` — query hypergraphs, tree decompositions, (G)VEOs;
+* :mod:`repro.polymatroid` — set functions, polymatroids, Shannon machinery;
+* :mod:`repro.width` — ρ*, fhtw, submodular width, ω-submodular width;
+* :mod:`repro.matmul` — Strassen, rectangular/boolean MM, cost model;
+* :mod:`repro.db` — relations, conjunctive queries, join algorithms, generators;
+* :mod:`repro.core` — ω-query plans, planner and executor, per-class algorithms.
+
+The most common entry points are re-exported here.
+"""
+
+from .constants import (
+    DEFAULT_OMEGA,
+    OMEGA_BEST_KNOWN,
+    OMEGA_NAIVE,
+    OMEGA_OPTIMAL,
+    OMEGA_STRASSEN,
+    gamma,
+)
+from .hypergraph import Hypergraph
+from .polymatroid import SetFunction
+from .width import (
+    fractional_edge_cover_number,
+    fractional_hypertree_width,
+    omega_submodular_width,
+    submodular_width,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_OMEGA",
+    "Hypergraph",
+    "OMEGA_BEST_KNOWN",
+    "OMEGA_NAIVE",
+    "OMEGA_OPTIMAL",
+    "OMEGA_STRASSEN",
+    "SetFunction",
+    "__version__",
+    "fractional_edge_cover_number",
+    "fractional_hypertree_width",
+    "gamma",
+    "omega_submodular_width",
+    "submodular_width",
+]

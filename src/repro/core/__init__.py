@@ -1,0 +1,73 @@
+"""Core: ω-query plans, planner, executor and the per-class algorithms."""
+
+from .clique import (
+    CliqueReport,
+    clique_detect_bruteforce,
+    clique_detect_mm,
+    enumerate_cliques,
+)
+from .cycle import (
+    FOUR_CYCLE_QUERY,
+    FourCycleReport,
+    four_cycle_adaptive,
+    four_cycle_combinatorial,
+    four_cycle_detect,
+    four_cycle_generic_join,
+    four_cycle_matrix_only,
+)
+from .engine import STRATEGIES, EngineReport, answer_boolean_query, compare_strategies
+from .executor import ExecutionResult, PlanExecutor, StepTrace
+from .plan import OmegaQueryPlan, PlanStep, StepMethod, all_for_loop_plan
+from .planner import (
+    PlannedQuery,
+    PlannedStep,
+    candidate_orders,
+    plan_for_order,
+    plan_query,
+)
+from .triangle import (
+    TRIANGLE_QUERY,
+    TriangleReport,
+    triangle_detect,
+    triangle_figure1,
+    triangle_generic_join,
+    triangle_matrix_only,
+    triangle_naive,
+)
+
+__all__ = [
+    "CliqueReport",
+    "EngineReport",
+    "ExecutionResult",
+    "FOUR_CYCLE_QUERY",
+    "FourCycleReport",
+    "OmegaQueryPlan",
+    "PlanExecutor",
+    "PlanStep",
+    "PlannedQuery",
+    "PlannedStep",
+    "STRATEGIES",
+    "StepMethod",
+    "StepTrace",
+    "TRIANGLE_QUERY",
+    "TriangleReport",
+    "all_for_loop_plan",
+    "answer_boolean_query",
+    "candidate_orders",
+    "clique_detect_bruteforce",
+    "clique_detect_mm",
+    "compare_strategies",
+    "enumerate_cliques",
+    "four_cycle_adaptive",
+    "four_cycle_combinatorial",
+    "four_cycle_detect",
+    "four_cycle_generic_join",
+    "four_cycle_matrix_only",
+    "plan_for_order",
+    "plan_query",
+    "triangle_detect",
+    "triangle_figure1",
+    "triangle_generic_join",
+    "triangle_matrix_only",
+    "triangle_naive",
+]

@@ -1,0 +1,133 @@
+"""The top-level Boolean query engine.
+
+``answer_boolean_query`` ties the substrates together: it analyses the
+query (widths, acyclicity), plans an ω-query plan against the actual data,
+executes it, and can fall back to the classical baselines.  This is the
+"one call" entry point used by the examples and by the strategy-comparison
+benchmark.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..constants import DEFAULT_OMEGA
+from ..db.database import Database
+from ..db.joins import generic_join_boolean, naive_boolean, yannakakis_boolean
+from ..db.query import ConjunctiveQuery
+from .executor import ExecutionResult, PlanExecutor
+from .plan import OmegaQueryPlan
+from .planner import PlannedQuery, plan_query
+
+
+@dataclass
+class EngineReport:
+    """What the engine did and what it found."""
+
+    answer: bool
+    strategy: str
+    seconds: float
+    plan: Optional[OmegaQueryPlan] = None
+    planned: Optional[PlannedQuery] = None
+    execution: Optional[ExecutionResult] = None
+
+    def describe(self) -> str:
+        lines = [
+            f"strategy: {self.strategy}",
+            f"answer:   {self.answer}",
+            f"time:     {self.seconds * 1000:.2f} ms",
+        ]
+        if self.planned is not None:
+            lines.append("plan:")
+            lines.append(self.planned.describe())
+        return "\n".join(lines)
+
+
+STRATEGIES = ("auto", "naive", "generic_join", "yannakakis", "omega")
+
+
+def answer_boolean_query(
+    query: ConjunctiveQuery,
+    database: Database,
+    strategy: str = "auto",
+    omega: float = DEFAULT_OMEGA,
+    plan: Optional[OmegaQueryPlan] = None,
+) -> EngineReport:
+    """Answer a Boolean conjunctive query.
+
+    Parameters
+    ----------
+    query, database:
+        The query and its input data (validated against each other).
+    strategy:
+        One of ``"auto"``, ``"naive"``, ``"generic_join"``, ``"yannakakis"``
+        (acyclic queries only) or ``"omega"`` (plan + execute with MM-aware
+        eliminations).  ``"auto"`` uses Yannakakis for acyclic queries and
+        the ω-engine otherwise.
+    omega:
+        The matrix multiplication exponent used by the cost model.
+    plan:
+        An explicit ω-query plan to execute (implies the ``"omega"``
+        strategy and skips planning).
+    """
+    database.validate_against(query)
+    start = time.perf_counter()
+    if plan is not None:
+        strategy = "omega"
+    if strategy == "auto":
+        strategy = "yannakakis" if query.is_acyclic() else "omega"
+    if strategy not in STRATEGIES:
+        raise ValueError(f"unknown strategy {strategy!r}; known: {STRATEGIES}")
+
+    if strategy == "naive":
+        answer = naive_boolean(query, database)
+        return EngineReport(answer, strategy, time.perf_counter() - start)
+    if strategy == "generic_join":
+        answer = generic_join_boolean(query, database)
+        return EngineReport(answer, strategy, time.perf_counter() - start)
+    if strategy == "yannakakis":
+        answer = yannakakis_boolean(query, database)
+        return EngineReport(answer, strategy, time.perf_counter() - start)
+
+    planned: Optional[PlannedQuery] = None
+    if plan is None:
+        planned = plan_query(query, database, omega)
+        plan = planned.plan
+    executor = PlanExecutor(query, database)
+    execution = executor.run(plan, omega)
+    return EngineReport(
+        answer=execution.answer,
+        strategy="omega",
+        seconds=time.perf_counter() - start,
+        plan=plan,
+        planned=planned,
+        execution=execution,
+    )
+
+
+def compare_strategies(
+    query: ConjunctiveQuery,
+    database: Database,
+    strategies: Optional[List[str]] = None,
+    omega: float = DEFAULT_OMEGA,
+) -> Dict[str, EngineReport]:
+    """Run several strategies on the same instance (answers must agree).
+
+    Raises ``AssertionError`` if two strategies disagree — this doubles as a
+    cross-validation harness in the integration tests.
+    """
+    if strategies is None:
+        strategies = ["naive", "generic_join", "omega"]
+        if query.is_acyclic():
+            strategies.append("yannakakis")
+    reports = {
+        name: answer_boolean_query(query, database, strategy=name, omega=omega)
+        for name in strategies
+    }
+    answers = {report.answer for report in reports.values()}
+    if len(answers) > 1:
+        details = {name: report.answer for name, report in reports.items()}
+        raise AssertionError(f"strategies disagree on the Boolean answer: {details}")
+    return reports

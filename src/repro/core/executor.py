@@ -1,0 +1,278 @@
+"""Executing ω-query plans on concrete databases.
+
+The executor realizes the elimination semantics of Section 2.2/Section 7:
+relations are grouped by the variables they mention; eliminating a block
+``X`` either
+
+* joins every relation incident to ``X`` (a for-loop step) and projects
+  ``X`` away, or
+* splits the incident relations into two matrices sharing the dimension
+  ``X`` and multiplies them — once per binding of the group-by variables —
+  producing a relation over ``U \\ X`` (a matrix-multiplication step).
+
+The Boolean answer is the non-emptiness of the final (nullary) relation.
+The executor also records a trace (sizes, methods, matrix shapes) used by
+the adaptive planner and by the benchmarks.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..constants import DEFAULT_OMEGA
+from ..db.database import Database
+from ..db.query import ConjunctiveQuery
+from ..db.relation import Relation
+from ..matmul.boolean import boolean_multiply
+from ..width.mm_expr import MMTerm
+from .plan import OmegaQueryPlan, PlanStep, StepMethod
+
+
+@dataclass
+class StepTrace:
+    """Diagnostics for one executed elimination step."""
+
+    block: FrozenSet[str]
+    method: StepMethod
+    input_relations: int
+    input_tuples: int
+    output_tuples: int
+    matrix_shape: Optional[Tuple[int, int, int]] = None
+    group_count: int = 0
+    seconds: float = 0.0
+
+
+@dataclass
+class ExecutionResult:
+    """The Boolean answer plus the per-step trace."""
+
+    answer: bool
+    steps: List[StepTrace] = field(default_factory=list)
+    seconds: float = 0.0
+
+    def total_intermediate_tuples(self) -> int:
+        return sum(step.output_tuples for step in self.steps)
+
+
+class PlanExecutor:
+    """Executes an :class:`OmegaQueryPlan` against a database."""
+
+    def __init__(self, query: ConjunctiveQuery, database: Database) -> None:
+        self.query = query
+        self.database = database
+
+    # ------------------------------------------------------------------
+    def run(self, plan: OmegaQueryPlan, omega: float = DEFAULT_OMEGA) -> ExecutionResult:
+        start = time.perf_counter()
+        relations: List[Relation] = list(
+            self.database.instance_for(self.query).values()
+        )
+        traces: List[StepTrace] = []
+        answer = True
+        for step in plan.steps:
+            step_start = time.perf_counter()
+            incident = [r for r in relations if r.variables & step.block]
+            others = [r for r in relations if not (r.variables & step.block)]
+            if not incident:
+                # Variables mentioned by no remaining relation are
+                # unconstrained; eliminating them is a no-op.
+                continue
+            if step.method is StepMethod.FOR_LOOPS:
+                produced = _eliminate_by_join(incident, step.block)
+                shape = None
+                groups = 0
+            else:
+                assert step.mm_term is not None
+                produced, shape, groups = _eliminate_by_matrix_multiplication(
+                    incident, step.mm_term
+                )
+            traces.append(
+                StepTrace(
+                    block=step.block,
+                    method=step.method,
+                    input_relations=len(incident),
+                    input_tuples=sum(len(r) for r in incident),
+                    output_tuples=len(produced),
+                    matrix_shape=shape,
+                    group_count=groups,
+                    seconds=time.perf_counter() - step_start,
+                )
+            )
+            if produced.is_empty():
+                answer = False
+                break
+            relations = others + ([produced] if produced.schema else [])
+        else:
+            answer = all(not r.is_empty() for r in relations) if relations else True
+        return ExecutionResult(
+            answer=answer, steps=traces, seconds=time.perf_counter() - start
+        )
+
+
+# ----------------------------------------------------------------------
+# Step implementations
+# ----------------------------------------------------------------------
+def _eliminate_by_join(incident: Sequence[Relation], block: FrozenSet[str]) -> Relation:
+    """Join all incident relations and project the block away."""
+    ordered = sorted(incident, key=len)
+    joined = ordered[0]
+    for relation in ordered[1:]:
+        joined = joined.join(relation)
+        if joined.is_empty():
+            break
+    keep = [v for v in joined.schema if v not in block]
+    return joined.project(keep)
+
+
+def _eliminate_by_matrix_multiplication(
+    incident: Sequence[Relation], term: MMTerm
+) -> Tuple[Relation, Tuple[int, int, int], int]:
+    """Eliminate ``term.eliminated`` by a grouped Boolean matrix product.
+
+    The incident relations are split into an A-side (those mentioning a
+    ``first`` variable, plus relations over only eliminated/group-by
+    variables) and a B-side (those mentioning a ``second`` variable); each
+    side is joined into one relation, then for every group-by binding the
+    two sides are multiplied as Boolean matrices over
+    ``first × eliminated`` and ``eliminated × second``.
+    """
+    first, second = term.first, term.second
+    block, group_by = term.eliminated, term.group_by
+    a_side: List[Relation] = []
+    b_side: List[Relation] = []
+    for relation in incident:
+        touches_first = bool(relation.variables & first)
+        touches_second = bool(relation.variables & second)
+        if touches_first and touches_second:
+            raise ValueError(
+                f"relation over {sorted(relation.variables)} spans both matrix "
+                f"dimensions of {term.label()}; the term is not realizable"
+            )
+        if touches_first:
+            a_side.append(relation)
+        elif touches_second:
+            b_side.append(relation)
+        else:
+            # Only eliminated/group-by variables: such a relation may be
+            # placed in both hyperedge families (Definition 4.5 allows the
+            # families to overlap); constraining both sides keeps every
+            # eliminated variable covered on both matrix dimensions.
+            a_side.append(relation)
+            b_side.append(relation)
+    if not a_side or not b_side:
+        raise ValueError(f"cannot realize {term.label()}: one matrix side is empty")
+
+    a_joined = _join_all(a_side)
+    b_joined = _join_all(b_side)
+    if not first <= a_joined.variables or not second <= b_joined.variables:
+        raise ValueError(
+            f"term {term.label()} does not match the incident relations: the outer "
+            "dimensions are not covered by the two matrix sides"
+        )
+    if not block <= a_joined.variables or not block <= b_joined.variables:
+        raise ValueError(
+            f"term {term.label()} does not cover the eliminated block on both "
+            "matrix sides; the term is not realizable on these relations"
+        )
+    block_vars = sorted(block)
+
+    # Group-by variables shared by both sides index the per-group products;
+    # side-specific group-by variables ride along on that side's outer
+    # matrix dimension (they are output variables either way).
+    common_group = sorted(group_by & a_joined.variables & b_joined.variables)
+    a_extra = sorted((group_by & a_joined.variables) - set(common_group))
+    b_extra = sorted((group_by & b_joined.variables) - set(common_group))
+    a_row_vars = sorted(first) + a_extra
+    b_col_vars = sorted(second) + b_extra
+    schema = a_row_vars + b_col_vars + common_group
+
+    if a_joined.is_empty() or b_joined.is_empty():
+        return Relation(schema, ()), (0, 0, 0), 0
+
+    a_groups = _group_rows(a_joined, common_group)
+    b_groups = _group_rows(b_joined, common_group)
+
+    rows_out: List[Tuple] = []
+    max_shape = (0, 0, 0)
+    groups_done = 0
+    for group_key, a_rows in a_groups.items():
+        b_rows = b_groups.get(group_key)
+        if not b_rows:
+            continue
+        groups_done += 1
+        a_matrix, row_index, block_index = _binary_matrix(
+            a_rows, a_joined.schema, a_row_vars, block_vars
+        )
+        b_matrix, _, col_index = _binary_matrix(
+            b_rows, b_joined.schema, block_vars, b_col_vars, row_index=block_index
+        )
+        product = boolean_multiply(a_matrix, b_matrix)
+        max_shape = max(
+            max_shape,
+            (a_matrix.shape[0], a_matrix.shape[1], b_matrix.shape[1]),
+            key=lambda s: s[0] * max(s[1], 1) * max(s[2], 1),
+        )
+        row_values = {position: key for key, position in row_index.items()}
+        col_values = {position: key for key, position in col_index.items()}
+        nonzero_rows, nonzero_cols = np.nonzero(product)
+        for i, j in zip(nonzero_rows.tolist(), nonzero_cols.tolist()):
+            rows_out.append(row_values[i] + col_values[j] + group_key)
+    produced = Relation(schema, rows_out)
+    return produced, max_shape, groups_done
+
+
+def _join_all(relations: Sequence[Relation]) -> Relation:
+    ordered = sorted(relations, key=len)
+    joined = ordered[0]
+    for relation in ordered[1:]:
+        joined = joined.join(relation)
+        if joined.is_empty():
+            return joined
+    return joined
+
+
+def _group_rows(
+    relation: Relation, group_vars: Sequence[str]
+) -> Dict[Tuple, List[Tuple]]:
+    positions = [relation.schema.index(v) for v in group_vars]
+    groups: Dict[Tuple, List[Tuple]] = {}
+    for row in relation.rows:
+        key = tuple(row[p] for p in positions)
+        groups.setdefault(key, []).append(row)
+    return groups
+
+
+def _binary_matrix(
+    rows: Sequence[Tuple],
+    schema: Sequence[str],
+    row_vars: Sequence[str],
+    col_vars: Sequence[str],
+    row_index: Optional[Dict[Tuple, int]] = None,
+) -> Tuple[np.ndarray, Dict[Tuple, int], Dict[Tuple, int]]:
+    row_positions = [schema.index(v) for v in row_vars]
+    col_positions = [schema.index(v) for v in col_vars]
+    pairs = {
+        (
+            tuple(row[p] for p in row_positions),
+            tuple(row[p] for p in col_positions),
+        )
+        for row in rows
+    }
+    if row_index is None:
+        row_index = {}
+        for row_key, _ in sorted(pairs):
+            if row_key not in row_index:
+                row_index[row_key] = len(row_index)
+    col_index: Dict[Tuple, int] = {}
+    for _, col_key in sorted(pairs):
+        if col_key not in col_index:
+            col_index[col_key] = len(col_index)
+    matrix = np.zeros((max(len(row_index), 1), max(len(col_index), 1)), dtype=np.uint8)
+    for row_key, col_key in pairs:
+        if row_key in row_index and col_key in col_index:
+            matrix[row_index[row_key], col_index[col_key]] = 1
+    return matrix, row_index, col_index

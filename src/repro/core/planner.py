@@ -1,0 +1,264 @@
+"""A cost-based planner producing ω-query plans from data statistics.
+
+The width machinery decides *what is possible in the worst case*; the
+planner decides *what to do on the actual data*.  Mirroring the paper's
+meta-algorithm, for every candidate elimination order and every step it
+estimates
+
+* the cost of the for-loop elimination — the AGM bound of the incident
+  relations over the step's ``U`` set (the worst-case optimal join cost),
+* the cost of every realizable MM elimination — the blocked
+  rectangular-multiplication cost on the actual matrix dimensions —
+
+and picks the cheaper method per step and the cheapest order overall.  The
+estimates use actual relation statistics (sizes, distinct counts, degrees)
+but are heuristic for intermediate results (AGM-style upper bounds), which
+is the standard optimizer trade-off.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..constants import DEFAULT_OMEGA
+from ..db.database import Database
+from ..db.query import ConjunctiveQuery
+from ..db.relation import Relation
+from ..hypergraph.hypergraph import Hypergraph
+from ..matmul.rectangular import rectangular_cost
+from ..width.mm_expr import MMTerm, enumerate_mm_terms
+from .plan import OmegaQueryPlan, PlanStep, StepMethod
+
+#: Orders are enumerated exhaustively up to this many variables; beyond it a
+#: single greedy (min-estimated-cost) order is used.
+EXHAUSTIVE_ORDER_LIMIT = 6
+
+
+@dataclass
+class _Estimate:
+    """A pseudo-relation used during planning: a scope and a size estimate."""
+
+    variables: FrozenSet[str]
+    size: float
+    distinct: Dict[str, float]
+
+    @classmethod
+    def from_relation(cls, relation: Relation) -> "_Estimate":
+        distinct = {
+            variable: max(1, len(relation.column_values(variable)))
+            for variable in relation.schema
+        }
+        return cls(
+            variables=relation.variables,
+            size=float(max(1, len(relation))),
+            distinct=distinct,
+        )
+
+
+@dataclass
+class PlannedStep:
+    """A plan step annotated with the planner's cost estimates."""
+
+    step: PlanStep
+    for_loop_cost: float
+    mm_cost: Optional[float]
+
+    @property
+    def chosen_cost(self) -> float:
+        if self.step.method is StepMethod.FOR_LOOPS:
+            return self.for_loop_cost
+        assert self.mm_cost is not None
+        return self.mm_cost
+
+
+@dataclass
+class PlannedQuery:
+    """The plan chosen by the planner together with its estimated cost."""
+
+    plan: OmegaQueryPlan
+    estimated_cost: float
+    annotated_steps: List[PlannedStep]
+
+    def describe(self) -> str:
+        lines = [f"estimated cost: {self.estimated_cost:.3g}"]
+        for annotated in self.annotated_steps:
+            mm = (
+                f"{annotated.mm_cost:.3g}" if annotated.mm_cost is not None else "n/a"
+            )
+            lines.append(
+                f"  {annotated.step.describe()}  "
+                f"[for-loops≈{annotated.for_loop_cost:.3g}, mm≈{mm}]"
+            )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Cost estimation helpers
+# ----------------------------------------------------------------------
+def _distinct_estimate(estimates: Sequence[_Estimate], variables: Iterable[str]) -> float:
+    """Estimated number of distinct bindings of a variable set (product of mins)."""
+    total = 1.0
+    for variable in variables:
+        candidates = [
+            e.distinct.get(variable, e.size) for e in estimates if variable in e.variables
+        ]
+        total *= min(candidates) if candidates else 1.0
+    return max(total, 1.0)
+
+
+def _join_size_bound(estimates: Sequence[_Estimate], scope: FrozenSet[str]) -> float:
+    """A crude AGM-style bound: greedy cover of the scope by the estimates."""
+    remaining = set(scope)
+    bound = 1.0
+    # Greedy: repeatedly take the estimate covering the most uncovered
+    # variables per log-size unit.
+    pool = list(estimates)
+    while remaining and pool:
+        def score(e: _Estimate) -> float:
+            covered = len(e.variables & remaining)
+            if covered == 0:
+                return float("-inf")
+            return covered / max(math.log2(e.size + 1.0), 1e-9)
+
+        best = max(pool, key=score)
+        if not best.variables & remaining:
+            break
+        bound *= best.size
+        remaining -= best.variables
+        pool.remove(best)
+    if remaining:
+        bound *= _distinct_estimate(estimates, remaining)
+    return max(bound, 1.0)
+
+
+def _for_loop_cost(estimates: Sequence[_Estimate], scope: FrozenSet[str]) -> float:
+    return _join_size_bound(estimates, scope)
+
+
+def _mm_cost(
+    estimates: Sequence[_Estimate], term: MMTerm, omega: float
+) -> float:
+    groups = _distinct_estimate(estimates, term.group_by)
+    rows = _distinct_estimate(estimates, term.first)
+    inner = _distinct_estimate(estimates, term.eliminated)
+    cols = _distinct_estimate(estimates, term.second)
+    per_group_rows = max(1, int(math.ceil(rows / groups)))
+    per_group_inner = max(1, int(math.ceil(inner / max(groups ** 0.5, 1.0))))
+    per_group_cols = max(1, int(math.ceil(cols / groups)))
+    build_cost = sum(e.size for e in estimates)
+    return groups * rectangular_cost(
+        per_group_rows, per_group_inner, per_group_cols, omega
+    ) + build_cost
+
+
+# ----------------------------------------------------------------------
+# Planning
+# ----------------------------------------------------------------------
+def plan_for_order(
+    query: ConjunctiveQuery,
+    database: Database,
+    order: Sequence[str],
+    omega: float = DEFAULT_OMEGA,
+) -> PlannedQuery:
+    """Build the cheapest plan that follows a specific elimination order."""
+    hypergraph = query.hypergraph()
+    estimates = [
+        _Estimate.from_relation(relation)
+        for relation in database.instance_for(query).values()
+    ]
+    current = hypergraph
+    steps: List[PlanStep] = []
+    annotated: List[PlannedStep] = []
+    total_cost = 0.0
+    for variable in order:
+        block = frozenset([variable])
+        incident = [e for e in estimates if e.variables & block]
+        others = [e for e in estimates if not (e.variables & block)]
+        union_scope: FrozenSet[str] = block | frozenset().union(
+            *(e.variables for e in incident)
+        ) if incident else block
+        for_cost = _for_loop_cost(incident, union_scope) if incident else 1.0
+        best_term: Optional[MMTerm] = None
+        best_mm_cost: Optional[float] = None
+        for term in enumerate_mm_terms(current, block):
+            cost = _mm_cost(incident, term, omega)
+            if best_mm_cost is None or cost < best_mm_cost:
+                best_mm_cost = cost
+                best_term = term
+        if best_term is not None and best_mm_cost is not None and best_mm_cost < for_cost:
+            step = PlanStep(
+                block=block,
+                method=StepMethod.MATRIX_MULTIPLICATION,
+                mm_term=best_term,
+            )
+            step_cost = best_mm_cost
+        else:
+            step = PlanStep(block=block, method=StepMethod.FOR_LOOPS)
+            step_cost = for_cost
+        steps.append(step)
+        annotated.append(
+            PlannedStep(step=step, for_loop_cost=for_cost, mm_cost=best_mm_cost)
+        )
+        total_cost += step_cost
+        # Update the pseudo-relations: the elimination produces one new
+        # estimate over the neighbourhood of the block.
+        new_scope = (union_scope - block) if incident else frozenset()
+        if new_scope:
+            produced_size = min(
+                _join_size_bound(incident, new_scope),
+                _distinct_estimate(incident, new_scope),
+            )
+            produced = _Estimate(
+                variables=frozenset(new_scope),
+                size=max(produced_size, 1.0),
+                distinct={
+                    v: _distinct_estimate(incident, [v]) for v in new_scope
+                },
+            )
+            estimates = others + [produced]
+        else:
+            estimates = others
+        current = current.eliminate(block)
+    plan = OmegaQueryPlan(hypergraph=hypergraph, steps=tuple(steps))
+    return PlannedQuery(plan=plan, estimated_cost=total_cost, annotated_steps=annotated)
+
+
+def candidate_orders(
+    query: ConjunctiveQuery, database: Database, limit: int = EXHAUSTIVE_ORDER_LIMIT
+) -> List[Tuple[str, ...]]:
+    """Candidate elimination orders: exhaustive for small queries, greedy otherwise."""
+    variables = sorted(query.variables)
+    if len(variables) <= limit:
+        return [tuple(p) for p in itertools.permutations(variables)]
+    # Greedy min-degree order on the hypergraph.
+    hypergraph = query.hypergraph()
+    order: List[str] = []
+    current = hypergraph
+    remaining = set(variables)
+    while remaining:
+        best = min(remaining, key=lambda v: len(current.neighbours(v)))
+        order.append(best)
+        current = current.eliminate(best)
+        remaining.remove(best)
+    return [tuple(order)]
+
+
+def plan_query(
+    query: ConjunctiveQuery,
+    database: Database,
+    omega: float = DEFAULT_OMEGA,
+    orders: Optional[Iterable[Sequence[str]]] = None,
+) -> PlannedQuery:
+    """Pick the cheapest plan over the candidate elimination orders."""
+    if orders is None:
+        orders = candidate_orders(query, database)
+    best: Optional[PlannedQuery] = None
+    for order in orders:
+        planned = plan_for_order(query, database, order, omega)
+        if best is None or planned.estimated_cost < best.estimated_cost:
+            best = planned
+    assert best is not None
+    return best

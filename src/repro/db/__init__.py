@@ -1,0 +1,46 @@
+"""Relational database substrate: relations, queries, joins and generators."""
+
+from .database import Database
+from .generators import (
+    bipartite_clique_pairs,
+    clique_instance,
+    four_cycle_instance,
+    pyramid_instance,
+    random_database,
+    random_pairs,
+    skewed_pairs,
+    triangle_instance,
+)
+from .joins import (
+    default_variable_order,
+    generic_join,
+    generic_join_boolean,
+    naive_boolean,
+    naive_join,
+    yannakakis_boolean,
+)
+from .query import Atom, ConjunctiveQuery, parse_query, query_from_hypergraph
+from .relation import Relation
+
+__all__ = [
+    "Atom",
+    "ConjunctiveQuery",
+    "Database",
+    "Relation",
+    "bipartite_clique_pairs",
+    "clique_instance",
+    "default_variable_order",
+    "four_cycle_instance",
+    "generic_join",
+    "generic_join_boolean",
+    "naive_boolean",
+    "naive_join",
+    "parse_query",
+    "pyramid_instance",
+    "query_from_hypergraph",
+    "random_database",
+    "random_pairs",
+    "skewed_pairs",
+    "triangle_instance",
+    "yannakakis_boolean",
+]

@@ -1,0 +1,94 @@
+"""Databases: named relations plus validation against a query."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
+
+from .query import ConjunctiveQuery
+from .relation import Relation
+
+
+class Database:
+    """A collection of named relations.
+
+    The paper measures complexity in the total input size
+    ``N = Σ_R |R|`` (data complexity); :attr:`size` reports exactly that.
+    """
+
+    def __init__(self, relations: Mapping[str, Relation] | Iterable[Tuple[str, Relation]] = ()):
+        self._relations: Dict[str, Relation] = {}
+        items = relations.items() if isinstance(relations, Mapping) else relations
+        for name, relation in items:
+            self[name] = relation
+
+    # ------------------------------------------------------------------
+    def __setitem__(self, name: str, relation: Relation) -> None:
+        if not isinstance(relation, Relation):
+            raise TypeError("databases store Relation objects")
+        self._relations[name] = relation.with_name(name)
+
+    def __getitem__(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            known = ", ".join(sorted(self._relations))
+            raise KeyError(f"no relation {name!r}; known relations: {known}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._relations))
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def items(self) -> Iterable[Tuple[str, Relation]]:
+        return sorted(self._relations.items())
+
+    @property
+    def size(self) -> int:
+        """Total number of tuples across all relations (the paper's ``N``)."""
+        return sum(len(relation) for relation in self._relations.values())
+
+    def copy(self) -> "Database":
+        return Database(dict(self._relations))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(f"{name}[{len(rel)}]" for name, rel in self.items())
+        return f"Database({parts})"
+
+    # ------------------------------------------------------------------
+    def validate_against(self, query: ConjunctiveQuery) -> None:
+        """Check that every query atom has a relation with a compatible schema.
+
+        The relation's schema must *cover* the atom's variables after
+        positional matching: the convention used throughout the library is
+        that the atom's variable list names the relation's columns in
+        order, so arities must agree.
+        """
+        for atom in query.atoms:
+            if atom.relation not in self._relations:
+                raise KeyError(f"query atom {atom} has no relation in the database")
+            relation = self._relations[atom.relation]
+            if len(relation.schema) != len(atom.variables):
+                raise ValueError(
+                    f"atom {atom} has arity {len(atom.variables)} but relation "
+                    f"{atom.relation} has arity {len(relation.schema)}"
+                )
+
+    def relation_for(self, query: ConjunctiveQuery, relation_name: str) -> Relation:
+        """The relation of an atom, with columns renamed to the atom's variables."""
+        atom = query.atom_for(relation_name)
+        relation = self[relation_name]
+        mapping = dict(zip(relation.schema, atom.variables))
+        return relation.rename(mapping).with_name(relation_name)
+
+    def instance_for(self, query: ConjunctiveQuery) -> Dict[str, Relation]:
+        """All atom relations keyed by relation name, renamed to query variables."""
+        self.validate_against(query)
+        return {
+            atom.relation: self.relation_for(query, atom.relation)
+            for atom in query.atoms
+        }

@@ -1,0 +1,206 @@
+"""Join algorithms: naive, hash-based, worst-case optimal, and Yannakakis.
+
+These are the *combinatorial* baselines the paper's framework subsumes:
+
+* :func:`naive_join` — fold the atoms with pairwise hash joins (no
+  worst-case guarantee; the classical baseline);
+* :func:`generic_join` — the worst-case optimal GenericJoin of Ngo, Ré and
+  Rudra: one nested loop per variable, intersecting the candidate values of
+  every covering atom (runtime ``O(N^{ρ*})``);
+* :func:`yannakakis_boolean` — semijoin reduction along a join tree for
+  acyclic queries (linear time).
+
+All functions take a :class:`~repro.db.query.ConjunctiveQuery` and a
+:class:`~repro.db.database.Database` and answer the Boolean question; the
+full-join variants also return the satisfying assignments when asked.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .database import Database
+from .query import ConjunctiveQuery
+from .relation import Relation, Row
+
+
+# ----------------------------------------------------------------------
+# Naive pairwise-join baseline
+# ----------------------------------------------------------------------
+def naive_join(query: ConjunctiveQuery, database: Database) -> Relation:
+    """Fold all atoms left-to-right with binary hash joins (full result)."""
+    relations = database.instance_for(query)
+    atoms = list(query.atoms)
+    result = relations[atoms[0].relation]
+    for atom in atoms[1:]:
+        result = result.join(relations[atom.relation])
+        if result.is_empty():
+            return Relation(sorted(query.variables), ())
+    missing = [v for v in sorted(query.variables) if v not in result.variables]
+    if missing:  # disconnected query: pad with cross products
+        for variable in missing:
+            domain = _variable_domain(query, relations, variable)
+            result = result.cross(Relation([variable], [(value,) for value in domain]))
+    return result.project(sorted(query.variables))
+
+
+def naive_boolean(query: ConjunctiveQuery, database: Database) -> bool:
+    """Boolean answer via the naive pairwise join."""
+    return not naive_join(query, database).is_empty()
+
+
+def _variable_domain(
+    query: ConjunctiveQuery, relations: Mapping[str, Relation], variable: str
+) -> FrozenSet:
+    domains = [
+        relations[atom.relation].column_values(variable)
+        for atom in query.atoms
+        if variable in atom.variable_set
+    ]
+    if not domains:
+        return frozenset()
+    result = set(domains[0])
+    for domain in domains[1:]:
+        result &= domain
+    return frozenset(result)
+
+
+# ----------------------------------------------------------------------
+# GenericJoin (worst-case optimal)
+# ----------------------------------------------------------------------
+def generic_join(
+    query: ConjunctiveQuery,
+    database: Database,
+    variable_order: Optional[Sequence[str]] = None,
+    find_all: bool = True,
+) -> Relation:
+    """Worst-case optimal join by per-variable intersection.
+
+    Variables are bound one at a time (in ``variable_order`` or a
+    degree-based default); at each step the candidate values are obtained
+    by intersecting, over every atom containing the variable, the values
+    compatible with the current partial assignment.  With ``find_all=False``
+    the search stops at the first satisfying assignment (the Boolean case).
+    """
+    relations = database.instance_for(query)
+    if variable_order is None:
+        variable_order = default_variable_order(query, database)
+    else:
+        variable_order = list(variable_order)
+        if set(variable_order) != set(query.variables):
+            raise ValueError("variable_order must cover exactly the query variables")
+
+    results: List[Row] = []
+
+    def extend(assignment: Dict[str, object], depth: int) -> bool:
+        if depth == len(variable_order):
+            results.append(tuple(assignment[v] for v in variable_order))
+            return True
+        variable = variable_order[depth]
+        candidates: Optional[set] = None
+        for atom in query.atoms:
+            if variable not in atom.variable_set:
+                continue
+            relation = relations[atom.relation]
+            bound = {
+                v: assignment[v]
+                for v in atom.variables
+                if v in assignment
+            }
+            matching = relation.select(bound) if bound else relation
+            values = set(matching.column_values(variable))
+            candidates = values if candidates is None else candidates & values
+            if not candidates:
+                return False
+        if candidates is None:
+            candidates = set()
+        found = False
+        for value in candidates:
+            assignment[variable] = value
+            if extend(assignment, depth + 1):
+                found = True
+                if not find_all:
+                    del assignment[variable]
+                    return True
+            del assignment[variable]
+        return found
+
+    extend({}, 0)
+    return Relation(list(variable_order), results)
+
+
+def generic_join_boolean(
+    query: ConjunctiveQuery,
+    database: Database,
+    variable_order: Optional[Sequence[str]] = None,
+) -> bool:
+    """Boolean answer via GenericJoin with early termination."""
+    result = generic_join(query, database, variable_order, find_all=False)
+    return not result.is_empty()
+
+
+def default_variable_order(query: ConjunctiveQuery, database: Database) -> List[str]:
+    """A degree-driven heuristic order: most constrained variables first."""
+    relations = database.instance_for(query)
+    scores = {}
+    for variable in query.variables:
+        covering = [a for a in query.atoms if variable in a.variable_set]
+        domain_sizes = [
+            max(1, len(relations[a.relation].column_values(variable))) for a in covering
+        ]
+        scores[variable] = (-len(covering), min(domain_sizes))
+    return sorted(query.variables, key=lambda v: scores[v])
+
+
+# ----------------------------------------------------------------------
+# Yannakakis (acyclic queries)
+# ----------------------------------------------------------------------
+def _gyo_join_tree(query: ConjunctiveQuery) -> List[Tuple[str, Optional[str]]]:
+    """A join tree as (atom, parent) pairs via GYO ear removal.
+
+    Raises ``ValueError`` when the query is cyclic.
+    """
+    remaining: Dict[str, FrozenSet[str]] = {
+        atom.relation: atom.variable_set for atom in query.atoms
+    }
+    exclusive_owner: List[Tuple[str, Optional[str]]] = []
+    while remaining:
+        progressed = False
+        names = list(remaining)
+        for name in names:
+            variables = remaining[name]
+            others = [v for other, v in remaining.items() if other != name]
+            shared = set()
+            for variable in variables:
+                if any(variable in other for other in others):
+                    shared.add(variable)
+            parent = None
+            for other, other_vars in remaining.items():
+                if other != name and shared <= other_vars:
+                    parent = other
+                    break
+            if parent is not None or len(remaining) == 1:
+                exclusive_owner.append((name, parent))
+                del remaining[name]
+                progressed = True
+                break
+        if not progressed:
+            raise ValueError("query is cyclic; Yannakakis requires an acyclic query")
+    return exclusive_owner
+
+
+def yannakakis_boolean(query: ConjunctiveQuery, database: Database) -> bool:
+    """Boolean evaluation of an acyclic query by full semijoin reduction."""
+    order = _gyo_join_tree(query)
+    relations = dict(database.instance_for(query))
+    # Upward pass: children (removed earlier) reduce their parents.
+    for name, parent in order:
+        if relations[name].is_empty():
+            return False
+        if parent is not None:
+            relations[parent] = relations[parent].semijoin(relations[name])
+    # The root is the last removed atom; non-emptiness after reduction of the
+    # whole upward pass answers the Boolean question.
+    root = order[-1][0]
+    return not relations[root].is_empty()

@@ -1,0 +1,143 @@
+"""Boolean conjunctive queries and a small Datalog-style parser.
+
+A Boolean conjunctive query (Eq. (1)) is a conjunction of atoms
+``R(X, Y, ...)`` asking whether a satisfying assignment to all variables
+exists.  The query object carries its hypergraph (used by the width
+machinery and the planner) and knows how to validate itself against a
+database.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..hypergraph.hypergraph import Hypergraph
+from .relation import Relation
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A single query atom ``relation(variables...)``."""
+
+    relation: str
+    variables: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.variables:
+            raise ValueError("atoms must mention at least one variable")
+        if len(set(self.variables)) != len(self.variables):
+            raise ValueError(
+                f"repeated variables within one atom are not supported: {self.variables}"
+            )
+
+    @property
+    def variable_set(self) -> FrozenSet[str]:
+        return frozenset(self.variables)
+
+    def __str__(self) -> str:
+        return f"{self.relation}({', '.join(self.variables)})"
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """A Boolean conjunctive query: a named conjunction of atoms."""
+
+    atoms: Tuple[Atom, ...]
+    name: str = "Q"
+
+    def __post_init__(self) -> None:
+        if not self.atoms:
+            raise ValueError("a query needs at least one atom")
+        names = [atom.relation for atom in self.atoms]
+        if len(set(names)) != len(names):
+            raise ValueError(
+                "atoms must use distinct relation names (self-joins should use "
+                "renamed copies of the relation in the database)"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def variables(self) -> FrozenSet[str]:
+        result: set = set()
+        for atom in self.atoms:
+            result |= atom.variable_set
+        return frozenset(result)
+
+    @property
+    def relation_names(self) -> Tuple[str, ...]:
+        return tuple(atom.relation for atom in self.atoms)
+
+    def atom_for(self, relation: str) -> Atom:
+        for atom in self.atoms:
+            if atom.relation == relation:
+                return atom
+        raise KeyError(f"no atom over relation {relation!r}")
+
+    def atoms_covering(self, variables: Iterable[str]) -> List[Atom]:
+        """Atoms whose variable set intersects the given variables."""
+        wanted = frozenset(variables)
+        return [atom for atom in self.atoms if atom.variable_set & wanted]
+
+    def hypergraph(self) -> Hypergraph:
+        """The query hypergraph (vertices = variables, edges = atom scopes)."""
+        return Hypergraph(
+            self.variables, [atom.variables for atom in self.atoms]
+        )
+
+    def is_acyclic(self) -> bool:
+        return self.hypergraph().is_acyclic()
+
+    def __str__(self) -> str:
+        body = ", ".join(str(atom) for atom in self.atoms)
+        return f"{self.name}() :- {body}"
+
+
+_ATOM_PATTERN = re.compile(r"([A-Za-z_][A-Za-z0-9_']*)\s*\(([^()]*)\)")
+
+
+def parse_query(text: str, name: Optional[str] = None) -> ConjunctiveQuery:
+    """Parse a Datalog-style Boolean query.
+
+    Accepts either a full rule ``Q() :- R(X, Y), S(Y, Z)`` or just the body
+    ``R(X, Y), S(Y, Z)``.  Relation names and variables are identifiers
+    (primes allowed, e.g. ``Z'``).
+
+    >>> q = parse_query("Q() :- R(X, Y), S(Y, Z), T(X, Z)")
+    >>> sorted(q.variables)
+    ['X', 'Y', 'Z']
+    """
+    head_name = name
+    body = text
+    if ":-" in text:
+        head, body = text.split(":-", 1)
+        head_match = _ATOM_PATTERN.search(head)
+        if head_match:
+            head_name = head_name or head_match.group(1)
+            head_vars = head_match.group(2).strip()
+            if head_vars:
+                raise ValueError(
+                    "only Boolean queries (empty head) are supported; got "
+                    f"head variables {head_vars!r}"
+                )
+        elif head.strip():
+            head_name = head_name or head.strip()
+    atoms = []
+    for match in _ATOM_PATTERN.finditer(body):
+        relation = match.group(1)
+        variables = [v.strip() for v in match.group(2).split(",") if v.strip()]
+        atoms.append(Atom(relation, tuple(variables)))
+    if not atoms:
+        raise ValueError(f"could not parse any atoms from {text!r}")
+    return ConjunctiveQuery(tuple(atoms), name=head_name or "Q")
+
+
+def query_from_hypergraph(
+    hypergraph: Hypergraph, prefix: str = "R", name: str = "Q"
+) -> ConjunctiveQuery:
+    """Build a query with one atom per hyperedge (deterministic relation names)."""
+    atoms = []
+    for position, edge in enumerate(hypergraph.sorted_edges()):
+        atoms.append(Atom(f"{prefix}{position}", tuple(edge)))
+    return ConjunctiveQuery(tuple(atoms), name=name)

@@ -1,0 +1,361 @@
+"""Relations: named-column sets of tuples with the statistics the paper needs.
+
+A relation ``R(X, Y, ...)`` is stored as a schema (tuple of variable names)
+plus a set of value tuples.  Besides the classical operators
+(select/project/join/semijoin), relations expose the *degree* statistics of
+Definition E.9 — ``deg_R(Y | X)`` — and the heavy/light partitioning that
+the paper's algorithms (Figure 1, PANDA decomposition steps) are built on,
+plus conversion to 0/1 matrices for the matrix-multiplication eliminations.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+Value = object
+Row = Tuple[Value, ...]
+
+
+class Relation:
+    """An in-memory relation with a named schema.
+
+    Parameters
+    ----------
+    schema:
+        Variable names, one per column (duplicates are rejected).
+    rows:
+        The tuples; duplicates are collapsed (set semantics).
+    name:
+        Optional name used in query plans and debugging output.
+    """
+
+    __slots__ = ("_schema", "_rows", "name")
+
+    def __init__(
+        self,
+        schema: Sequence[str],
+        rows: Iterable[Sequence[Value]] = (),
+        name: Optional[str] = None,
+    ) -> None:
+        schema_tuple = tuple(schema)
+        if len(set(schema_tuple)) != len(schema_tuple):
+            raise ValueError(f"duplicate variables in schema {schema_tuple}")
+        self._schema: Tuple[str, ...] = schema_tuple
+        width = len(schema_tuple)
+        normalized = set()
+        for row in rows:
+            row_tuple = tuple(row)
+            if len(row_tuple) != width:
+                raise ValueError(
+                    f"row {row_tuple} does not match schema of width {width}"
+                )
+            normalized.add(row_tuple)
+        self._rows: FrozenSet[Row] = frozenset(normalized)
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def schema(self) -> Tuple[str, ...]:
+        return self._schema
+
+    @property
+    def variables(self) -> FrozenSet[str]:
+        return frozenset(self._schema)
+
+    @property
+    def rows(self) -> FrozenSet[Row]:
+        return self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __contains__(self, row: Sequence[Value]) -> bool:
+        return tuple(row) in self._rows
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        if set(self._schema) != set(other._schema):
+            return False
+        return self.project(sorted(self._schema))._rows == other.project(
+            sorted(other._schema)
+        )._rows
+
+    def __hash__(self) -> int:
+        return hash((self._schema, self._rows))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = self.name or "Relation"
+        return f"{label}({', '.join(self._schema)})[{len(self)} rows]"
+
+    def is_empty(self) -> bool:
+        return not self._rows
+
+    def with_name(self, name: str) -> "Relation":
+        clone = Relation(self._schema, (), name)
+        clone._rows = self._rows
+        return clone
+
+    # ------------------------------------------------------------------
+    # Column helpers
+    # ------------------------------------------------------------------
+    def _positions(self, variables: Sequence[str]) -> List[int]:
+        positions = []
+        for variable in variables:
+            try:
+                positions.append(self._schema.index(variable))
+            except ValueError:
+                raise KeyError(
+                    f"variable {variable!r} not in schema {self._schema}"
+                ) from None
+        return positions
+
+    def column_values(self, variable: str) -> FrozenSet[Value]:
+        """The active domain of one column."""
+        position = self._positions([variable])[0]
+        return frozenset(row[position] for row in self._rows)
+
+    def active_domain(self) -> FrozenSet[Value]:
+        """All values appearing anywhere in the relation."""
+        return frozenset(value for row in self._rows for value in row)
+
+    # ------------------------------------------------------------------
+    # Classical operators
+    # ------------------------------------------------------------------
+    def project(self, variables: Sequence[str]) -> "Relation":
+        """Project onto the given variables (duplicates collapse)."""
+        variables = list(variables)
+        positions = self._positions(variables)
+        rows = {tuple(row[p] for p in positions) for row in self._rows}
+        return Relation(variables, rows)
+
+    def select(self, condition: Mapping[str, Value] | Callable[[Dict[str, Value]], bool]) -> "Relation":
+        """Select rows matching an equality mapping or an arbitrary predicate."""
+        if callable(condition):
+            keep = [
+                row
+                for row in self._rows
+                if condition(dict(zip(self._schema, row)))
+            ]
+            return Relation(self._schema, keep, self.name)
+        positions = self._positions(list(condition.keys()))
+        wanted = list(condition.values())
+        keep = [
+            row
+            for row in self._rows
+            if all(row[p] == value for p, value in zip(positions, wanted))
+        ]
+        return Relation(self._schema, keep, self.name)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Relation":
+        """Rename columns (variables not mentioned keep their names)."""
+        new_schema = [mapping.get(variable, variable) for variable in self._schema]
+        return Relation(new_schema, self._rows, self.name)
+
+    def join(self, other: "Relation") -> "Relation":
+        """Natural (hash) join on the shared variables."""
+        shared = [v for v in self._schema if v in other.variables]
+        other_only = [v for v in other.schema if v not in self.variables]
+        left_positions = self._positions(shared) if shared else []
+        right_shared_positions = other._positions(shared) if shared else []
+        right_extra_positions = other._positions(other_only) if other_only else []
+
+        index: Dict[Row, List[Row]] = defaultdict(list)
+        for row in other._rows:
+            key = tuple(row[p] for p in right_shared_positions)
+            index[key].append(tuple(row[p] for p in right_extra_positions))
+
+        out_schema = list(self._schema) + other_only
+        out_rows: List[Row] = []
+        for row in self._rows:
+            key = tuple(row[p] for p in left_positions)
+            for extra in index.get(key, ()):
+                out_rows.append(tuple(row) + extra)
+        return Relation(out_schema, out_rows)
+
+    def semijoin(self, other: "Relation") -> "Relation":
+        """Keep the rows whose shared-variable projection appears in ``other``."""
+        shared = [v for v in self._schema if v in other.variables]
+        if not shared:
+            return self if not other.is_empty() else Relation(self._schema, (), self.name)
+        left_positions = self._positions(shared)
+        right_keys = {
+            tuple(row[p] for p in other._positions(shared)) for row in other._rows
+        }
+        keep = [
+            row
+            for row in self._rows
+            if tuple(row[p] for p in left_positions) in right_keys
+        ]
+        return Relation(self._schema, keep, self.name)
+
+    def antijoin(self, other: "Relation") -> "Relation":
+        """Keep the rows whose shared-variable projection does NOT appear in ``other``."""
+        matching = self.semijoin(other)
+        return Relation(self._schema, self._rows - matching._rows, self.name)
+
+    def union(self, other: "Relation") -> "Relation":
+        if set(self._schema) != set(other.schema):
+            raise ValueError("union requires identical variable sets")
+        aligned = other.project(self._schema)
+        return Relation(self._schema, self._rows | aligned._rows, self.name)
+
+    def intersect(self, other: "Relation") -> "Relation":
+        if set(self._schema) != set(other.schema):
+            raise ValueError("intersection requires identical variable sets")
+        aligned = other.project(self._schema)
+        return Relation(self._schema, self._rows & aligned._rows, self.name)
+
+    def cross(self, other: "Relation") -> "Relation":
+        """Cartesian product (the schemas must be disjoint)."""
+        if self.variables & other.variables:
+            raise ValueError("cross product requires disjoint schemas")
+        rows = [tuple(a) + tuple(b) for a in self._rows for b in other._rows]
+        return Relation(list(self._schema) + list(other.schema), rows)
+
+    # ------------------------------------------------------------------
+    # Degree statistics (Definition E.9) and heavy/light partitioning
+    # ------------------------------------------------------------------
+    def degree(self, target: Sequence[str], given: Sequence[str] = ()) -> int:
+        """``deg_R(target | given)``: the worst-case fan-out of ``given`` into ``target``."""
+        degrees = self.degree_map(target, given)
+        return max(degrees.values(), default=0)
+
+    def degree_map(
+        self, target: Sequence[str], given: Sequence[str] = ()
+    ) -> Dict[Row, int]:
+        """Per-binding degrees: for each ``given`` value, how many ``target`` values."""
+        target = [v for v in target if v not in given]
+        target_positions = self._positions([v for v in target if v in self._schema])
+        given_positions = self._positions([v for v in given if v in self._schema])
+        seen: Dict[Row, set] = defaultdict(set)
+        for row in self._rows:
+            key = tuple(row[p] for p in given_positions)
+            value = tuple(row[p] for p in target_positions)
+            seen[key].add(value)
+        return {key: len(values) for key, values in seen.items()}
+
+    def heavy_light_split(
+        self, given: Sequence[str], threshold: int, target: Optional[Sequence[str]] = None
+    ) -> Tuple["Relation", "Relation"]:
+        """Split into (heavy, light) parts by the degree of ``given`` bindings.
+
+        This is the database interpretation of the proof-sequence
+        *decomposition step* ``h(XY) → h(X) + h(Y|X)`` (Figure 1): bindings
+        of ``given`` whose degree exceeds ``threshold`` form the heavy part
+        (returned projected onto ``given``); the remaining full rows form
+        the light part.
+        """
+        if target is None:
+            target = [v for v in self._schema if v not in given]
+        degrees = self.degree_map(target, given)
+        heavy_keys = {key for key, degree in degrees.items() if degree > threshold}
+        given = list(given)
+        given_positions = self._positions(given)
+        heavy_rows = set()
+        light_rows = []
+        for row in self._rows:
+            key = tuple(row[p] for p in given_positions)
+            if key in heavy_keys:
+                heavy_rows.add(key)
+            else:
+                light_rows.append(row)
+        heavy = Relation(given, heavy_rows, name=f"{self.name or 'R'}_heavy")
+        light = Relation(self._schema, light_rows, name=f"{self.name or 'R'}_light")
+        return heavy, light
+
+    # ------------------------------------------------------------------
+    # Matrix conversion (for MM-based eliminations)
+    # ------------------------------------------------------------------
+    def to_matrix(
+        self,
+        row_variables: Sequence[str],
+        col_variables: Sequence[str],
+        row_index: Optional[Dict[Row, int]] = None,
+        col_index: Optional[Dict[Row, int]] = None,
+    ) -> Tuple[np.ndarray, Dict[Row, int], Dict[Row, int]]:
+        """Encode the relation as a 0/1 matrix over (row, column) value tuples.
+
+        Returns ``(matrix, row_index, col_index)``; indexes can be supplied
+        to align several relations on the same dimensions.
+        """
+        row_variables = list(row_variables)
+        col_variables = list(col_variables)
+        row_positions = self._positions(row_variables)
+        col_positions = self._positions(col_variables)
+        projected = {
+            (
+                tuple(row[p] for p in row_positions),
+                tuple(row[p] for p in col_positions),
+            )
+            for row in self._rows
+        }
+        if row_index is None:
+            row_index = {}
+            for key, _ in sorted(projected):
+                if key not in row_index:
+                    row_index[key] = len(row_index)
+        if col_index is None:
+            col_index = {}
+            for _, key in sorted(projected):
+                if key not in col_index:
+                    col_index[key] = len(col_index)
+        matrix = np.zeros((len(row_index), len(col_index)), dtype=np.uint8)
+        for row_key, col_key in projected:
+            if row_key in row_index and col_key in col_index:
+                matrix[row_index[row_key], col_index[col_key]] = 1
+        return matrix, row_index, col_index
+
+    @staticmethod
+    def from_matrix(
+        matrix: np.ndarray,
+        row_variables: Sequence[str],
+        col_variables: Sequence[str],
+        row_index: Dict[Row, int],
+        col_index: Dict[Row, int],
+        name: Optional[str] = None,
+    ) -> "Relation":
+        """Decode a Boolean matrix back into a relation (inverse of ``to_matrix``)."""
+        inverse_rows = {position: key for key, position in row_index.items()}
+        inverse_cols = {position: key for key, position in col_index.items()}
+        rows = []
+        nonzero_rows, nonzero_cols = np.nonzero(matrix)
+        for i, j in zip(nonzero_rows.tolist(), nonzero_cols.tolist()):
+            rows.append(inverse_rows[i] + inverse_cols[j])
+        return Relation(list(row_variables) + list(col_variables), rows, name)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_pairs(
+        cls, schema: Sequence[str], pairs: Iterable[Tuple[Value, Value]], name: str | None = None
+    ) -> "Relation":
+        """Convenience constructor for binary relations."""
+        if len(tuple(schema)) != 2:
+            raise ValueError("from_pairs requires a binary schema")
+        return cls(schema, pairs, name)
+
+    @classmethod
+    def empty(cls, schema: Sequence[str], name: str | None = None) -> "Relation":
+        return cls(schema, (), name)

@@ -1,0 +1,201 @@
+"""Generators for the query classes studied in the paper.
+
+Each function returns the :class:`~repro.hypergraph.hypergraph.Hypergraph`
+of a Boolean conjunctive query.  The hypergraphs match the equations cited
+in the docstrings (Eq. (2), (3), (4), (23), (29), (30), (31), (41), (48),
+and the Lemma C.15 query).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from .hypergraph import Hypergraph
+
+
+def _cyclic_names(k: int, prefix: str = "X") -> List[str]:
+    if k < 1:
+        raise ValueError("k must be positive")
+    return [f"{prefix}{i}" for i in range(1, k + 1)]
+
+
+def triangle() -> Hypergraph:
+    """The triangle query ``Q△() :- R(X,Y), S(Y,Z), T(X,Z)`` (Eq. (2))."""
+    return Hypergraph("XYZ", [("X", "Y"), ("Y", "Z"), ("X", "Z")])
+
+
+def two_triangles() -> Hypergraph:
+    """The query ``Q△△`` of Eq. (3): two triangles sharing the edge ``(X, Y)``.
+
+    ``Q△△() :- R(X,Y), S(Y,Z), T(X,Z), S'(Y,Z'), T'(X,Z')``.
+    """
+    return Hypergraph(
+        ["X", "Y", "Z", "Zp"],
+        [("X", "Y"), ("Y", "Z"), ("X", "Z"), ("Y", "Zp"), ("X", "Zp")],
+    )
+
+
+def four_cycle() -> Hypergraph:
+    """The 4-cycle query ``Q□`` of Eq. (4): R(X,Y), S(Y,Z), T(Z,W), U(W,X)."""
+    return cycle(4)
+
+
+def cycle(k: int, prefix: str = "X") -> Hypergraph:
+    """The ``k``-cycle hypergraph of Eq. (30).
+
+    Vertices ``X1..Xk`` with binary edges ``{Xi, Xi+1}`` and ``{Xk, X1}``.
+    Requires ``k >= 3``.
+    """
+    if k < 3:
+        raise ValueError("a cycle needs at least 3 vertices")
+    names = _cyclic_names(k, prefix)
+    edges = [(names[i], names[(i + 1) % k]) for i in range(k)]
+    return Hypergraph(names, edges)
+
+
+def clique(k: int, prefix: str = "X") -> Hypergraph:
+    """The ``k``-clique hypergraph of Eq. (29): all binary edges on k vertices."""
+    if k < 2:
+        raise ValueError("a clique needs at least 2 vertices")
+    names = _cyclic_names(k, prefix)
+    edges = [
+        (names[i], names[j]) for i in range(k) for j in range(i + 1, k)
+    ]
+    return Hypergraph(names, edges)
+
+
+def four_clique() -> Hypergraph:
+    """The 4-clique hypergraph of Eq. (23), on vertices X, Y, Z, W."""
+    return clique(4).rename({"X1": "X", "X2": "Y", "X3": "Z", "X4": "W"})
+
+
+def five_clique() -> Hypergraph:
+    """The 5-clique hypergraph of Eq. (41), on vertices X, Y, Z, W, L."""
+    return clique(5).rename(
+        {"X1": "X", "X2": "Y", "X3": "Z", "X4": "W", "X5": "L"}
+    )
+
+
+def pyramid(k: int) -> Hypergraph:
+    """The ``k``-pyramid hypergraph of Eq. (31).
+
+    Vertices ``Y, X1..Xk``; binary edges ``{Y, Xi}`` for every ``i`` plus the
+    single wide edge ``{X1, ..., Xk}``.  Requires ``k >= 2``.
+    """
+    if k < 2:
+        raise ValueError("a pyramid needs at least 2 base vertices")
+    base = _cyclic_names(k)
+    edges: List[Sequence[str]] = [("Y", x) for x in base]
+    edges.append(tuple(base))
+    return Hypergraph(["Y"] + base, edges)
+
+
+def three_pyramid() -> Hypergraph:
+    """The 3-pyramid hypergraph of Eq. (48)."""
+    return pyramid(3)
+
+
+def path(k: int, prefix: str = "X") -> Hypergraph:
+    """A simple path on ``k`` vertices (``k - 1`` binary edges)."""
+    if k < 2:
+        raise ValueError("a path needs at least 2 vertices")
+    names = _cyclic_names(k, prefix)
+    edges = [(names[i], names[i + 1]) for i in range(k - 1)]
+    return Hypergraph(names, edges)
+
+
+def star(k: int) -> Hypergraph:
+    """A star: centre ``Y`` joined to leaves ``X1..Xk`` by binary edges."""
+    if k < 1:
+        raise ValueError("a star needs at least one leaf")
+    leaves = _cyclic_names(k)
+    edges = [("Y", x) for x in leaves]
+    return Hypergraph(["Y"] + leaves, edges)
+
+
+def lemma_c15_query() -> Hypergraph:
+    """The 5-variable query of Lemma C.15.
+
+    ``H = ({X,Y,Z,W,L}, {{X,Y,W}, {X,Y,L}, {X,Z}, {Y,Z}, {Z,W,L}})``; the
+    paper shows its ω-submodular width is strictly below its submodular
+    width (9/5) whenever ω < 3.
+    """
+    return Hypergraph(
+        "XYZWL",
+        [("X", "Y", "W"), ("X", "Y", "L"), ("X", "Z"), ("Y", "Z"), ("Z", "W", "L")],
+    )
+
+
+def matrix_product_query() -> Hypergraph:
+    """The two-atom query of Section 4.1: R(X,Y1,Y2), S(Y1,Y2,Z)."""
+    return Hypergraph(
+        ["X", "Y1", "Y2", "Z"],
+        [("X", "Y1", "Y2"), ("Y1", "Y2", "Z")],
+    )
+
+
+def loomis_whitney(k: int) -> Hypergraph:
+    """The Loomis–Whitney query ``LW_k``: all (k-1)-subsets of k vertices."""
+    if k < 3:
+        raise ValueError("LW_k needs k >= 3")
+    names = _cyclic_names(k)
+    edges = []
+    for skip in range(k):
+        edges.append(tuple(names[i] for i in range(k) if i != skip))
+    return Hypergraph(names, edges)
+
+
+NAMED_QUERIES: dict[str, Hypergraph] = {}
+
+
+def _register_named_queries() -> None:
+    """Populate :data:`NAMED_QUERIES` (done lazily at import time)."""
+    NAMED_QUERIES.update(
+        {
+            "triangle": triangle(),
+            "two_triangles": two_triangles(),
+            "4-cycle": four_cycle(),
+            "5-cycle": cycle(5),
+            "6-cycle": cycle(6),
+            "4-clique": four_clique(),
+            "5-clique": five_clique(),
+            "6-clique": clique(6),
+            "3-pyramid": three_pyramid(),
+            "4-pyramid": pyramid(4),
+            "5-pyramid": pyramid(5),
+            "lemma-c15": lemma_c15_query(),
+            "lw3": loomis_whitney(3),
+            "lw4": loomis_whitney(4),
+        }
+    )
+
+
+_register_named_queries()
+
+
+def named_query(name: str) -> Hypergraph:
+    """Look up one of the named query hypergraphs (see :data:`NAMED_QUERIES`)."""
+    try:
+        return NAMED_QUERIES[name]
+    except KeyError:
+        known = ", ".join(sorted(NAMED_QUERIES))
+        raise KeyError(f"unknown query {name!r}; known queries: {known}") from None
+
+
+def table2_queries() -> List[Tuple[str, Hypergraph]]:
+    """The (name, hypergraph) pairs appearing in Table 2 of the paper.
+
+    ``k``-parameterised families are instantiated at small ``k`` so that the
+    exact LP-based width computations stay tractable.
+    """
+    return [
+        ("triangle", triangle()),
+        ("4-clique", four_clique()),
+        ("5-clique", five_clique()),
+        ("6-clique", clique(6)),
+        ("4-cycle", four_cycle()),
+        ("5-cycle", cycle(5)),
+        ("6-cycle", cycle(6)),
+        ("3-pyramid", three_pyramid()),
+        ("4-pyramid", pyramid(4)),
+    ]

@@ -1,0 +1,195 @@
+"""Tree decompositions (Section 3) and their enumeration.
+
+A tree decomposition of a hypergraph ``H = (V, E)`` is a tree whose nodes
+carry *bags* (vertex subsets) such that every hyperedge is contained in some
+bag and every vertex induces a connected subtree.  For the width
+computations in this library only the *bag sets* matter (the tree shape is
+irrelevant for ``max_{bag} h(bag)``), so tree decompositions are
+represented primarily by their set of bags; an explicit tree can be
+recovered with :meth:`TreeDecomposition.tree_edges`.
+
+Enumeration relies on the classical equivalence between tree decompositions
+and variable elimination orders (Proposition 3.1): every VEO induces a tree
+decomposition whose bags are the sets ``U_i``, and every tree decomposition
+is *subsumed* by one arising this way.  For min–max width computations this
+family is therefore sufficient and exact.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Sequence, Tuple
+
+from .elimination import all_veos, veo_to_tree_decomposition_bags
+from .hypergraph import Hypergraph, VertexSet
+
+
+@dataclass(frozen=True)
+class TreeDecomposition:
+    """A tree decomposition, stored as its set of (non-redundant) bags."""
+
+    hypergraph: Hypergraph
+    bags: Tuple[VertexSet, ...]
+
+    def __post_init__(self) -> None:
+        if not self.bags:
+            raise ValueError("a tree decomposition needs at least one bag")
+        for edge in self.hypergraph.edges:
+            if not any(edge <= bag for bag in self.bags):
+                raise ValueError(f"edge {set(edge)} is not covered by any bag")
+
+    # ------------------------------------------------------------------
+    @property
+    def width_plus_one(self) -> int:
+        """The classical treewidth-style measure: size of the largest bag."""
+        return max(len(bag) for bag in self.bags)
+
+    def is_trivial(self) -> bool:
+        """Whether this is the single-bag decomposition containing all vertices."""
+        return len(self.bags) == 1 and self.bags[0] == self.hypergraph.vertices
+
+    def is_non_redundant(self) -> bool:
+        """No bag is contained in another bag."""
+        return not any(
+            a < b for a, b in itertools.permutations(self.bags, 2)
+        )
+
+    def covers_vertex_connectivity(self) -> bool:
+        """Check the running-intersection property on a recovered tree."""
+        edges = self.tree_edges()
+        adjacency: dict[int, set[int]] = {i: set() for i in range(len(self.bags))}
+        for a, b in edges:
+            adjacency[a].add(b)
+            adjacency[b].add(a)
+        for vertex in self.hypergraph.vertices:
+            nodes = [i for i, bag in enumerate(self.bags) if vertex in bag]
+            if not nodes:
+                return False
+            seen = {nodes[0]}
+            frontier = [nodes[0]]
+            allowed = set(nodes)
+            while frontier:
+                node = frontier.pop()
+                for neighbour in adjacency[node]:
+                    if neighbour in allowed and neighbour not in seen:
+                        seen.add(neighbour)
+                        frontier.append(neighbour)
+            if seen != allowed:
+                return False
+        return True
+
+    def tree_edges(self) -> List[Tuple[int, int]]:
+        """Recover a valid tree over the bags (maximum-weight spanning tree).
+
+        The standard construction: build the complete graph on bags with
+        edge weight ``|bag_i ∩ bag_j|`` and take a maximum spanning tree;
+        for bag families arising from elimination orders this yields a
+        junction tree satisfying the running-intersection property.
+        """
+        count = len(self.bags)
+        if count == 1:
+            return []
+        candidate_edges = sorted(
+            (
+                (-len(self.bags[i] & self.bags[j]), i, j)
+                for i in range(count)
+                for j in range(i + 1, count)
+            )
+        )
+        parent = list(range(count))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        tree: List[Tuple[int, int]] = []
+        for _, i, j in candidate_edges:
+            ri, rj = find(i), find(j)
+            if ri != rj:
+                parent[ri] = rj
+                tree.append((i, j))
+            if len(tree) == count - 1:
+                break
+        return tree
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        bags = ", ".join("{" + ",".join(sorted(bag)) + "}" for bag in self.bags)
+        return f"TreeDecomposition(bags=[{bags}])"
+
+
+def trivial_decomposition(hypergraph: Hypergraph) -> TreeDecomposition:
+    """The single-bag decomposition whose bag is the whole vertex set."""
+    return TreeDecomposition(hypergraph, (hypergraph.vertices,))
+
+
+def decomposition_from_veo(
+    hypergraph: Hypergraph, order: Sequence
+) -> TreeDecomposition:
+    """The (non-redundant) tree decomposition induced by a VEO or GVEO."""
+    bags = veo_to_tree_decomposition_bags(hypergraph, order)
+    return TreeDecomposition(hypergraph, tuple(bags))
+
+
+def _dominates(smaller: Iterable[VertexSet], larger: Iterable[VertexSet]) -> bool:
+    """Whether every bag of ``smaller`` is contained in some bag of ``larger``.
+
+    If so, ``max_bag h(bag)`` for ``smaller`` is pointwise at most the same
+    quantity for ``larger`` (by monotonicity of polymatroids), so ``larger``
+    is redundant in a ``min`` over decompositions.
+    """
+    return all(any(bag <= other for other in larger) for bag in smaller)
+
+
+def enumerate_bag_families(
+    hypergraph: Hypergraph, prune_dominated: bool = True
+) -> List[FrozenSet[VertexSet]]:
+    """Enumerate the distinct bag families induced by all VEOs.
+
+    Returns a list of bag *families* (each a frozenset of bags).  With
+    ``prune_dominated`` (the default), families that are pointwise dominated
+    by another family are removed; this is exactness-preserving for every
+    ``min``-over-decompositions width computation.
+    """
+    families: set[FrozenSet[VertexSet]] = set()
+    for order in all_veos(hypergraph):
+        bags = frozenset(veo_to_tree_decomposition_bags(hypergraph, order))
+        families.add(bags)
+    family_list = sorted(
+        families, key=lambda fam: (len(fam), sorted(tuple(sorted(b)) for b in fam))
+    )
+    if not prune_dominated:
+        return family_list
+    kept: List[FrozenSet[VertexSet]] = []
+    for family in family_list:
+        dominated = False
+        for other in family_list:
+            if other is family or other == family:
+                continue
+            if _dominates(other, family) and not _dominates(family, other):
+                dominated = True
+                break
+        if not dominated:
+            kept.append(family)
+    # Remove exact duplicates among mutually-dominating families.
+    unique: List[FrozenSet[VertexSet]] = []
+    for family in kept:
+        if not any(
+            _dominates(existing, family) and _dominates(family, existing)
+            and existing != family
+            for existing in unique
+        ):
+            unique.append(family)
+    return unique
+
+
+def all_tree_decompositions(
+    hypergraph: Hypergraph, prune_dominated: bool = True
+) -> List[TreeDecomposition]:
+    """All (representative) tree decompositions, via VEO enumeration."""
+    return [
+        TreeDecomposition(hypergraph, tuple(sorted(family, key=lambda b: sorted(b))))
+        for family in enumerate_bag_families(hypergraph, prune_dominated)
+    ]

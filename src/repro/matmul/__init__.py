@@ -1,0 +1,47 @@
+"""Fast matrix multiplication substrate: Strassen, rectangular blocking, costs."""
+
+from .boolean import (
+    boolean_multiply,
+    boolean_multiply_strassen,
+    counting_multiply,
+    has_any_product_entry,
+)
+from .cost import (
+    MatrixShape,
+    heavy_vertex_bound,
+    mm_exponent,
+    predicted_triangle_exponent,
+    triangle_threshold,
+)
+from .rectangular import (
+    BlockedProductStats,
+    blocked_multiply,
+    omega_rectangular,
+    rectangular_cost,
+)
+from .strassen import (
+    DEFAULT_CUTOFF,
+    naive_multiply,
+    strassen_multiply,
+    strassen_operation_count,
+)
+
+__all__ = [
+    "BlockedProductStats",
+    "DEFAULT_CUTOFF",
+    "MatrixShape",
+    "blocked_multiply",
+    "boolean_multiply",
+    "boolean_multiply_strassen",
+    "counting_multiply",
+    "has_any_product_entry",
+    "heavy_vertex_bound",
+    "mm_exponent",
+    "naive_multiply",
+    "omega_rectangular",
+    "predicted_triangle_exponent",
+    "rectangular_cost",
+    "strassen_multiply",
+    "strassen_operation_count",
+    "triangle_threshold",
+]

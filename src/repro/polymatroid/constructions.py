@@ -1,0 +1,207 @@
+"""Constructions of polymatroids, including the paper's witness polymatroids.
+
+The lower-bound directions of the lemmas in Appendix C exhibit explicit
+edge-dominated polymatroids certifying that the ω-submodular width of a
+query is at least some value.  Those witnesses (drawn as the "diagrams" of
+Figures 2, 3 and 4) are reproduced here, together with two generic
+construction schemes the paper uses throughout:
+
+* *modular* polymatroids defined by independent variables with given
+  entropies (``h(X) = Σ_{x ∈ X} w(x)``), and
+* polymatroids obtained by letting each query variable be a *group of
+  independent atoms* (``X = (a d)`` style constructions), in which case
+  ``h(X)`` is the total weight of atoms appearing in any variable of ``X``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Sequence
+
+from ..constants import gamma
+from .setfunction import SetFunction, Vertex, VertexSet
+
+
+def modular(weights: Mapping[Vertex, float]) -> SetFunction:
+    """The modular polymatroid ``h(X) = Σ_{x ∈ X} weights[x]``.
+
+    Modular functions model fully independent uniform variables; they are
+    always polymatroids provided all weights are non-negative.
+    """
+    for vertex, weight in weights.items():
+        if weight < 0:
+            raise ValueError(f"weight of {vertex} must be non-negative")
+    return SetFunction.from_callable(
+        weights.keys(), lambda subset: sum(weights[v] for v in subset)
+    )
+
+
+def from_atom_groups(
+    groups: Mapping[Vertex, Iterable[str]], atom_weights: Mapping[str, float]
+) -> SetFunction:
+    """Polymatroid induced by assigning independent atoms to variables.
+
+    Each variable is a tuple of independent atoms (e.g. ``X = (a, d)``);
+    the entropy of a set of variables is the total weight of the atoms they
+    jointly mention.  This is the construction used in Lemmas C.5 and C.9.
+    """
+    for atom, weight in atom_weights.items():
+        if weight < 0:
+            raise ValueError(f"weight of atom {atom} must be non-negative")
+    atom_sets: Dict[Vertex, frozenset] = {
+        variable: frozenset(atoms) for variable, atoms in groups.items()
+    }
+    unknown = {
+        atom
+        for atoms in atom_sets.values()
+        for atom in atoms
+        if atom not in atom_weights
+    }
+    if unknown:
+        raise ValueError(f"atoms without weights: {sorted(unknown)}")
+
+    def entropy(subset: VertexSet) -> float:
+        mentioned: set = set()
+        for variable in subset:
+            mentioned |= atom_sets[variable]
+        return sum(atom_weights[a] for a in mentioned)
+
+    return SetFunction.from_callable(atom_sets.keys(), entropy)
+
+
+def step_function(ground_set: Sequence[Vertex]) -> SetFunction:
+    """The polymatroid used in Proposition E.5: ``h(∅)=0`` and ``h(X)=1`` otherwise."""
+    return SetFunction.from_callable(
+        ground_set, lambda subset: 0.0 if not subset else 1.0
+    )
+
+
+# ----------------------------------------------------------------------
+# Witness polymatroids from Appendix C (Figures 2, 3 and 4).
+# ----------------------------------------------------------------------
+def triangle_witness(omega: float) -> SetFunction:
+    """The triangle lower-bound witness of Lemma C.5 / Figure 2.
+
+    ``h(X)=h(Y)=h(Z)=2/(ω+1)``, all pairs have entropy 1 and
+    ``h(XYZ) = 2ω/(ω+1)``; it is edge-dominated and certifies
+    ``ω-subw(Q△) ≥ 2ω/(ω+1)``.
+    """
+    g = gamma(omega)  # validates the range of omega
+    del g
+    shared = (3.0 - omega) / (omega + 1.0)
+    private = (omega - 1.0) / (omega + 1.0)
+    return from_atom_groups(
+        groups={"X": ("a", "d"), "Y": ("b", "d"), "Z": ("c", "d")},
+        atom_weights={"a": private, "b": private, "c": private, "d": shared},
+    )
+
+
+def four_clique_witness() -> SetFunction:
+    """The 4-clique lower-bound witness of Lemma C.6: independent halves."""
+    return modular({"X": 0.5, "Y": 0.5, "Z": 0.5, "W": 0.5})
+
+
+def five_clique_witness() -> SetFunction:
+    """The 5-clique lower-bound witness of Lemma C.7: independent halves."""
+    return modular({"X": 0.5, "Y": 0.5, "Z": 0.5, "W": 0.5, "L": 0.5})
+
+
+def k_clique_witness(k: int, prefix: str = "X") -> SetFunction:
+    """The k-clique lower-bound witness of Lemma C.8: ``h(Xi) = 1/2``, independent."""
+    if k < 3:
+        raise ValueError("k-clique witnesses need k >= 3")
+    return modular({f"{prefix}{i}": 0.5 for i in range(1, k + 1)})
+
+
+def four_cycle_witness(omega: float) -> SetFunction:
+    """The 4-cycle lower-bound witness of Lemma C.9 / Figure 3.
+
+    Two regimes, matching the proof: for ``ω ≥ 5/2`` the witness certifies
+    width ``3/2``; for ``ω < 5/2`` it certifies ``(4ω-1)/(2ω+1)``.  Vertex
+    names follow Eq. (42): ``X, Y, Z, W`` around the cycle.
+    """
+    gamma(omega)
+    if omega >= 2.5:
+        quarter = 0.25
+        half = 0.5
+        return from_atom_groups(
+            groups={"X": ("a", "b"), "Y": ("c", "d"), "Z": ("d", "e"), "W": ("a", "e")},
+            atom_weights={"a": quarter, "b": quarter, "c": quarter, "d": quarter, "e": half},
+        )
+    denominator = 2.0 * omega + 1.0
+    heavy = 2.0 * (omega - 1.0) / denominator
+    light = (omega - 1.0) / denominator
+    shared = (5.0 - 2.0 * omega) / denominator
+    return from_atom_groups(
+        groups={
+            "X": ("b", "c", "f"),
+            "Y": ("d", "e", "f"),
+            "Z": ("a", "e", "f"),
+            "W": ("a", "b", "f"),
+        },
+        atom_weights={
+            "a": heavy,
+            "b": light,
+            "c": light,
+            "d": light,
+            "e": light,
+            "f": shared,
+        },
+    )
+
+
+def three_pyramid_witness(omega: float) -> SetFunction:
+    """The 3-pyramid lower-bound witness of Lemma C.13 / Figure 4.
+
+    Defined directly on subsets (it is not modular): singleton base
+    vertices get ``1/ω``, the apex ``Y`` gets ``1 - 1/ω``, the base triple
+    caps at 1 (the wide hyperedge), and the full set reaches ``2 - 1/ω``.
+    """
+    gamma(omega)
+    inv = 1.0 / omega
+    base = ["X1", "X2", "X3"]
+    h = SetFunction(base + ["Y"])
+
+    def base_part(subset: VertexSet) -> frozenset:
+        return frozenset(v for v in subset if v != "Y")
+
+    for subset in _all_subsets(base + ["Y"]):
+        bases = base_part(subset)
+        has_apex = "Y" in subset
+        count = len(bases)
+        if not subset:
+            value = 0.0
+        elif not has_apex:
+            # Base-only sets: i/ω capped by the wide edge at 1.
+            value = min(count * inv, 1.0)
+        elif count == 0:
+            value = 1.0 - inv
+        elif count < 3:
+            # Apex plus i base vertices (i = 1, 2): 1 + (i-1)/ω.
+            value = 1.0 + (count - 1) * inv
+        else:
+            # The full vertex set: h(X1 X2 X3 Y) = 2 - 1/ω.
+            value = 2.0 - inv
+        h[subset] = value
+    return h
+
+
+def _all_subsets(items: Sequence[Vertex]):
+    from .setfunction import powerset
+
+    return powerset(items)
+
+
+def witness_for(name: str, omega: float) -> SetFunction:
+    """Look up a named witness polymatroid (used by the Figure 2–4 bench)."""
+    factories = {
+        "triangle": lambda: triangle_witness(omega),
+        "4-clique": four_clique_witness,
+        "5-clique": five_clique_witness,
+        "4-cycle": lambda: four_cycle_witness(omega),
+        "3-pyramid": lambda: three_pyramid_witness(omega),
+    }
+    try:
+        return factories[name]()
+    except KeyError:
+        known = ", ".join(sorted(factories))
+        raise KeyError(f"no witness named {name!r}; known: {known}") from None

@@ -1,0 +1,233 @@
+"""Polymatroids and the Shannon axioms (Section 3).
+
+A set function ``h : 2^V -> R+`` is a *polymatroid* when it is monotone,
+submodular and satisfies ``h(∅) = 0``; these are exactly the Shannon
+inequalities.  Given a query hypergraph, ``h`` is *edge-dominated* when
+``h(e) <= 1`` for every hyperedge ``e``; edge-dominated polymatroids are the
+"worst-case data parts" that both width definitions maximize over.
+
+This module validates these properties, builds the entropy function of an
+empirical distribution (the canonical source of polymatroids), and reports
+which axiom fails when validation does not hold (useful in tests and in the
+LP solution post-checks).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, Tuple
+
+from ..hypergraph.hypergraph import Hypergraph
+from .setfunction import SetFunction, Vertex, VertexSet, as_set, powerset
+
+DEFAULT_TOLERANCE = 1e-9
+
+
+@dataclass
+class AxiomViolation:
+    """A single violated Shannon axiom, for diagnostics."""
+
+    axiom: str
+    subsets: Tuple[VertexSet, ...]
+    amount: float
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        labels = ", ".join("{" + ",".join(sorted(s)) + "}" for s in self.subsets)
+        return f"{self.axiom} violated on {labels} by {self.amount:.3g}"
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of checking the polymatroid axioms on a set function."""
+
+    violations: List[AxiomViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def validate_polymatroid(
+    h: SetFunction, tolerance: float = DEFAULT_TOLERANCE
+) -> ValidationReport:
+    """Check strictness, monotonicity and submodularity of ``h``.
+
+    Only the *elemental* forms are checked, which is equivalent to the full
+    axioms: monotonicity ``h(V) >= h(V \\ {x})`` and submodularity
+    ``h(A ∪ {i}) + h(A ∪ {j}) >= h(A ∪ {i,j}) + h(A)``.
+    """
+    report = ValidationReport()
+    ground = h.ground_set
+    if not h.is_fully_defined():
+        report.violations.append(
+            AxiomViolation("definedness", (frozenset(),), float("nan"))
+        )
+        return report
+    empty_value = h(frozenset())
+    if abs(empty_value) > tolerance:
+        report.violations.append(
+            AxiomViolation("strictness", (frozenset(),), empty_value)
+        )
+    # Non-negativity (implied by strictness + monotonicity, checked for clarity).
+    for subset in powerset(ground):
+        value = h(subset)
+        if value < -tolerance:
+            report.violations.append(AxiomViolation("non-negativity", (subset,), -value))
+    # Elemental monotonicity.
+    full = frozenset(ground)
+    for vertex in sorted(ground):
+        gap = h(full) - h(full - {vertex})
+        if gap < -tolerance:
+            report.violations.append(
+                AxiomViolation("monotonicity", (full - {vertex}, full), -gap)
+            )
+    # Elemental submodularity.
+    for i, j in itertools.combinations(sorted(ground), 2):
+        rest = sorted(ground - {i, j})
+        for size in range(len(rest) + 1):
+            for base in itertools.combinations(rest, size):
+                a = frozenset(base)
+                lhs = h(a | {i}) + h(a | {j})
+                rhs = h(a | {i, j}) + h(a)
+                if lhs - rhs < -tolerance:
+                    report.violations.append(
+                        AxiomViolation(
+                            "submodularity",
+                            (a | {i}, a | {j}),
+                            rhs - lhs,
+                        )
+                    )
+    return report
+
+
+def is_polymatroid(h: SetFunction, tolerance: float = DEFAULT_TOLERANCE) -> bool:
+    """Whether ``h`` satisfies all Shannon axioms (within ``tolerance``)."""
+    return validate_polymatroid(h, tolerance).ok
+
+
+def is_monotone(h: SetFunction, tolerance: float = DEFAULT_TOLERANCE) -> bool:
+    """Whether ``h(X) <= h(Y)`` for all ``X ⊆ Y`` (checked elementally)."""
+    ground = h.ground_set
+    for subset in powerset(ground):
+        for vertex in ground - subset:
+            if h(subset | {vertex}) - h(subset) < -tolerance:
+                return False
+    return True
+
+
+def is_submodular(h: SetFunction, tolerance: float = DEFAULT_TOLERANCE) -> bool:
+    """Whether ``h`` is submodular (checked in elemental form)."""
+    ground = h.ground_set
+    for i, j in itertools.combinations(sorted(ground), 2):
+        rest = sorted(ground - {i, j})
+        for size in range(len(rest) + 1):
+            for base in itertools.combinations(rest, size):
+                a = frozenset(base)
+                if h(a | {i}) + h(a | {j}) - h(a | {i, j}) - h(a) < -tolerance:
+                    return False
+    return True
+
+
+def is_modular(h: SetFunction, tolerance: float = DEFAULT_TOLERANCE) -> bool:
+    """Whether ``h(X) = Σ_{x∈X} h({x})`` for every subset ``X``."""
+    for subset in powerset(h.ground_set):
+        total = sum(h(frozenset([v])) for v in subset)
+        if abs(h(subset) - total) > tolerance:
+            return False
+    return True
+
+
+def is_edge_dominated(
+    h: SetFunction, hypergraph: Hypergraph, tolerance: float = DEFAULT_TOLERANCE
+) -> bool:
+    """Whether ``h(e) <= 1`` for every hyperedge of the query hypergraph."""
+    return all(h(edge) <= 1.0 + tolerance for edge in hypergraph.edges)
+
+
+def edge_domination_slack(h: SetFunction, hypergraph: Hypergraph) -> float:
+    """``1 - max_e h(e)``: positive means strictly edge-dominated."""
+    return 1.0 - max(h(edge) for edge in hypergraph.edges)
+
+
+# ----------------------------------------------------------------------
+# Entropy of an empirical distribution: the canonical polymatroid source.
+# ----------------------------------------------------------------------
+def entropy_from_distribution(
+    ground_set: Sequence[Vertex],
+    outcomes: Mapping[Tuple, float] | Iterable[Tuple],
+    base: float = 2.0,
+) -> SetFunction:
+    """The entropy set function of a joint distribution over ``ground_set``.
+
+    Parameters
+    ----------
+    ground_set:
+        Ordered variable names; every outcome tuple is interpreted in this
+        order.
+    outcomes:
+        Either a mapping ``outcome -> probability`` or an iterable of
+        outcome tuples (interpreted as the uniform/empirical distribution).
+    base:
+        Logarithm base (2 gives bits, matching the paper's ``log``-scale).
+
+    The result is always a polymatroid (Shannon's inequalities hold for
+    entropies); tests rely on this to generate random valid polymatroids.
+    """
+    variables = list(ground_set)
+    if isinstance(outcomes, Mapping):
+        distribution: Dict[Tuple, float] = {
+            tuple(k): float(v) for k, v in outcomes.items()
+        }
+    else:
+        samples = [tuple(o) for o in outcomes]
+        if not samples:
+            raise ValueError("the distribution needs at least one outcome")
+        weight = 1.0 / len(samples)
+        distribution = {}
+        for sample in samples:
+            distribution[sample] = distribution.get(sample, 0.0) + weight
+    total = sum(distribution.values())
+    if total <= 0:
+        raise ValueError("probabilities must sum to a positive value")
+    distribution = {k: v / total for k, v in distribution.items() if v > 0}
+    for outcome in distribution:
+        if len(outcome) != len(variables):
+            raise ValueError("every outcome must assign a value to every variable")
+
+    index_of = {name: position for position, name in enumerate(variables)}
+
+    def entropy(subset: VertexSet) -> float:
+        if not subset:
+            return 0.0
+        positions = sorted(index_of[name] for name in subset)
+        marginal: Dict[Tuple, float] = {}
+        for outcome, probability in distribution.items():
+            key = tuple(outcome[p] for p in positions)
+            marginal[key] = marginal.get(key, 0.0) + probability
+        return -sum(p * math.log(p, base) for p in marginal.values() if p > 0)
+
+    return SetFunction.from_callable(variables, entropy)
+
+
+def uniform_matroid(ground_set: Sequence[Vertex], cap: float) -> SetFunction:
+    """``h(X) = min(|X|, cap)``: the rank function of a uniform matroid."""
+    return SetFunction.from_callable(
+        ground_set, lambda subset: float(min(len(subset), cap))
+    )
+
+
+def normalize_to_edge_domination(
+    h: SetFunction, hypergraph: Hypergraph
+) -> SetFunction:
+    """Scale ``h`` so that ``max_e h(e) = 1`` (no-op when already below 1)."""
+    maximum = max(h(edge) for edge in hypergraph.edges)
+    if maximum <= 0:
+        return h.copy()
+    if maximum <= 1.0:
+        return h.copy()
+    return h.scale(1.0 / maximum)

@@ -1,0 +1,267 @@
+"""Proof sequences (Section 2.5, Theorem E.8) and their verification.
+
+A *proof sequence* transforms the right-hand side of an (ω-)Shannon
+inequality into its left-hand side using four kinds of steps, each of which
+replaces one or two terms by terms that are no larger on every polymatroid:
+
+* decomposition  ``h(X∪Y) → h(X) + h(Y|X)``   (an equality),
+* composition    ``h(X) + h(Y|X) → h(X∪Y)``   (an equality),
+* monotonicity   ``h(X∪Y) → h(X)``,
+* submodularity  ``h(Y|X) → h(Y|X∪Z)``.
+
+The paper's evaluation algorithm interprets each step as a database
+operation (partition / join / matrix multiplication); Figure 1 shows the
+sequence for the triangle inequality (13).  This module provides the term
+bookkeeping, step objects with mechanical verification, and the explicit
+Figure-1 sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, Tuple
+
+from ..constants import gamma as gamma_of
+from .setfunction import SetFunction, Vertex, VertexSet, as_set
+
+#: A conditional entropy term ``h(Y | X)`` is identified by the pair (Y, X).
+TermKey = Tuple[VertexSet, VertexSet]
+#: A bag of terms maps each term to its (non-negative) coefficient.
+TermBag = Dict[TermKey, float]
+
+_EPSILON = 1e-9
+
+
+def term(
+    target: Iterable[Vertex] | Vertex,
+    given: Iterable[Vertex] | Vertex | None = None,
+) -> TermKey:
+    """Build the key of the term ``h(target | given)``."""
+    y = as_set(target)
+    x = as_set(given)
+    if not y:
+        raise ValueError("the target of a term must be non-empty")
+    if y & x:
+        y = y - x
+    return (y, x)
+
+
+def make_bag(entries: Mapping[TermKey, float] | Iterable[Tuple[TermKey, float]]) -> TermBag:
+    """Normalize a collection of (term, coefficient) pairs into a term bag."""
+    items = entries.items() if isinstance(entries, Mapping) else entries
+    bag: TermBag = {}
+    for key, coefficient in items:
+        if coefficient < -_EPSILON:
+            raise ValueError("term coefficients must be non-negative")
+        if coefficient > _EPSILON:
+            bag[key] = bag.get(key, 0.0) + coefficient
+    return bag
+
+
+def evaluate_bag(bag: TermBag, h: SetFunction) -> float:
+    """Evaluate ``Σ coeff · h(Y|X)`` on a concrete set function."""
+    total = 0.0
+    for (y, x), coefficient in bag.items():
+        total += coefficient * h.conditional(y, x)
+    return total
+
+
+def _consume(bag: TermBag, key: TermKey, amount: float) -> None:
+    available = bag.get(key, 0.0)
+    if available + _EPSILON < amount:
+        y, x = key
+        raise ValueError(
+            f"cannot consume {amount:g} of h({'|'.join([''.join(sorted(y)), ''.join(sorted(x))])});"
+            f" only {available:g} available"
+        )
+    remaining = available - amount
+    if remaining <= _EPSILON:
+        bag.pop(key, None)
+    else:
+        bag[key] = remaining
+
+
+def _produce(bag: TermBag, key: TermKey, amount: float) -> None:
+    if amount > _EPSILON:
+        bag[key] = bag.get(key, 0.0) + amount
+
+
+@dataclass(frozen=True)
+class ProofStep:
+    """Base class for proof steps; subclasses define consumed/produced terms."""
+
+    weight: float = 1.0
+
+    def consumed(self) -> List[Tuple[TermKey, float]]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def produced(self) -> List[Tuple[TermKey, float]]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def apply(self, bag: TermBag) -> TermBag:
+        """Apply the step to a copy of ``bag`` and return the new bag."""
+        result = dict(bag)
+        for key, amount in self.consumed():
+            _consume(result, key, amount)
+        for key, amount in self.produced():
+            _produce(result, key, amount)
+        return result
+
+    def is_sound_for(self, h: SetFunction, tolerance: float = 1e-9) -> bool:
+        """Whether consumed ≥ produced on ``h`` (every step must be non-increasing)."""
+        before = sum(a * h.conditional(y, x) for (y, x), a in self.consumed())
+        after = sum(a * h.conditional(y, x) for (y, x), a in self.produced())
+        return before - after >= -tolerance
+
+
+@dataclass(frozen=True)
+class Decomposition(ProofStep):
+    """``h(X∪Y) → h(X) + h(Y|X)``; database meaning: heavy/light partition."""
+
+    x: VertexSet = frozenset()
+    y: VertexSet = frozenset()
+
+    def consumed(self) -> List[Tuple[TermKey, float]]:
+        return [(term(self.x | self.y), self.weight)]
+
+    def produced(self) -> List[Tuple[TermKey, float]]:
+        return [(term(self.x), self.weight), (term(self.y, self.x), self.weight)]
+
+
+@dataclass(frozen=True)
+class Composition(ProofStep):
+    """``h(X) + h(Y|X) → h(X∪Y)``; database meaning: join the two relations."""
+
+    x: VertexSet = frozenset()
+    y: VertexSet = frozenset()
+
+    def consumed(self) -> List[Tuple[TermKey, float]]:
+        return [(term(self.x), self.weight), (term(self.y, self.x), self.weight)]
+
+    def produced(self) -> List[Tuple[TermKey, float]]:
+        return [(term(self.x | self.y), self.weight)]
+
+
+@dataclass(frozen=True)
+class Monotonicity(ProofStep):
+    """``h(X∪Y) → h(X)``; database meaning: project the relation onto X."""
+
+    x: VertexSet = frozenset()
+    y: VertexSet = frozenset()
+
+    def consumed(self) -> List[Tuple[TermKey, float]]:
+        return [(term(self.x | self.y), self.weight)]
+
+    def produced(self) -> List[Tuple[TermKey, float]]:
+        return [(term(self.x), self.weight)]
+
+
+@dataclass(frozen=True)
+class Submodularity(ProofStep):
+    """``h(Y|X) → h(Y|X∪Z)``; database meaning: join with a light relation."""
+
+    y: VertexSet = frozenset()
+    x: VertexSet = frozenset()
+    z: VertexSet = frozenset()
+
+    def consumed(self) -> List[Tuple[TermKey, float]]:
+        return [(term(self.y, self.x), self.weight)]
+
+    def produced(self) -> List[Tuple[TermKey, float]]:
+        return [(term(self.y, self.x | self.z), self.weight)]
+
+
+@dataclass
+class ProofSequence:
+    """An ordered list of proof steps applied to an initial term bag."""
+
+    steps: List[ProofStep]
+
+    def apply(self, initial: TermBag) -> TermBag:
+        """Apply all steps in order, returning the final term bag."""
+        bag = dict(initial)
+        for step in self.steps:
+            bag = step.apply(bag)
+        return bag
+
+    def trace(self, initial: TermBag) -> List[TermBag]:
+        """All intermediate bags, starting with ``initial``."""
+        bags = [dict(initial)]
+        for step in self.steps:
+            bags.append(step.apply(bags[-1]))
+        return bags
+
+    def is_sound_for(self, h: SetFunction, tolerance: float = 1e-9) -> bool:
+        """Whether every step is non-increasing on ``h``."""
+        return all(step.is_sound_for(h, tolerance) for step in self.steps)
+
+    def proves(
+        self,
+        initial: TermBag,
+        target: TermBag,
+        h: SetFunction,
+        tolerance: float = 1e-9,
+    ) -> bool:
+        """Whether the sequence shows ``Σ target <= Σ initial`` on ``h``.
+
+        The final bag must dominate the target term-by-term (extra leftover
+        terms are allowed — they only make the right-hand side larger).
+        """
+        final = self.apply(initial)
+        for key, needed in target.items():
+            if final.get(key, 0.0) + tolerance < needed:
+                return False
+        return self.is_sound_for(h, tolerance)
+
+
+def triangle_proof_sequence(omega: float) -> Tuple[ProofSequence, TermBag, TermBag]:
+    """The Figure-1 proof sequence for the triangle inequality (13).
+
+    Returns ``(sequence, initial_bag, target_bag)`` where the initial bag is
+    the RHS of (13) — ``2·h(XY) + (ω-1)·h(YZ) + (ω-1)·h(XZ)`` — and the
+    target bag is the LHS — ``ω·h(XYZ) + h(X) + h(Y) + γ·h(Z)``.
+    """
+    g = gamma_of(omega)
+    x, y, z = frozenset(["X"]), frozenset(["Y"]), frozenset(["Z"])
+    initial = make_bag(
+        {
+            term(x | y): 2.0,
+            term(y | z): omega - 1.0,
+            term(x | z): omega - 1.0,
+        }
+    )
+    target = make_bag(
+        {
+            term(x | y | z): omega,
+            term(x): 1.0,
+            term(y): 1.0,
+            **({term(z): g} if g > 0 else {}),
+        }
+    )
+    steps: List[ProofStep] = [
+        # h(XY) -> h(X) + h(Y|X); R is partitioned into R_heavy(X), R_light(X,Y).
+        Decomposition(weight=1.0, x=x, y=y),
+        # h(XZ) + h(Y|X) -> h(XYZ); join T(X,Z) with the light part of R.
+        Submodularity(weight=1.0, y=y, x=x, z=z),
+        Composition(weight=1.0, x=x | z, y=y),
+        # h(YZ) -> h(Y) + h(Z|Y); S is partitioned.
+        Decomposition(weight=1.0, x=y, y=z),
+        # h(XY) + h(Z|Y) -> h(XYZ); join R with the light part of S.
+        Submodularity(weight=1.0, y=z, x=y, z=x),
+        Composition(weight=1.0, x=x | y, y=z),
+    ]
+    if g > 0:
+        steps.extend(
+            [
+                # γ·h(XZ) -> γ·h(Z) + γ·h(X|Z); T is partitioned.
+                Decomposition(weight=g, x=z, y=x),
+                # γ·h(YZ) + γ·h(X|Z) -> γ·h(XYZ); join S with the light part of T.
+                Submodularity(weight=g, y=x, x=z, z=y),
+                Composition(weight=g, x=y | z, y=x),
+            ]
+        )
+    else:
+        # When ω = 2 the γ-weighted group vanishes; the leftover h(XZ) terms
+        # simply remain in the bag (they can only help the inequality).
+        pass
+    return ProofSequence(steps), initial, target

@@ -1,0 +1,108 @@
+"""Fractional edge covers, the AGM bound, and related LP quantities.
+
+The fractional edge cover number ``ρ*(H)`` (Definition C.1) bounds the
+join size of any query by ``N^{ρ*}`` (the AGM bound) and is the exponent
+achieved by worst-case-optimal join algorithms.  It also upper-bounds
+``h(V)`` for every edge-dominated polymatroid (Proposition C.2), a fact the
+clique lower-bound proofs rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+
+from ..hypergraph.hypergraph import Hypergraph, VertexSet
+
+
+def fractional_edge_cover(
+    hypergraph: Hypergraph, target: Optional[Iterable[str]] = None
+) -> Tuple[float, Dict[VertexSet, float]]:
+    """The optimal fractional edge cover of ``target`` (default: all vertices).
+
+    Returns ``(ρ*, weights)`` where ``weights`` maps each hyperedge to its
+    weight in an optimal cover.  Every vertex of ``target`` must be covered
+    with total weight at least 1; vertices outside ``target`` are
+    unconstrained.  Raises ``ValueError`` if some target vertex appears in
+    no hyperedge (the cover LP would be infeasible).
+    """
+    edges = sorted(hypergraph.edges, key=lambda e: tuple(sorted(e)))
+    vertices = sorted(target) if target is not None else list(hypergraph.sorted_vertices())
+    for vertex in vertices:
+        if not any(vertex in edge for edge in edges):
+            raise ValueError(f"vertex {vertex!r} is not covered by any hyperedge")
+    if not vertices:
+        return 0.0, {edge: 0.0 for edge in edges}
+    num_edges = len(edges)
+    # minimize sum of weights subject to coverage >= 1 per target vertex.
+    c = np.ones(num_edges)
+    a_ub = np.zeros((len(vertices), num_edges))
+    for row, vertex in enumerate(vertices):
+        for col, edge in enumerate(edges):
+            if vertex in edge:
+                a_ub[row, col] = -1.0
+    b_ub = -np.ones(len(vertices))
+    result = linprog(c, A_ub=a_ub, b_ub=b_ub, bounds=[(0, None)] * num_edges, method="highs")
+    if not result.success:  # pragma: no cover - defensive
+        raise RuntimeError(f"edge cover LP failed: {result.message}")
+    weights = {edge: float(w) for edge, w in zip(edges, result.x)}
+    return float(result.fun), weights
+
+
+def fractional_edge_cover_number(
+    hypergraph: Hypergraph, target: Optional[Iterable[str]] = None
+) -> float:
+    """``ρ*(H)`` (or ``ρ*_H(target)`` when a vertex subset is given)."""
+    value, _ = fractional_edge_cover(hypergraph, target)
+    return value
+
+
+def agm_bound(
+    hypergraph: Hypergraph, relation_sizes: Mapping[VertexSet, int] | Mapping[frozenset, int]
+) -> float:
+    """The AGM bound ``∏_e |R_e|^{w_e}`` with an optimal fractional cover.
+
+    ``relation_sizes`` maps each hyperedge to the size of its relation.  The
+    weights are optimized for the *given sizes* (the weighted cover LP), not
+    just for the uniform-size case.
+    """
+    edges = sorted(hypergraph.edges, key=lambda e: tuple(sorted(e)))
+    sizes = {frozenset(edge): max(1, int(size)) for edge, size in relation_sizes.items()}
+    missing = [edge for edge in edges if edge not in sizes]
+    if missing:
+        raise ValueError(f"missing sizes for edges: {missing}")
+    vertices = list(hypergraph.sorted_vertices())
+    log_sizes = np.array([np.log2(sizes[edge]) for edge in edges])
+    a_ub = np.zeros((len(vertices), len(edges)))
+    for row, vertex in enumerate(vertices):
+        for col, edge in enumerate(edges):
+            if vertex in edge:
+                a_ub[row, col] = -1.0
+    b_ub = -np.ones(len(vertices))
+    result = linprog(
+        log_sizes, A_ub=a_ub, b_ub=b_ub, bounds=[(0, None)] * len(edges), method="highs"
+    )
+    if not result.success:  # pragma: no cover - defensive
+        raise RuntimeError(f"AGM LP failed: {result.message}")
+    return float(2.0 ** result.fun)
+
+
+def fractional_vertex_cover_number(hypergraph: Hypergraph) -> float:
+    """The fractional vertex cover number (LP dual of maximum matching)."""
+    vertices = list(hypergraph.sorted_vertices())
+    edges = sorted(hypergraph.edges, key=lambda e: tuple(sorted(e)))
+    index = {v: i for i, v in enumerate(vertices)}
+    c = np.ones(len(vertices))
+    a_ub = np.zeros((len(edges), len(vertices)))
+    for row, edge in enumerate(edges):
+        for vertex in edge:
+            a_ub[row, index[vertex]] = -1.0
+    b_ub = -np.ones(len(edges))
+    result = linprog(
+        c, A_ub=a_ub, b_ub=b_ub, bounds=[(0, None)] * len(vertices), method="highs"
+    )
+    if not result.success:  # pragma: no cover - defensive
+        raise RuntimeError(f"vertex cover LP failed: {result.message}")
+    return float(result.fun)

@@ -1,0 +1,203 @@
+"""Matrix-multiplication expressions ``MM(X;Y;Z|G)`` and ``EMM_H(X)``.
+
+Definition 4.2 introduces the information measure
+
+``MM(X;Y;Z|G) = max( h(X|G)+h(Y|G)+γ·h(Z|G)+h(G),
+                     h(X|G)+γ·h(Y|G)+h(Z|G)+h(G),
+                     γ·h(X|G)+h(Y|G)+h(Z|G)+h(G) )``
+
+which captures (on a log scale) the cost of multiplying two matrices of
+dimensions ``n^{h(X|G)} × n^{h(Z|G)}`` and ``n^{h(Z|G)} × n^{h(Y|G)}`` for
+each of the ``n^{h(G)}`` group-by values.  Definition 4.5 then defines
+``EMM_H(X)`` — the cheapest way to eliminate the vertex block ``X`` with a
+single (grouped) matrix multiplication — as a minimum of such terms over
+all ways of splitting the incident hyperedges into two (possibly
+overlapping) matrices.
+
+Because the split only matters through the vertex sets it induces, the
+enumeration implemented here works directly over partitions of the
+neighbourhood ``N_H(X)`` into the two matrix-only parts ``Y``, ``Z`` and the
+group-by part ``G``, with an explicit feasibility test that a hyperedge
+cover realizing the partition exists (see :func:`enumerate_mm_terms`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..constants import gamma as gamma_of
+from ..hypergraph.hypergraph import Hypergraph, VertexSet
+from ..polymatroid.setfunction import SetFunction
+from ..polymatroid.shannon import (
+    LinearExpression,
+    add_expressions,
+    conditional_expression,
+    expression,
+)
+
+
+@dataclass(frozen=True)
+class MMTerm:
+    """One term ``MM(first; second; eliminated | group_by)`` of an EMM minimum.
+
+    ``eliminated`` is the vertex block being eliminated (the shared matrix
+    dimension); ``first`` and ``second`` are the two outer dimensions;
+    ``group_by`` holds the variables iterated over outside the
+    multiplication.
+    """
+
+    first: VertexSet
+    second: VertexSet
+    eliminated: VertexSet
+    group_by: VertexSet
+
+    def __post_init__(self) -> None:
+        parts = [self.first, self.second, self.eliminated, self.group_by]
+        for a, b in itertools.combinations(parts, 2):
+            if a & b:
+                raise ValueError("MM term parts must be pairwise disjoint")
+        if not self.first or not self.second or not self.eliminated:
+            raise ValueError("MM terms need non-empty first/second/eliminated parts")
+
+    # ------------------------------------------------------------------
+    def expressions(self, omega: float) -> List[LinearExpression]:
+        """The three linear expressions whose maximum is the MM cost (Eq. 21)."""
+        g = gamma_of(omega)
+        dims = (self.first, self.second, self.eliminated)
+        result = []
+        for discounted in range(3):
+            parts = [expression((1.0, self.group_by))] if self.group_by else []
+            for position, dim in enumerate(dims):
+                coefficient = g if position == discounted else 1.0
+                parts.append(conditional_expression(dim, self.group_by, coefficient))
+            result.append(add_expressions(*parts))
+        return result
+
+    def relaxation(self, omega: float) -> LinearExpression:
+        """A single linear expression upper-bounding the MM cost.
+
+        The coefficient-wise maximum of the three expressions is a valid
+        upper bound because polymatroids are non-negative; it is used for
+        LP-based pruning in the branch-and-bound width solver.
+        """
+        del omega  # the coefficient-wise maximum puts weight 1 on every dimension
+        parts = [expression((1.0, self.group_by))] if self.group_by else []
+        for dim in (self.first, self.second, self.eliminated):
+            parts.append(conditional_expression(dim, self.group_by, 1.0))
+        return add_expressions(*parts)
+
+    def evaluate(self, h: SetFunction, omega: float) -> float:
+        """The value ``MM(first; second; eliminated | group_by)`` on ``h``."""
+        g = gamma_of(omega)
+        first = h.conditional(self.first, self.group_by)
+        second = h.conditional(self.second, self.group_by)
+        eliminated = h.conditional(self.eliminated, self.group_by)
+        base = h(self.group_by)
+        return max(
+            first + second + g * eliminated,
+            first + g * second + eliminated,
+            g * first + second + eliminated,
+        ) + base
+
+    def label(self) -> str:
+        def fmt(subset: VertexSet) -> str:
+            return "".join(sorted(subset)) or "∅"
+
+        text = f"MM({fmt(self.first)};{fmt(self.second)};{fmt(self.eliminated)}"
+        if self.group_by:
+            text += f"|{fmt(self.group_by)}"
+        return text + ")"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.label()
+
+
+def _partition_is_realizable(
+    hypergraph: Hypergraph,
+    block: VertexSet,
+    first: VertexSet,
+    second: VertexSet,
+) -> bool:
+    """Whether hyperedge families A, B realizing (first, second) exist.
+
+    Per Definition 4.5 we need ``A ∪ B = ∂(block)``, ``A = ∪A ⊇ block ∪
+    first`` with ``A ∩ second = ∅``, and symmetrically for ``B``.  This
+    holds iff (i) no incident hyperedge meets both ``first`` and ``second``
+    and (ii) every vertex of ``block`` lies in some incident edge avoiding
+    ``second`` and in some incident edge avoiding ``first``.
+    """
+    incident = hypergraph.incident_edges(block)
+    for edge in incident:
+        if edge & first and edge & second:
+            return False
+    for vertex in block:
+        edges_with_vertex = [edge for edge in incident if vertex in edge]
+        if not edges_with_vertex:
+            return False
+        if not any(not (edge & second) for edge in edges_with_vertex):
+            return False
+        if not any(not (edge & first) for edge in edges_with_vertex):
+            return False
+    return True
+
+
+def enumerate_mm_terms(
+    hypergraph: Hypergraph,
+    block: Iterable[str] | str,
+    max_neighbourhood: Optional[int] = None,
+) -> List[MMTerm]:
+    """All (non-trivial, deduplicated) MM terms usable to eliminate ``block``.
+
+    The terms returned are exactly those of Definition 4.5 written in the
+    vertex-partition form: for every split of the neighbourhood ``N(block)``
+    into disjoint non-empty ``first``/``second`` parts and a group-by rest,
+    provided a hyperedge cover realizing the split exists.  Unordered
+    duplicates (``first`` and ``second`` swapped) are removed since the MM
+    measure is symmetric.
+
+    ``max_neighbourhood`` optionally skips blocks whose neighbourhood is too
+    large for exhaustive enumeration (returning an empty list, i.e. "no MM
+    elimination considered"), which keeps planning tractable on large
+    hypergraphs; widths computed with such a cap are upper bounds.
+    """
+    block_set = frozenset([block]) if isinstance(block, str) else frozenset(block)
+    neighbourhood = hypergraph.neighbours(block_set)
+    if max_neighbourhood is not None and len(neighbourhood) > max_neighbourhood:
+        return []
+    neighbours = sorted(neighbourhood)
+    terms: dict[Tuple[VertexSet, VertexSet], MMTerm] = {}
+    # Assign each neighbour to one of: first (0), second (1), group-by (2).
+    for assignment in itertools.product((0, 1, 2), repeat=len(neighbours)):
+        first = frozenset(v for v, a in zip(neighbours, assignment) if a == 0)
+        second = frozenset(v for v, a in zip(neighbours, assignment) if a == 1)
+        if not first or not second:
+            continue
+        key = (first, second) if sorted(first) <= sorted(second) else (second, first)
+        if key in terms:
+            continue
+        if not _partition_is_realizable(hypergraph, block_set, first, second):
+            continue
+        group_by = neighbourhood - first - second
+        terms[key] = MMTerm(
+            first=key[0], second=key[1], eliminated=block_set, group_by=group_by
+        )
+    return sorted(terms.values(), key=lambda t: t.label())
+
+
+def emm_value(
+    hypergraph: Hypergraph,
+    block: Iterable[str] | str,
+    h: SetFunction,
+    omega: float,
+) -> float:
+    """``EMM_H(block)`` evaluated on a concrete polymatroid.
+
+    Returns ``inf`` when no MM elimination of the block exists (e.g. the
+    block touches no hyperedge).
+    """
+    terms = enumerate_mm_terms(hypergraph, block)
+    if not terms:
+        return float("inf")
+    return min(term.evaluate(h, omega) for term in terms)

@@ -1,0 +1,38 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.constants import OMEGA_BEST_KNOWN
+from repro.polymatroid import SetFunction, entropy_from_distribution
+
+# Keep hypothesis example counts modest: several properties run LPs or joins.
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def omega() -> float:
+    """The ω value used by most numeric tests (the best known bound)."""
+    return OMEGA_BEST_KNOWN
+
+
+def random_entropic_polymatroid(
+    variables: list[str], seed: int, num_outcomes: int = 12, domain: int = 3
+) -> SetFunction:
+    """A random polymatroid obtained as the entropy of a random distribution."""
+    rng = random.Random(seed)
+    outcomes = {}
+    for _ in range(num_outcomes):
+        outcome = tuple(rng.randrange(domain) for _ in variables)
+        outcomes[outcome] = rng.random() + 0.05
+    return entropy_from_distribution(variables, outcomes)

@@ -1,0 +1,134 @@
+"""Tests for the per-query-class algorithms (triangle, clique, 4-cycle)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constants import OMEGA_BEST_KNOWN
+from repro.core import (
+    clique_detect_bruteforce,
+    clique_detect_mm,
+    enumerate_cliques,
+    four_cycle_adaptive,
+    four_cycle_combinatorial,
+    four_cycle_detect,
+    four_cycle_matrix_only,
+    triangle_detect,
+    triangle_figure1,
+    triangle_matrix_only,
+    triangle_naive,
+)
+from repro.db import clique_instance, four_cycle_instance, triangle_instance
+from repro.matmul import triangle_threshold
+
+OMEGA = OMEGA_BEST_KNOWN
+
+
+class TestTriangleFigure1:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_agrees_with_naive(self, seed):
+        db = triangle_instance(
+            120,
+            domain_size=24,
+            skew="heavy" if seed % 2 else "uniform",
+            plant_triangle=(seed % 3 == 0),
+            seed=seed,
+        )
+        expected = triangle_naive(db)
+        report = triangle_figure1(db, OMEGA)
+        assert report.answer == expected
+        assert report.threshold == triangle_threshold(
+            max(len(db["R"]), len(db["S"]), len(db["T"])), OMEGA
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matrix_only_agrees(self, seed):
+        db = triangle_instance(80, domain_size=20, seed=seed, plant_triangle=(seed == 2))
+        assert triangle_matrix_only(db) == triangle_naive(db)
+
+    @pytest.mark.parametrize("threshold", [0, 1, 3, 10, 10_000])
+    def test_answer_invariant_under_threshold(self, threshold):
+        """The heavy/light split only affects cost, never correctness."""
+        db = triangle_instance(100, domain_size=20, skew="heavy", seed=7, plant_triangle=True)
+        assert triangle_figure1(db, OMEGA, threshold=threshold).answer
+
+    def test_empty_instance(self):
+        from repro.db import Database, Relation
+
+        db = Database(
+            {
+                "R": Relation(("X", "Y"), []),
+                "S": Relation(("Y", "Z"), []),
+                "T": Relation(("X", "Z"), []),
+            }
+        )
+        assert not triangle_figure1(db, OMEGA).answer
+        assert not triangle_matrix_only(db)
+
+    def test_strategy_dispatch(self):
+        db = triangle_instance(50, seed=1, plant_triangle=True)
+        for strategy in ("figure1", "naive", "generic_join", "matrix_only"):
+            assert triangle_detect(db, strategy=strategy)
+        with pytest.raises(ValueError):
+            triangle_detect(db, strategy="quantum")
+
+    def test_heavy_instance_exercises_mm_path(self):
+        """On a hub-skewed instance the heavy matrix is non-trivial."""
+        db = triangle_instance(400, domain_size=40, skew="heavy", seed=3)
+        report = triangle_figure1(db, OMEGA)
+        expected = triangle_naive(db)
+        assert report.answer == expected
+
+
+class TestFourCycle:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_all_strategies_agree(self, seed):
+        db = four_cycle_instance(
+            90,
+            domain_size=20,
+            plant_cycle=(seed % 3 == 0),
+            skew="heavy" if seed % 2 else "uniform",
+            seed=seed,
+        )
+        expected = four_cycle_combinatorial(db)
+        assert four_cycle_matrix_only(db) == expected
+        assert four_cycle_adaptive(db, OMEGA).answer == expected
+        assert four_cycle_detect(db, strategy="generic_join") == expected
+
+    def test_adaptive_reports_threshold(self):
+        db = four_cycle_instance(100, seed=0, plant_cycle=True)
+        report = four_cycle_adaptive(db, OMEGA)
+        assert report.answer
+        assert report.threshold >= 1
+
+    def test_strategy_dispatch_error(self):
+        db = four_cycle_instance(20, seed=0)
+        with pytest.raises(ValueError):
+            four_cycle_detect(db, strategy="unknown")
+
+
+class TestCliqueDetection:
+    def test_enumerate_cliques_counts(self):
+        edges = [(0, 1), (0, 2), (1, 2), (2, 3)]
+        assert len(enumerate_cliques(edges, 3)) == 1
+        assert enumerate_cliques(edges, 3) == [(0, 1, 2)]
+        assert len(enumerate_cliques(edges, 2)) == 4
+
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_mm_detection_matches_bruteforce(self, k, seed):
+        _, db = clique_instance(k, 60, domain_size=16, plant_clique=(seed == 1), seed=seed)
+        edges = list(db["E0"].rows)
+        expected = clique_detect_bruteforce(edges, k)
+        report = clique_detect_mm(edges, k, OMEGA)
+        assert report.answer == expected
+        assert report.group_sizes[0] >= report.group_sizes[1] >= report.group_sizes[2]
+
+    def test_planted_clique_is_found(self):
+        _, db = clique_instance(5, 80, domain_size=20, plant_clique=True, seed=4)
+        edges = list(db["E0"].rows)
+        assert clique_detect_mm(edges, 5, OMEGA).answer
+
+    def test_small_k_rejected(self):
+        with pytest.raises(ValueError):
+            clique_detect_mm([(0, 1)], 2, OMEGA)

@@ -1,0 +1,179 @@
+"""Tests for conjunctive queries, databases, join algorithms and generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import (
+    Atom,
+    ConjunctiveQuery,
+    Database,
+    Relation,
+    clique_instance,
+    four_cycle_instance,
+    generic_join,
+    generic_join_boolean,
+    naive_boolean,
+    naive_join,
+    parse_query,
+    pyramid_instance,
+    query_from_hypergraph,
+    random_database,
+    skewed_pairs,
+    triangle_instance,
+    yannakakis_boolean,
+)
+from repro.hypergraph import four_cycle, triangle
+
+
+class TestQueryParsing:
+    def test_parse_full_rule(self):
+        q = parse_query("Q() :- R(X, Y), S(Y, Z), T(X, Z)")
+        assert q.name == "Q"
+        assert len(q.atoms) == 3
+        assert q.variables == frozenset("XYZ")
+
+    def test_parse_body_only(self):
+        q = parse_query("R(X, Y), S(Y, Z)", name="path")
+        assert q.name == "path"
+        assert q.relation_names == ("R", "S")
+
+    def test_primed_variables(self):
+        q = parse_query("Q() :- S(Y, Z'), T(X, Z')")
+        assert "Z'" in q.variables
+
+    def test_head_variables_rejected(self):
+        with pytest.raises(ValueError):
+            parse_query("Q(X) :- R(X, Y)")
+
+    def test_unparseable_rejected(self):
+        with pytest.raises(ValueError):
+            parse_query("nothing to see here")
+
+    def test_atom_validation(self):
+        with pytest.raises(ValueError):
+            Atom("R", ())
+        with pytest.raises(ValueError):
+            Atom("R", ("X", "X"))
+        with pytest.raises(ValueError):
+            ConjunctiveQuery((Atom("R", ("X",)), Atom("R", ("Y",))))
+
+    def test_hypergraph_roundtrip(self):
+        q = parse_query("Q() :- R(X, Y), S(Y, Z), T(X, Z)")
+        assert q.hypergraph() == triangle()
+        back = query_from_hypergraph(four_cycle())
+        assert back.hypergraph() == four_cycle()
+
+    def test_acyclicity(self):
+        assert parse_query("R(X, Y), S(Y, Z)").is_acyclic()
+        assert not parse_query("R(X, Y), S(Y, Z), T(X, Z)").is_acyclic()
+
+
+class TestDatabase:
+    def test_size_and_lookup(self):
+        db = Database({"R": Relation(("A", "B"), [(1, 2)])})
+        db["S"] = Relation(("B", "C"), [(2, 3), (2, 4)])
+        assert db.size == 3
+        assert "S" in db and len(db["S"]) == 2
+        with pytest.raises(KeyError):
+            db["T"]
+        with pytest.raises(TypeError):
+            db["T"] = [(1, 2)]  # type: ignore[assignment]
+
+    def test_validation_against_query(self):
+        q = parse_query("Q() :- R(X, Y)")
+        db = Database({"R": Relation(("A", "B"), [(1, 2)])})
+        db.validate_against(q)
+        bad_arity = Database({"R": Relation(("A", "B", "C"), [(1, 2, 3)])})
+        with pytest.raises(ValueError):
+            bad_arity.validate_against(q)
+        with pytest.raises(KeyError):
+            Database().validate_against(q)
+
+    def test_relation_for_renames_columns(self):
+        q = parse_query("Q() :- R(X, Y)")
+        db = Database({"R": Relation(("A", "B"), [(1, 2)])})
+        renamed = db.relation_for(q, "R")
+        assert renamed.schema == ("X", "Y")
+
+
+class TestJoinAlgorithms:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_generic_join_matches_naive_on_triangles(self, seed):
+        q = parse_query("Q() :- R(X, Y), S(Y, Z), T(X, Z)")
+        db = triangle_instance(
+            60, domain_size=14, seed=seed, plant_triangle=(seed % 2 == 0)
+        )
+        full = naive_join(q, db)
+        wcoj = generic_join(q, db).project(sorted(q.variables))
+        assert full == wcoj
+        assert naive_boolean(q, db) == generic_join_boolean(q, db)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_generic_join_matches_naive_on_cycles(self, seed):
+        q = parse_query("Q() :- R(X, Y), S(Y, Z), T(Z, W), U(W, X)")
+        db = four_cycle_instance(50, domain_size=12, seed=seed, plant_cycle=(seed == 1))
+        assert naive_boolean(q, db) == generic_join_boolean(q, db)
+
+    def test_generic_join_custom_order_validation(self):
+        q = parse_query("Q() :- R(X, Y)")
+        db = Database({"R": Relation(("X", "Y"), [(1, 2)])})
+        assert not generic_join(q, db, variable_order=["Y", "X"]).is_empty()
+        with pytest.raises(ValueError):
+            generic_join(q, db, variable_order=["X"])
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_yannakakis_matches_naive_on_acyclic(self, seed):
+        q = parse_query("Q() :- R(X, Y), S(Y, Z), T(Z, W)")
+        db = random_database(q, 40, domain_size=10, seed=seed, plant_witness=(seed == 0))
+        assert yannakakis_boolean(q, db) == naive_boolean(q, db)
+
+    def test_yannakakis_rejects_cyclic(self):
+        q = parse_query("Q() :- R(X, Y), S(Y, Z), T(X, Z)")
+        db = triangle_instance(10, seed=0)
+        with pytest.raises(ValueError):
+            yannakakis_boolean(q, db)
+
+    def test_empty_relation_short_circuits(self):
+        q = parse_query("Q() :- R(X, Y), S(Y, Z)")
+        db = Database(
+            {"R": Relation(("X", "Y"), [(1, 2)]), "S": Relation(("Y", "Z"), [])}
+        )
+        assert not naive_boolean(q, db)
+        assert not generic_join_boolean(q, db)
+        assert not yannakakis_boolean(q, db)
+
+
+class TestGenerators:
+    def test_triangle_instance_planting(self):
+        db = triangle_instance(30, plant_triangle=True, seed=5)
+        q = parse_query("Q() :- R(X, Y), S(Y, Z), T(X, Z)")
+        assert naive_boolean(q, db)
+
+    def test_four_cycle_instance_planting(self):
+        db = four_cycle_instance(30, plant_cycle=True, seed=5)
+        q = parse_query("Q() :- R(X, Y), S(Y, Z), T(Z, W), U(W, X)")
+        assert naive_boolean(q, db)
+
+    def test_clique_instance_planting(self):
+        query, db = clique_instance(4, 30, plant_clique=True, seed=2)
+        assert naive_boolean(query, db)
+
+    def test_pyramid_instance_shapes(self):
+        query, db = pyramid_instance(3, 25, seed=3, plant=True)
+        assert naive_boolean(query, db)
+        wide = [a for a in query.atoms if len(a.variables) == 3]
+        assert wide and len(db[wide[0].relation].schema) == 3
+
+    def test_random_database_plants_witness(self):
+        q = parse_query("Q() :- R(X, Y), S(Y, Z), T(X, Z)")
+        db = random_database(q, 20, seed=9, plant_witness=True)
+        assert naive_boolean(q, db)
+
+    def test_skewed_pairs_have_hubs(self):
+        pairs = skewed_pairs(300, domain_size=100, num_hubs=4, seed=1)
+        from collections import Counter
+
+        left_counts = Counter(a for a, _ in pairs)
+        top = left_counts.most_common(1)[0][1]
+        assert top > len(pairs) / 50  # the hubs really are heavy

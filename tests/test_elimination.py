@@ -1,0 +1,156 @@
+"""Tests for variable elimination orders, GVEOs and tree decompositions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hypergraph import (
+    Hypergraph,
+    all_gveos,
+    all_tree_decompositions,
+    all_veos,
+    bag_sets_of_veo,
+    count_gveos,
+    decomposition_from_veo,
+    elimination_sequence,
+    enumerate_bag_families,
+    four_cycle,
+    ordered_set_partitions,
+    relevant_steps,
+    triangle,
+    trivial_decomposition,
+    two_triangles,
+)
+
+
+class TestEliminationSequence:
+    def test_example_a3_order_sigma1(self):
+        """Example A.3: eliminating (B, C, D, A) from the 4-cycle."""
+        h = Hypergraph("ABCD", [("A", "B"), ("B", "C"), ("C", "D"), ("D", "A")])
+        steps = elimination_sequence(h, ["B", "C", "D", "A"])
+        unions = [step.union for step in steps]
+        assert unions[0] == frozenset("ABC")
+        assert unions[1] == frozenset("ACD")
+        assert unions[2] == frozenset("AD")
+        assert unions[3] == frozenset("A")
+
+    def test_example_a3_order_sigma2(self):
+        h = Hypergraph("ABCD", [("A", "B"), ("B", "C"), ("C", "D"), ("D", "A")])
+        steps = elimination_sequence(h, ["A", "B", "C", "D"])
+        assert steps[0].union == frozenset("ABD")
+        assert steps[1].union == frozenset("BCD")
+
+    def test_gveo_blocks(self):
+        h = four_cycle()
+        steps = elimination_sequence(h, [{"X1", "X3"}, {"X2"}, {"X4"}])
+        assert steps[0].union == frozenset({"X1", "X2", "X3", "X4"})
+        assert steps[1].union == frozenset({"X2", "X4"})
+
+    def test_invalid_orders_rejected(self):
+        h = triangle()
+        with pytest.raises(ValueError):
+            elimination_sequence(h, ["X", "Y"])  # does not cover Z
+        with pytest.raises(ValueError):
+            elimination_sequence(h, ["X", "Y", "Z", "X"])  # duplicates
+        with pytest.raises(ValueError):
+            elimination_sequence(h, [{"X", "Y"}, {"Y", "Z"}])  # overlapping blocks
+
+    def test_relevant_steps_filter(self):
+        h = triangle()
+        steps = elimination_sequence(h, ["X", "Y", "Z"])
+        relevant = relevant_steps(steps)
+        # The first union is XYZ; later unions are subsets and are dropped.
+        assert len(relevant) == 1
+        assert relevant[0].union == frozenset("XYZ")
+
+    def test_relevant_steps_keep_incomparable_unions(self):
+        h = four_cycle()
+        steps = elimination_sequence(h, ["X1", "X2", "X3", "X4"])
+        relevant = relevant_steps(steps)
+        assert len(relevant) == 2
+        assert relevant[0].union == frozenset({"X1", "X2", "X4"})
+        assert relevant[1].union == frozenset({"X2", "X3", "X4"})
+
+
+class TestOrderEnumeration:
+    def test_all_veos_count(self):
+        assert len(list(all_veos(triangle()))) == 6
+        assert len(list(all_veos(four_cycle()))) == 24
+
+    def test_ordered_set_partitions_count(self):
+        assert len(list(ordered_set_partitions(["a"]))) == 1
+        assert len(list(ordered_set_partitions(["a", "b"]))) == 3
+        assert len(list(ordered_set_partitions(["a", "b", "c"]))) == 13
+        assert len(list(ordered_set_partitions(list("abcd")))) == 75
+
+    def test_ordered_set_partitions_are_partitions(self):
+        items = list("abcd")
+        seen = set()
+        for partition in ordered_set_partitions(items):
+            union: set = set()
+            for block in partition:
+                assert block, "blocks must be non-empty"
+                assert not (union & block), "blocks must be disjoint"
+                union |= block
+            assert union == set(items)
+            seen.add(partition)
+        assert len(seen) == 75  # all distinct
+
+    def test_count_gveos_matches_enumeration(self):
+        assert count_gveos(3) == 13
+        assert count_gveos(4) == 75
+        assert count_gveos(5) == 541
+        assert count_gveos(6) == 4683
+        assert len(list(all_gveos(triangle()))) == count_gveos(3)
+
+
+class TestTreeDecompositions:
+    def test_trivial_decomposition(self):
+        td = trivial_decomposition(triangle())
+        assert td.is_trivial()
+        assert td.width_plus_one == 3
+
+    def test_four_cycle_has_two_decompositions(self):
+        """Example A.2: the 4-cycle has exactly two non-trivial decompositions."""
+        families = enumerate_bag_families(four_cycle(), prune_dominated=True)
+        as_sets = {frozenset(f) for f in families}
+        expected_1 = frozenset(
+            {frozenset({"X1", "X2", "X3"}), frozenset({"X1", "X3", "X4"})}
+        )
+        expected_2 = frozenset(
+            {frozenset({"X2", "X3", "X4"}), frozenset({"X1", "X2", "X4"})}
+        )
+        assert expected_1 in as_sets
+        assert expected_2 in as_sets
+        assert len(as_sets) == 2
+
+    def test_triangle_only_trivial_decomposition(self):
+        families = enumerate_bag_families(triangle())
+        assert len(families) == 1
+        assert frozenset("XYZ") in next(iter(families))
+
+    def test_decomposition_from_veo_is_valid(self):
+        for order in all_veos(two_triangles()):
+            td = decomposition_from_veo(two_triangles(), order)
+            assert td.is_non_redundant()
+            assert td.covers_vertex_connectivity()
+
+    def test_bag_sets_cover_edges(self):
+        h = two_triangles()
+        for order in all_veos(h):
+            bags = bag_sets_of_veo(h, order)
+            for edge in h.edges:
+                assert any(edge <= bag for bag in bags)
+
+    def test_all_tree_decompositions_objects(self):
+        decompositions = all_tree_decompositions(four_cycle())
+        assert len(decompositions) == 2
+        for td in decompositions:
+            assert td.is_non_redundant()
+            assert td.covers_vertex_connectivity()
+
+    def test_two_triangles_best_decomposition_has_triangle_bags(self):
+        """The Q△△ query decomposes into two triangle bags (Section 1.1)."""
+        families = enumerate_bag_families(two_triangles())
+        best = min(families, key=lambda fam: max(len(bag) for bag in fam))
+        assert max(len(bag) for bag in best) == 3

@@ -1,0 +1,178 @@
+"""Tests for the fast matrix multiplication substrate."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.constants import OMEGA_BEST_KNOWN, OMEGA_STRASSEN
+from repro.matmul import (
+    MatrixShape,
+    blocked_multiply,
+    boolean_multiply,
+    boolean_multiply_strassen,
+    counting_multiply,
+    has_any_product_entry,
+    heavy_vertex_bound,
+    mm_exponent,
+    naive_multiply,
+    omega_rectangular,
+    predicted_triangle_exponent,
+    rectangular_cost,
+    strassen_multiply,
+    strassen_operation_count,
+    triangle_threshold,
+)
+
+
+@st.composite
+def matrix_pair(draw):
+    rows = draw(st.integers(min_value=1, max_value=12))
+    inner = draw(st.integers(min_value=1, max_value=12))
+    cols = draw(st.integers(min_value=1, max_value=12))
+    a = np.array(
+        draw(
+            st.lists(
+                st.lists(st.integers(-5, 5), min_size=inner, max_size=inner),
+                min_size=rows,
+                max_size=rows,
+            )
+        ),
+        dtype=float,
+    )
+    b = np.array(
+        draw(
+            st.lists(
+                st.lists(st.integers(-5, 5), min_size=cols, max_size=cols),
+                min_size=inner,
+                max_size=inner,
+            )
+        ),
+        dtype=float,
+    )
+    return a, b
+
+
+class TestStrassen:
+    @given(matrix_pair())
+    def test_matches_numpy_on_small_matrices(self, pair):
+        a, b = pair
+        assert np.allclose(strassen_multiply(a, b, cutoff=2), a @ b)
+
+    def test_matches_numpy_on_large_odd_shapes(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((137, 93))
+        b = rng.standard_normal((93, 71))
+        assert np.allclose(strassen_multiply(a, b, cutoff=32), a @ b)
+
+    def test_naive_multiply_matches(self):
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((23, 17))
+        b = rng.standard_normal((17, 29))
+        assert np.allclose(naive_multiply(a, b), a @ b)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            strassen_multiply(np.ones((2, 3)), np.ones((2, 3)))
+        with pytest.raises(ValueError):
+            naive_multiply(np.ones(3), np.ones((3, 1)))
+
+    def test_operation_count_growth_matches_exponent(self):
+        """Doubling n multiplies the work by about 2^{log2 7} = 7."""
+        small = strassen_operation_count(256, cutoff=16)
+        large = strassen_operation_count(512, cutoff=16)
+        ratio = large / small
+        assert 6.0 < ratio < 7.5
+        assert ratio < 8.0  # strictly better than the cubic growth factor
+
+    def test_operation_count_below_cubic(self):
+        n = 1024
+        assert strassen_operation_count(n, cutoff=16) < n ** 3
+
+
+class TestRectangular:
+    def test_omega_rectangular_square(self):
+        assert omega_rectangular(1, 1, 1, OMEGA_BEST_KNOWN) == pytest.approx(
+            OMEGA_BEST_KNOWN
+        )
+        assert mm_exponent(1, 1, 1, 3.0) == pytest.approx(3.0)
+
+    def test_omega_rectangular_is_linear_at_two(self):
+        # At ω = 2 the cost is a+b+c - min(a,b,c): linear in the two larger
+        # dimensions (the sizes of the inputs and the output).
+        assert omega_rectangular(0.2, 0.9, 0.5, 2.0) == pytest.approx(1.4)
+
+    def test_rectangular_cost_matches_blocking(self):
+        # 100 x 10 times 10 x 100: blocks of side 10, 10*1*10 = 100 products.
+        cost = rectangular_cost(100, 10, 100, 3.0)
+        assert cost == pytest.approx(100 * 10 ** 3)
+
+    def test_blocked_multiply_correct_and_counts_blocks(self):
+        rng = np.random.default_rng(2)
+        a = rng.integers(0, 3, size=(40, 12)).astype(float)
+        b = rng.integers(0, 3, size=(12, 28)).astype(float)
+        product, stats = blocked_multiply(a, b, omega=OMEGA_BEST_KNOWN)
+        assert np.allclose(product, a @ b)
+        assert stats.block_side == 12
+        assert stats.block_products == math.ceil(40 / 12) * 1 * math.ceil(28 / 12)
+
+    def test_blocked_multiply_empty(self):
+        product, stats = blocked_multiply(np.zeros((0, 3)), np.zeros((3, 2)), 2.5)
+        assert product.shape == (0, 2)
+        assert stats.block_products == 0
+
+    def test_matrix_shape_costs(self):
+        shape = MatrixShape(rows=64, inner=64, cols=64)
+        assert shape.naive_cost() == 64 ** 3
+        assert shape.cost(2.0) < shape.cost(3.0) <= shape.naive_cost() + 1e-9
+        a, b, c = shape.exponents(base=64)
+        assert (a, b, c) == pytest.approx((1.0, 1.0, 1.0))
+
+
+class TestBooleanMM:
+    def test_boolean_product(self):
+        a = np.array([[1, 0], [0, 1]])
+        b = np.array([[0, 1], [1, 0]])
+        assert np.array_equal(boolean_multiply(a, b), b.astype(bool))
+
+    def test_counting_product(self):
+        a = np.ones((3, 4), dtype=int)
+        b = np.ones((4, 2), dtype=int)
+        assert np.array_equal(counting_multiply(a, b), 4 * np.ones((3, 2)))
+
+    def test_strassen_kernel_agrees(self):
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, 2, size=(33, 21))
+        b = rng.integers(0, 2, size=(21, 37))
+        assert np.array_equal(boolean_multiply(a, b), boolean_multiply_strassen(a, b))
+
+    def test_has_any_product_entry(self):
+        a = np.array([[1, 0]])
+        b = np.array([[0], [1]])
+        assert not has_any_product_entry(a, b)
+        assert has_any_product_entry(np.array([[1]]), np.array([[1]]))
+        assert not has_any_product_entry(np.zeros((0, 2)), np.zeros((2, 2)))
+
+
+class TestCostModel:
+    def test_triangle_threshold_formula(self):
+        n = 10_000
+        omega = OMEGA_BEST_KNOWN
+        expected = round(n ** ((omega - 1) / (omega + 1)))
+        assert triangle_threshold(n, omega) == expected
+        assert triangle_threshold(0, omega) == 1
+
+    def test_heavy_vertex_bound(self):
+        n = 10_000
+        assert heavy_vertex_bound(n, 2.0) == pytest.approx(
+            math.ceil(n ** (2.0 / 3.0)), abs=1
+        )
+        assert heavy_vertex_bound(0, 2.5) == 0
+
+    def test_predicted_triangle_exponent(self):
+        assert predicted_triangle_exponent(3.0) == pytest.approx(1.5)
+        assert predicted_triangle_exponent(2.0) == pytest.approx(4.0 / 3.0)
+        assert predicted_triangle_exponent(OMEGA_STRASSEN) < 1.5

@@ -1,0 +1,194 @@
+"""Tests for set functions, polymatroid axioms and the paper's witnesses."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.constants import OMEGA_BEST_KNOWN
+from repro.hypergraph import four_clique, four_cycle, three_pyramid, triangle
+from repro.polymatroid import (
+    SetFunction,
+    entropy_from_distribution,
+    four_clique_witness,
+    four_cycle_witness,
+    from_atom_groups,
+    is_edge_dominated,
+    is_modular,
+    is_monotone,
+    is_polymatroid,
+    is_submodular,
+    k_clique_witness,
+    modular,
+    normalize_to_edge_domination,
+    powerset,
+    step_function,
+    three_pyramid_witness,
+    triangle_witness,
+    uniform_matroid,
+    validate_polymatroid,
+    witness_for,
+)
+from tests.conftest import random_entropic_polymatroid
+
+
+class TestSetFunction:
+    def test_basic_storage_and_lookup(self):
+        h = SetFunction("XY")
+        h[["X"]] = 1.0
+        h[["X", "Y"]] = 1.5
+        assert h(["X"]) == 1.0
+        assert h(None) == 0.0
+        with pytest.raises(KeyError):
+            h(["Y"])  # never defined
+        with pytest.raises(KeyError):
+            h(["Z"])  # not in ground set
+
+    def test_string_is_single_vertex(self):
+        h = SetFunction(["X1", "X2"])
+        h["X1"] = 2.0
+        assert h("X1") == 2.0
+
+    def test_conditional_and_mutual_information(self):
+        h = modular({"X": 1.0, "Y": 2.0, "Z": 0.5})
+        assert h.conditional(["Y"], ["X"]) == pytest.approx(2.0)
+        assert h.mutual_information(["X"], ["Y"]) == pytest.approx(0.0)
+
+    def test_from_callable_and_arithmetic(self):
+        h = SetFunction.from_callable("XY", lambda s: float(len(s)))
+        doubled = h.scale(2.0)
+        assert doubled(["X", "Y"]) == 4.0
+        summed = h + h
+        assert summed(["X"]) == 2.0
+
+    def test_restrict(self):
+        h = modular({"X": 1.0, "Y": 2.0})
+        restricted = h.restrict(["X"])
+        assert restricted.ground_set == frozenset({"X"})
+        assert restricted(["X"]) == 1.0
+
+    def test_almost_equal(self):
+        a = modular({"X": 1.0})
+        b = modular({"X": 1.0 + 1e-12})
+        assert a.almost_equal(b)
+
+    def test_powerset_count(self):
+        assert len(list(powerset("XYZ"))) == 8
+
+
+class TestAxioms:
+    def test_modular_is_polymatroid(self):
+        h = modular({"X": 0.5, "Y": 1.5, "Z": 0.0})
+        assert is_polymatroid(h)
+        assert is_modular(h)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            modular({"X": -1.0})
+
+    def test_uniform_matroid_is_polymatroid(self):
+        h = uniform_matroid(["X", "Y", "Z", "W"], cap=2)
+        assert is_polymatroid(h)
+        assert not is_modular(h)
+
+    def test_step_function_is_polymatroid(self):
+        assert is_polymatroid(step_function(["X", "Y", "Z"]))
+
+    def test_violations_are_reported(self):
+        h = SetFunction.from_callable("XY", lambda s: float(len(s) ** 2))
+        report = validate_polymatroid(h)
+        assert not report.ok
+        assert any(v.axiom == "submodularity" for v in report.violations)
+
+    def test_non_monotone_detected(self):
+        h = SetFunction("XY")
+        for subset in powerset("XY"):
+            h[subset] = 1.0 if len(subset) == 1 else 0.0
+        assert not is_monotone(h)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_entropy_is_polymatroid(self, seed):
+        h = random_entropic_polymatroid(["X", "Y", "Z"], seed)
+        assert is_polymatroid(h, tolerance=1e-7)
+
+    def test_entropy_of_uniform_independent(self):
+        outcomes = [(a, b) for a in range(4) for b in range(2)]
+        h = entropy_from_distribution(["X", "Y"], outcomes)
+        assert h(["X"]) == pytest.approx(2.0)
+        assert h(["Y"]) == pytest.approx(1.0)
+        assert h(["X", "Y"]) == pytest.approx(3.0)
+
+    def test_entropy_input_validation(self):
+        with pytest.raises(ValueError):
+            entropy_from_distribution(["X"], [])
+        with pytest.raises(ValueError):
+            entropy_from_distribution(["X", "Y"], [(1,)])
+
+
+class TestEdgeDomination:
+    def test_edge_domination_check(self):
+        h = modular({"X": 0.5, "Y": 0.5, "Z": 0.5})
+        assert is_edge_dominated(h, triangle())
+        big = modular({"X": 1.0, "Y": 1.0, "Z": 1.0})
+        assert not is_edge_dominated(big, triangle())
+
+    def test_normalization(self):
+        big = modular({"X": 1.0, "Y": 1.0, "Z": 1.0})
+        scaled = normalize_to_edge_domination(big, triangle())
+        assert is_edge_dominated(scaled, triangle())
+        assert scaled(["X"]) == pytest.approx(0.5)
+
+
+class TestPaperWitnesses:
+    @pytest.mark.parametrize("omega", [2.0, 2.2, OMEGA_BEST_KNOWN, 2.8, 3.0])
+    def test_triangle_witness(self, omega):
+        h = triangle_witness(omega)
+        assert is_polymatroid(h)
+        assert is_edge_dominated(h, triangle())
+        assert h(["X"]) == pytest.approx(2.0 / (omega + 1.0))
+        assert h(["X", "Y"]) == pytest.approx(1.0)
+        assert h(["X", "Y", "Z"]) == pytest.approx(2.0 * omega / (omega + 1.0))
+
+    def test_four_clique_witness(self):
+        h = four_clique_witness()
+        assert is_polymatroid(h)
+        assert is_edge_dominated(h, four_clique())
+        assert h(["X", "Y", "Z", "W"]) == pytest.approx(2.0)
+
+    @pytest.mark.parametrize("omega", [2.0, 2.3, 2.5, OMEGA_BEST_KNOWN, 3.0])
+    def test_four_cycle_witness(self, omega):
+        h = four_cycle_witness(omega)
+        assert is_polymatroid(h)
+        # The witness is stated on vertex names X, Y, Z, W.
+        cycle_hypergraph = four_cycle().rename(
+            {"X1": "X", "X2": "Y", "X3": "Z", "X4": "W"}
+        )
+        assert is_edge_dominated(h, cycle_hypergraph)
+        expected_total = (4 * omega - 1) / (2 * omega + 1) if omega < 2.5 else 1.5
+        assert h(["X", "Y", "Z", "W"]) == pytest.approx(expected_total)
+
+    @pytest.mark.parametrize("omega", [2.0, 2.2, OMEGA_BEST_KNOWN, 2.9, 3.0])
+    def test_three_pyramid_witness(self, omega):
+        h = three_pyramid_witness(omega)
+        assert is_polymatroid(h)
+        assert is_edge_dominated(h, three_pyramid())
+        assert h(["X1", "X2", "X3", "Y"]) == pytest.approx(2.0 - 1.0 / omega)
+        assert h(["X1", "X2", "X3"]) == pytest.approx(1.0)
+
+    def test_k_clique_witness(self):
+        h = k_clique_witness(6)
+        assert is_polymatroid(h)
+        assert h([f"X{i}" for i in range(1, 7)]) == pytest.approx(3.0)
+
+    def test_witness_lookup(self):
+        assert witness_for("triangle", 2.5)(["X", "Y"]) == pytest.approx(1.0)
+        with pytest.raises(KeyError):
+            witness_for("unknown", 2.5)
+
+    def test_atom_groups_validation(self):
+        with pytest.raises(ValueError):
+            from_atom_groups({"X": ("a",)}, {})
+        with pytest.raises(ValueError):
+            from_atom_groups({"X": ("a",)}, {"a": -1.0})

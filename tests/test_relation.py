@@ -1,0 +1,163 @@
+"""Tests for the Relation data structure and its operators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.db import Relation
+
+
+def small_relation(schema):
+    values = st.integers(min_value=0, max_value=4)
+    row = st.tuples(*([values] * len(schema)))
+    return st.lists(row, max_size=25).map(lambda rows: Relation(schema, rows))
+
+
+class TestBasics:
+    def test_schema_validation(self):
+        with pytest.raises(ValueError):
+            Relation(("X", "X"), [])
+        with pytest.raises(ValueError):
+            Relation(("X", "Y"), [(1,)])
+
+    def test_set_semantics(self):
+        r = Relation(("X", "Y"), [(1, 2), (1, 2), (3, 4)])
+        assert len(r) == 2
+        assert (1, 2) in r
+
+    def test_equality_is_schema_order_insensitive(self):
+        a = Relation(("X", "Y"), [(1, 2)])
+        b = Relation(("Y", "X"), [(2, 1)])
+        assert a == b
+
+    def test_column_values_and_domain(self):
+        r = Relation(("X", "Y"), [(1, 2), (3, 2)])
+        assert r.column_values("X") == {1, 3}
+        assert r.active_domain() == {1, 2, 3}
+        with pytest.raises(KeyError):
+            r.column_values("Z")
+
+
+class TestOperators:
+    def test_project(self):
+        r = Relation(("X", "Y"), [(1, 2), (1, 3)])
+        assert r.project(["X"]).rows == {(1,)}
+        assert r.project(["Y", "X"]).rows == {(2, 1), (3, 1)}
+
+    def test_select_by_mapping_and_predicate(self):
+        r = Relation(("X", "Y"), [(1, 2), (3, 4)])
+        assert r.select({"X": 1}).rows == {(1, 2)}
+        assert r.select(lambda row: row["Y"] > 2).rows == {(3, 4)}
+
+    def test_rename(self):
+        r = Relation(("X", "Y"), [(1, 2)])
+        assert r.rename({"X": "A"}).schema == ("A", "Y")
+
+    def test_join_matches_nested_loop(self):
+        r = Relation(("X", "Y"), [(1, 2), (2, 3), (4, 4)])
+        s = Relation(("Y", "Z"), [(2, 10), (3, 11), (3, 12)])
+        joined = r.join(s)
+        expected = {
+            (x, y, z)
+            for (x, y) in r.rows
+            for (y2, z) in s.rows
+            if y == y2
+        }
+        assert joined.rows == expected
+        assert joined.schema == ("X", "Y", "Z")
+
+    @given(small_relation(("X", "Y")), small_relation(("Y", "Z")))
+    def test_join_property(self, r, s):
+        joined = r.join(s)
+        expected = {
+            (x, y, z)
+            for (x, y) in r.rows
+            for (y2, z) in s.rows
+            if y == y2
+        }
+        assert joined.rows == expected
+
+    @given(small_relation(("X", "Y")), small_relation(("Y", "Z")))
+    def test_semijoin_property(self, r, s):
+        reduced = r.semijoin(s)
+        y_values = {y for (y, _) in s.rows}
+        assert reduced.rows == {(x, y) for (x, y) in r.rows if y in y_values}
+        anti = r.antijoin(s)
+        assert anti.rows == r.rows - reduced.rows
+
+    def test_join_disjoint_schemas_is_cross(self):
+        r = Relation(("X",), [(1,), (2,)])
+        s = Relation(("Y",), [(5,)])
+        assert r.join(s).rows == {(1, 5), (2, 5)}
+        assert r.cross(s) == r.join(s)
+        with pytest.raises(ValueError):
+            r.cross(r)
+
+    def test_union_intersect(self):
+        a = Relation(("X", "Y"), [(1, 2)])
+        b = Relation(("Y", "X"), [(2, 1), (5, 6)])
+        assert len(a.union(b)) == 2
+        assert a.intersect(b).rows == {(1, 2)}
+        with pytest.raises(ValueError):
+            a.union(Relation(("X", "Z"), []))
+
+    def test_semijoin_no_shared_variables(self):
+        r = Relation(("X",), [(1,)])
+        s = Relation(("Y",), [(2,)])
+        assert r.semijoin(s) == r
+        assert r.semijoin(Relation(("Y",), [])).is_empty()
+
+
+class TestDegreesAndPartitioning:
+    def test_degree_definition_e9(self):
+        r = Relation(("X", "Y"), [(1, 1), (1, 2), (1, 3), (2, 1)])
+        assert r.degree(["Y"], ["X"]) == 3
+        assert r.degree_map(["Y"], ["X"])[(1,)] == 3
+        assert r.degree_map(["Y"], ["X"])[(2,)] == 1
+        assert r.degree(["X"], []) == 2  # two distinct X values overall
+
+    def test_heavy_light_split(self):
+        rows = [(1, i) for i in range(5)] + [(2, 0), (3, 0)]
+        r = Relation(("X", "Y"), rows)
+        heavy, light = r.heavy_light_split(["X"], threshold=2)
+        assert heavy.rows == {(1,)}
+        assert light.rows == {(2, 0), (3, 0)}
+        # Every original row is accounted for by exactly one part.
+        heavy_keys = {row[0] for row in heavy.rows}
+        assert all((row[0] in heavy_keys) != (row in light.rows) for row in rows)
+
+    def test_heavy_light_split_threshold_extremes(self):
+        r = Relation(("X", "Y"), [(1, 2), (3, 4)])
+        heavy, light = r.heavy_light_split(["X"], threshold=0)
+        assert light.is_empty() and len(heavy) == 2
+        heavy, light = r.heavy_light_split(["X"], threshold=10)
+        assert heavy.is_empty() and light == r
+
+
+class TestMatrixConversion:
+    def test_roundtrip(self):
+        r = Relation(("X", "Y"), [(1, 10), (2, 20), (1, 20)])
+        matrix, rows, cols = r.to_matrix(["X"], ["Y"])
+        assert matrix.sum() == 3
+        back = Relation.from_matrix(matrix, ["X"], ["Y"], rows, cols)
+        assert back == r
+
+    def test_shared_index_alignment(self):
+        r = Relation(("X", "Y"), [(1, 10), (2, 20)])
+        s = Relation(("Y", "Z"), [(10, 5), (30, 6)])
+        _, _, y_index = r.to_matrix(["X"], ["Y"])
+        s_matrix, _, _ = s.to_matrix(["Y"], ["Z"], row_index=y_index)
+        # The Y value 30 is unknown to the shared index and is dropped.
+        assert s_matrix.shape[0] == len(y_index)
+        assert s_matrix.sum() == 1
+
+    def test_boolean_product_equals_join_project(self):
+        r = Relation(("X", "Y"), [(0, 0), (0, 1), (1, 1)])
+        s = Relation(("Y", "Z"), [(0, 7), (1, 8)])
+        r_matrix, x_index, y_index = r.to_matrix(["X"], ["Y"])
+        s_matrix, _, z_index = s.to_matrix(["Y"], ["Z"], row_index=y_index)
+        product = (r_matrix.astype(int) @ s_matrix.astype(int)) > 0
+        via_matrix = Relation.from_matrix(product, ["X"], ["Z"], x_index, z_index)
+        assert via_matrix == r.join(s).project(["X", "Z"])

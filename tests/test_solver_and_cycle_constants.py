@@ -1,0 +1,125 @@
+"""Tests for the max–min solver and the cycle-exponent machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constants import OMEGA_BEST_KNOWN
+from repro.hypergraph import four_cycle, triangle
+from repro.polymatroid import expression, modular
+from repro.width import (
+    Alternative,
+    Choice,
+    DegreeVector,
+    MaxMinSolver,
+    cycle_exponent_estimate,
+    cycle_interval_dp,
+    cycle_objective,
+    four_cycle_closed_form,
+    omega_square,
+    simple_choice,
+)
+
+OMEGA = OMEGA_BEST_KNOWN
+
+
+class TestMaxMinSolver:
+    def test_single_hard_constraint(self):
+        choices = [simple_choice([expression((1.0, ["X", "Y", "Z"]))])]
+        solver = MaxMinSolver(triangle(), choices)
+        result = solver.solve()
+        assert result.value == pytest.approx(1.5, abs=1e-5)
+
+    def test_min_of_disjoint_bags(self):
+        # Two decompositions of the 4-cycle; the optimum is the classic 1.5.
+        bags_1 = [["X1", "X2", "X3"], ["X1", "X3", "X4"]]
+        bags_2 = [["X1", "X2", "X4"], ["X2", "X3", "X4"]]
+        choices = [
+            Choice(
+                alternatives=tuple(
+                    Alternative(rows=(expression((1.0, bag)),)) for bag in bags
+                )
+            )
+            for bags in (bags_1, bags_2)
+        ]
+        solver = MaxMinSolver(four_cycle(), choices)
+        assert solver.solve().value == pytest.approx(1.5, abs=1e-5)
+
+    def test_seeding_prunes_but_preserves_value(self):
+        choices = [simple_choice([expression((1.0, ["X", "Y", "Z"]))])]
+        solver = MaxMinSolver(triangle(), choices)
+        seeded = solver.solve(seeds=[modular({"X": 0.5, "Y": 0.5, "Z": 0.5})])
+        assert seeded.value == pytest.approx(1.5, abs=1e-5)
+        assert seeded.seeds_used == 1
+
+    def test_inadmissible_seed_is_ignored(self):
+        choices = [simple_choice([expression((1.0, ["X", "Y", "Z"]))])]
+        solver = MaxMinSolver(triangle(), choices)
+        # Not edge-dominated: would claim an objective of 3.0 if admitted.
+        result = solver.solve(seeds=[modular({"X": 1.0, "Y": 1.0, "Z": 1.0})])
+        assert result.value == pytest.approx(1.5, abs=1e-5)
+
+    def test_objective_evaluation(self):
+        choices = [
+            simple_choice([expression((1.0, ["X"])), expression((1.0, ["Y"]))]),
+            simple_choice([expression((1.0, ["Z"]))]),
+        ]
+        solver = MaxMinSolver(triangle(), choices)
+        h = modular({"X": 0.2, "Y": 0.6, "Z": 0.4})
+        # min( max(h(X), h(Y)), h(Z) ) = min(0.6, 0.4) = 0.4
+        assert solver.objective(h) == pytest.approx(0.4)
+
+    def test_node_limit(self):
+        choices = [simple_choice([expression((1.0, ["X", "Y", "Z"]))])]
+        solver = MaxMinSolver(triangle(), choices, node_limit=0)
+        with pytest.raises(RuntimeError):
+            solver.solve()
+
+
+class TestOmegaSquare:
+    def test_square_case(self):
+        assert omega_square(1, 1, 1, OMEGA) == pytest.approx(OMEGA)
+
+    def test_collapses_to_sum_minus_min_at_omega_two(self):
+        assert omega_square(0.5, 1.0, 0.25, 2.0) == pytest.approx(1.5)
+
+    def test_matches_eq6_closed_form(self):
+        a, b, c = 0.3, 0.9, 0.6
+        expected = a + b + c - (3 - OMEGA) * min(a, b, c)
+        assert omega_square(a, b, c, OMEGA) == pytest.approx(expected)
+
+    def test_invalid_omega_rejected(self):
+        with pytest.raises(ValueError):
+            omega_square(0.5, 1, 1, 3.5)
+
+
+class TestCycleConstants:
+    def test_degree_vector_validation(self):
+        with pytest.raises(ValueError):
+            DegreeVector((0.5,), (0.5, 0.5))
+        with pytest.raises(ValueError):
+            DegreeVector((1.5,), (0.5,))
+
+    def test_interval_dp_base_case(self):
+        degrees = DegreeVector((0.0,) * 4, (0.0,) * 4)
+        table = cycle_interval_dp(degrees, OMEGA)
+        for i in range(4):
+            assert table[(i, (i + 1) % 4)] == pytest.approx(1.0)
+
+    def test_objective_bounded_by_two(self):
+        degrees = DegreeVector((0.3,) * 5, (0.3,) * 5)
+        assert cycle_objective(degrees, OMEGA) <= 2.0
+
+    def test_estimate_is_sane_for_four_cycle(self):
+        estimate = cycle_exponent_estimate(4, OMEGA, grid_steps=6, refinement_rounds=2)
+        # The estimate is a heuristic lower bound on the defining maximum;
+        # it must stay within the trivial bracket [1, subw(4-cycle)] and
+        # below the exact ω-submodular width-compatible closed form region.
+        assert 1.0 <= estimate <= 1.5 + 1e-9
+
+    def test_closed_form_helper(self):
+        assert four_cycle_closed_form(2.0) == pytest.approx(1.4)
+        assert four_cycle_closed_form(3.0) == pytest.approx(1.5)
+        assert four_cycle_closed_form(OMEGA) == pytest.approx(
+            2 - 3 / (2 * OMEGA + 1)
+        )

@@ -1,0 +1,143 @@
+"""Tests for ρ*, the AGM bound, fhtw and the polymatroid LP scaffolding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hypergraph import (
+    Hypergraph,
+    clique,
+    cycle,
+    four_clique,
+    four_cycle,
+    loomis_whitney,
+    path,
+    star,
+    three_pyramid,
+    triangle,
+)
+from repro.polymatroid import expression
+from repro.width import (
+    PolymatroidLP,
+    agm_bound,
+    fractional_edge_cover,
+    fractional_edge_cover_number,
+    fractional_hypertree_width,
+    fractional_vertex_cover_number,
+)
+
+
+class TestFractionalEdgeCover:
+    def test_triangle(self):
+        assert fractional_edge_cover_number(triangle()) == pytest.approx(1.5)
+
+    def test_cliques(self):
+        for k in range(3, 7):
+            assert fractional_edge_cover_number(clique(k)) == pytest.approx(k / 2)
+
+    def test_cycles(self):
+        for k in range(3, 8):
+            assert fractional_edge_cover_number(cycle(k)) == pytest.approx(k / 2)
+
+    def test_path_and_star(self):
+        assert fractional_edge_cover_number(path(4)) == pytest.approx(2.0)
+        assert fractional_edge_cover_number(star(3)) == pytest.approx(3.0)
+
+    def test_loomis_whitney(self):
+        assert fractional_edge_cover_number(loomis_whitney(3)) == pytest.approx(1.5)
+
+    def test_cover_of_subset(self):
+        value = fractional_edge_cover_number(four_cycle(), ["X1", "X2"])
+        assert value == pytest.approx(1.0)
+
+    def test_cover_weights_are_feasible(self):
+        value, weights = fractional_edge_cover(triangle())
+        assert sum(weights.values()) == pytest.approx(value)
+        for vertex in triangle().vertices:
+            covered = sum(w for edge, w in weights.items() if vertex in edge)
+            assert covered >= 1.0 - 1e-7
+
+    def test_uncovered_vertex_rejected(self):
+        h = Hypergraph("XYZ", [("X", "Y")])
+        with pytest.raises(ValueError):
+            fractional_edge_cover_number(h)
+
+    def test_vertex_cover(self):
+        assert fractional_vertex_cover_number(triangle()) == pytest.approx(1.5)
+        assert fractional_vertex_cover_number(star(3)) == pytest.approx(1.0)
+
+
+class TestAGMBound:
+    def test_uniform_triangle(self):
+        sizes = {edge: 100 for edge in triangle().edges}
+        assert agm_bound(triangle(), sizes) == pytest.approx(100 ** 1.5)
+
+    def test_skewed_sizes_use_weighted_cover(self):
+        h = triangle()
+        edges = {tuple(sorted(e)): e for e in h.edges}
+        sizes = {
+            edges[("X", "Y")]: 1,
+            edges[("Y", "Z")]: 100,
+            edges[("X", "Z")]: 100,
+        }
+        # Putting weight 1 on the two large relations would give 10^4;
+        # the optimal cover uses the tiny relation: 1 * 100 = 100.
+        assert agm_bound(h, sizes) <= 100 * 1 + 1e-6
+
+    def test_missing_size_rejected(self):
+        with pytest.raises(ValueError):
+            agm_bound(triangle(), {frozenset({"X", "Y"}): 10})
+
+
+class TestFhtw:
+    def test_acyclic_queries_have_width_one(self):
+        assert fractional_hypertree_width(path(4)).value == pytest.approx(1.0)
+        assert fractional_hypertree_width(star(3)).value == pytest.approx(1.0)
+
+    def test_triangle(self):
+        result = fractional_hypertree_width(triangle())
+        assert result.value == pytest.approx(1.5)
+        assert result.bags == (frozenset("XYZ"),)
+
+    def test_four_cycle(self):
+        # Both decompositions of the 4-cycle need a bag with ρ* = 2.
+        assert fractional_hypertree_width(four_cycle()).value == pytest.approx(2.0)
+
+    def test_four_clique(self):
+        assert fractional_hypertree_width(four_clique()).value == pytest.approx(2.0)
+
+    def test_three_pyramid(self):
+        # The 3-pyramid is clustered, so its only non-redundant decomposition
+        # is the trivial one; ρ* of the full vertex set is 5/3.
+        assert fractional_hypertree_width(three_pyramid()).value == pytest.approx(5 / 3)
+
+    def test_sandwiched_by_rho_star(self):
+        for h in (triangle(), four_cycle(), four_clique(), three_pyramid()):
+            assert fractional_hypertree_width(h).value <= (
+                fractional_edge_cover_number(h) + 1e-9
+            )
+
+
+class TestPolymatroidLP:
+    def test_maximize_single_expression(self):
+        lp = PolymatroidLP(triangle())
+        solution = lp.maximize_t([expression((1.0, ["X", "Y", "Z"]))])
+        assert solution.feasible
+        assert solution.value == pytest.approx(1.5, abs=1e-6)
+        # The optimizing polymatroid is edge-dominated by construction.
+        h = solution.polymatroid
+        for edge in triangle().edges:
+            assert h(edge) <= 1.0 + 1e-7
+
+    def test_min_of_two_expressions(self):
+        lp = PolymatroidLP(four_cycle())
+        bags = [expression((1.0, ["X1", "X2", "X3"])), expression((1.0, ["X2", "X3", "X4"]))]
+        solution = lp.maximize_t(bags)
+        assert solution.value == pytest.approx(1.5, abs=1e-6)
+
+    def test_relaxation_rows_participate(self):
+        lp = PolymatroidLP(triangle())
+        hard = [expression((1.0, ["X", "Y", "Z"]))]
+        relax = [expression((1.0, ["X"]))]
+        constrained = lp.maximize_t(hard, relax)
+        assert constrained.value <= 1.0 + 1e-7

@@ -1,0 +1,180 @@
+"""Tests for the ω-submodular width (Definition 4.7, Table 2 right column)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constants import OMEGA_BEST_KNOWN
+from repro.hypergraph import (
+    clique,
+    five_clique,
+    four_clique,
+    four_cycle,
+    lemma_c15_query,
+    pyramid,
+    three_pyramid,
+    triangle,
+)
+from repro.polymatroid import (
+    five_clique_witness,
+    four_clique_witness,
+    four_cycle_witness,
+    is_edge_dominated,
+    is_polymatroid,
+    k_clique_witness,
+    three_pyramid_witness,
+    triangle_witness,
+)
+from repro.width import (
+    omega_submodular_width,
+    omega_subw_clique,
+    omega_subw_four_cycle,
+    omega_subw_lemma_c15_upper_bound,
+    omega_subw_objective,
+    omega_subw_pyramid_upper_bound,
+    omega_subw_three_pyramid,
+    omega_subw_triangle,
+    submodular_width,
+    subw_triangle,
+    table2_closed_forms,
+)
+
+OMEGA = OMEGA_BEST_KNOWN
+
+
+class TestClusteredQueries:
+    """Cliques and pyramids are clustered: the fast path applies."""
+
+    @pytest.mark.parametrize("omega", [2.0, 2.2, OMEGA, 2.8, 3.0])
+    def test_triangle_matches_lemma_c5(self, omega):
+        result = omega_submodular_width(
+            triangle(), omega, seeds=[triangle_witness(omega)]
+        )
+        assert result.method == "clustered"
+        assert result.value == pytest.approx(omega_subw_triangle(omega), abs=1e-5)
+
+    def test_triangle_without_seed(self):
+        """The search also converges without the paper's witness."""
+        result = omega_submodular_width(triangle(), OMEGA)
+        assert result.value == pytest.approx(omega_subw_triangle(OMEGA), abs=1e-5)
+
+    def test_four_clique_matches_lemma_c6(self):
+        result = omega_submodular_width(
+            four_clique(), OMEGA, seeds=[four_clique_witness()]
+        )
+        assert result.value == pytest.approx(omega_subw_clique(4, OMEGA), abs=1e-5)
+        assert result.value == pytest.approx((OMEGA + 1.0) / 2.0, abs=1e-5)
+
+    def test_five_clique_matches_lemma_c7(self):
+        result = omega_submodular_width(
+            five_clique(), OMEGA, seeds=[five_clique_witness()]
+        )
+        assert result.value == pytest.approx(OMEGA / 2.0 + 1.0, abs=1e-5)
+
+    def test_six_clique_matches_lemma_c8(self):
+        result = omega_submodular_width(clique(6), OMEGA, seeds=[k_clique_witness(6)])
+        assert result.value == pytest.approx(omega_subw_clique(6, OMEGA), abs=1e-5)
+
+    @pytest.mark.parametrize("omega", [2.0, OMEGA, 3.0])
+    def test_three_pyramid_matches_lemma_c13(self, omega):
+        result = omega_submodular_width(
+            three_pyramid(), omega, seeds=[three_pyramid_witness(omega)]
+        )
+        assert result.value == pytest.approx(omega_subw_three_pyramid(omega), abs=1e-5)
+
+    def test_four_pyramid_below_paper_upper_bound(self):
+        """Lemma C.14 only gives an upper bound; the exact value is below it."""
+        result = omega_submodular_width(pyramid(4), OMEGA)
+        assert result.value <= omega_subw_pyramid_upper_bound(4, OMEGA) + 1e-6
+        assert result.value >= omega_subw_three_pyramid(OMEGA) - 1e-6
+
+    def test_lemma_c15_query(self):
+        """The Lemma C.15 query beats its submodular width whenever ω < 3."""
+        result = omega_submodular_width(lemma_c15_query(), OMEGA)
+        assert result.value <= omega_subw_lemma_c15_upper_bound(OMEGA) + 1e-6
+        assert result.value < 1.8  # subw of this query
+
+
+class TestGeneralQueries:
+    def test_four_cycle_matches_lemma_c9(self):
+        result = omega_submodular_width(
+            four_cycle(), OMEGA, seeds=[_renamed_cycle_witness(OMEGA)]
+        )
+        assert result.method == "general"
+        assert result.value == pytest.approx(omega_subw_four_cycle(OMEGA), abs=1e-5)
+
+    def test_forced_method_validation(self):
+        with pytest.raises(ValueError):
+            omega_submodular_width(four_cycle(), OMEGA, method="clustered")
+        with pytest.raises(ValueError):
+            omega_submodular_width(clique(7), OMEGA, method="general")
+        with pytest.raises(ValueError):
+            omega_submodular_width(triangle(), OMEGA, method="nonsense")
+
+
+class TestRelationsBetweenWidths:
+    def test_omega_subw_at_most_subw(self):
+        """Proposition 4.9 on the queries we can compute exactly."""
+        for hypergraph in (triangle(), four_clique(), three_pyramid()):
+            subw = submodular_width(hypergraph).value
+            osubw = omega_submodular_width(hypergraph, OMEGA).value
+            assert osubw <= subw + 1e-6
+
+    def test_omega_three_collapses_to_subw(self):
+        """Proposition 4.10: at ω = 3 both widths coincide."""
+        for hypergraph in (triangle(), four_clique(), three_pyramid()):
+            subw = submodular_width(hypergraph).value
+            osubw = omega_submodular_width(hypergraph, 3.0).value
+            assert osubw == pytest.approx(subw, abs=1e-5)
+        assert omega_subw_triangle(3.0) == pytest.approx(subw_triangle())
+
+    def test_monotone_in_omega(self):
+        values = [
+            omega_submodular_width(triangle(), omega).value
+            for omega in (2.0, 2.37, 2.7, 3.0)
+        ]
+        assert values == sorted(values)
+
+    def test_witness_achieves_value(self):
+        result = omega_submodular_width(triangle(), OMEGA)
+        assert result.witness is not None
+        assert is_polymatroid(result.witness, tolerance=1e-5)
+        assert is_edge_dominated(result.witness, triangle(), tolerance=1e-5)
+        achieved = omega_subw_objective(triangle(), result.witness, OMEGA)
+        assert achieved == pytest.approx(result.value, abs=1e-4)
+
+    def test_objective_on_paper_witness(self):
+        """The Lemma C.5 witness certifies the triangle lower bound directly."""
+        value = omega_subw_objective(triangle(), triangle_witness(OMEGA), OMEGA)
+        assert value == pytest.approx(omega_subw_triangle(OMEGA), abs=1e-9)
+
+
+class TestClosedFormTable:
+    def test_table2_rows(self):
+        rows = table2_closed_forms(OMEGA)
+        assert rows["triangle"].subw == pytest.approx(1.5)
+        assert rows["triangle"].omega_subw == pytest.approx(2 * OMEGA / (OMEGA + 1))
+        assert rows["4-clique"].omega_subw == pytest.approx((OMEGA + 1) / 2)
+        assert rows["4-cycle"].omega_subw == pytest.approx(
+            2 - 3 / (2 * min(OMEGA, 2.5) + 1)
+        )
+        assert rows["5-cycle"].omega_subw_is_upper_bound
+        assert rows["3-pyramid"].omega_subw == pytest.approx(2 - 1 / OMEGA)
+
+    def test_closed_form_validation(self):
+        with pytest.raises(ValueError):
+            omega_subw_clique(2, OMEGA)
+        with pytest.raises(ValueError):
+            omega_subw_triangle(3.5)
+
+
+def _renamed_cycle_witness(omega: float):
+    """The Lemma C.9 witness renamed to the X1..X4 vertex names of cycle(4)."""
+    witness = four_cycle_witness(omega)
+    from repro.polymatroid import SetFunction, powerset
+
+    mapping = {"X": "X1", "Y": "X2", "Z": "X3", "W": "X4"}
+    renamed = SetFunction(mapping.values())
+    for subset in powerset(mapping.keys()):
+        renamed[frozenset(mapping[v] for v in subset)] = witness(subset)
+    return renamed

@@ -1,0 +1,101 @@
+"""Tests for the submodular width (Table 2, left column)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hypergraph import (
+    clique,
+    cycle,
+    four_clique,
+    four_cycle,
+    path,
+    pyramid,
+    star,
+    three_pyramid,
+    triangle,
+    two_triangles,
+)
+from repro.polymatroid import is_edge_dominated, is_polymatroid
+from repro.width import (
+    fractional_edge_cover_number,
+    fractional_hypertree_width,
+    submodular_width,
+    subw_clique,
+    subw_cycle,
+    subw_objective,
+    subw_pyramid,
+    subw_triangle,
+)
+
+
+class TestSubmodularWidthValues:
+    def test_triangle(self):
+        result = submodular_width(triangle())
+        assert result.value == pytest.approx(subw_triangle(), abs=1e-5)
+
+    def test_two_triangles(self):
+        # Q△△ decomposes into two triangle bags: subw = 3/2 (Section 1.1).
+        assert submodular_width(two_triangles()).value == pytest.approx(1.5, abs=1e-5)
+
+    def test_four_cycle(self):
+        result = submodular_width(four_cycle())
+        assert result.value == pytest.approx(subw_cycle(4), abs=1e-5)
+        assert result.value == pytest.approx(1.5, abs=1e-5)
+
+    def test_five_cycle(self):
+        assert submodular_width(cycle(5)).value == pytest.approx(
+            subw_cycle(5), abs=1e-5
+        )
+
+    def test_cliques(self):
+        assert submodular_width(four_clique()).value == pytest.approx(
+            subw_clique(4), abs=1e-5
+        )
+        assert submodular_width(clique(5)).value == pytest.approx(
+            subw_clique(5), abs=1e-5
+        )
+
+    def test_three_pyramid(self):
+        assert submodular_width(three_pyramid()).value == pytest.approx(
+            subw_pyramid(3), abs=1e-5
+        )
+        assert subw_pyramid(3) == pytest.approx(5.0 / 3.0)
+
+    def test_acyclic_queries(self):
+        assert submodular_width(path(4)).value == pytest.approx(1.0, abs=1e-5)
+        assert submodular_width(star(3)).value == pytest.approx(1.0, abs=1e-5)
+
+
+class TestSubmodularWidthStructure:
+    def test_witness_is_valid_and_edge_dominated(self):
+        result = submodular_width(four_cycle())
+        assert result.witness is not None
+        assert is_polymatroid(result.witness, tolerance=1e-5)
+        assert is_edge_dominated(result.witness, four_cycle(), tolerance=1e-5)
+
+    def test_witness_achieves_value(self):
+        result = submodular_width(four_cycle())
+        achieved = subw_objective(four_cycle(), result.witness)
+        assert achieved == pytest.approx(result.value, abs=1e-4)
+
+    def test_sandwich_inequalities(self):
+        """subw <= fhtw <= ρ* for every query we can compute exactly."""
+        for h in (triangle(), four_cycle(), four_clique(), three_pyramid(), cycle(5)):
+            subw = submodular_width(h).value
+            fhtw = fractional_hypertree_width(h).value
+            rho = fractional_edge_cover_number(h)
+            assert subw <= fhtw + 1e-6
+            assert fhtw <= rho + 1e-6
+
+    def test_closed_form_helpers(self):
+        assert subw_triangle() == 1.5
+        assert subw_clique(6) == 3.0
+        assert subw_cycle(6) == pytest.approx(2 - 1 / 3)
+        assert subw_pyramid(4) == pytest.approx(1.75)
+        with pytest.raises(ValueError):
+            subw_clique(2)
+        with pytest.raises(ValueError):
+            subw_cycle(2)
+        with pytest.raises(ValueError):
+            subw_pyramid(1)
