@@ -12,8 +12,8 @@ from __future__ import annotations
 
 import pytest
 
+from repro.api import QueryEngine
 from repro.constants import OMEGA_BEST_KNOWN
-from repro.core import answer_boolean_query
 from repro.db import four_cycle_instance, parse_query, triangle_instance
 
 from benchmarks._reporting import write_table
@@ -45,15 +45,16 @@ STRATEGIES = ("naive", "generic_join", "omega")
 def test_engine_strategy(benchmark, workload, strategy):
     query, factory = WORKLOADS[workload]
     database = factory()
-    expected = answer_boolean_query(query, database, strategy="naive").answer
+    engine = QueryEngine(database, omega=OMEGA, plan_cache_size=0)
+    expected = engine.ask(query, strategy="naive").answer
 
-    report = benchmark.pedantic(
-        lambda: answer_boolean_query(query, database, strategy=strategy, omega=OMEGA),
+    result = benchmark.pedantic(
+        lambda: engine.ask(query, strategy=strategy),
         rounds=1,
         iterations=1,
     )
-    assert report.answer == expected
-    ROWS.append((workload, strategy, str(report.answer), float(benchmark.stats.stats.mean)))
+    assert result.answer == expected
+    ROWS.append((workload, strategy, str(result.answer), float(benchmark.stats.stats.mean)))
     write_table(
         "engine_strategies",
         ("workload", "strategy", "answer", "seconds"),

@@ -1,0 +1,90 @@
+"""Repeated-query throughput with the plan cache on vs. off.
+
+A production engine sees the same query shapes over and over; the
+:class:`repro.api.QueryEngine` plan cache memoizes ω-query plans keyed by
+(canonical shape, ω, database fingerprint) so only the first ask of a shape
+pays the planning cost (which enumerates elimination orders and is far more
+expensive than executing on moderate data).  The benchmark asks the same
+triangle and 4-cycle queries repeatedly — including isomorphic renamings,
+which must also hit — with the cache enabled and disabled, and records the
+throughput and the planning-time share in
+``benchmarks/results/plan_cache.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import QueryEngine
+from repro.constants import OMEGA_BEST_KNOWN
+from repro.db import four_cycle_instance, parse_query, triangle_instance
+
+from benchmarks._reporting import write_table
+
+OMEGA = OMEGA_BEST_KNOWN
+REPEATS = 25
+ROWS = []
+
+WORKLOADS = {
+    "triangle": (
+        [
+            parse_query("Q() :- R(X, Y), S(Y, Z), T(X, Z)"),
+            # An isomorphic renaming: must hit the same cache entry.
+            parse_query("Q() :- R(A, B), S(B, C), T(A, C)"),
+        ],
+        lambda: triangle_instance(1_200, domain_size=70, seed=11),
+    ),
+    "4cycle": (
+        [
+            parse_query("Q() :- R(X, Y), S(Y, Z), T(Z, W), U(W, X)"),
+            parse_query("Q() :- R(P, Q'), S(Q', V), T(V, W), U(W, P)"),
+        ],
+        lambda: four_cycle_instance(700, domain_size=50, seed=12),
+    ),
+}
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS), ids=sorted(WORKLOADS))
+@pytest.mark.parametrize("cache", ["on", "off"])
+def test_repeated_query_throughput(benchmark, workload, cache):
+    queries, factory = WORKLOADS[workload]
+    database = factory()
+    engine = QueryEngine(
+        database, omega=OMEGA, plan_cache_size=(64 if cache == "on" else 0)
+    )
+
+    def run():
+        results = []
+        for _ in range(REPEATS):
+            for query in queries:
+                results.append(engine.ask(query, strategy="omega"))
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    answers = {result.answer for result in results}
+    assert len(answers) == 1  # isomorphic queries on the same data must agree
+    stats = engine.cache_info()
+    if cache == "on":
+        # Only the very first ask of the shape may plan.
+        assert stats.hits == len(results) - 1
+        assert sum(1 for r in results if not r.cache_hit) == 1
+    else:
+        assert stats.hits == 0
+    plan_seconds = sum(result.plan_seconds for result in results)
+    total_seconds = float(benchmark.stats.stats.mean)
+    ROWS.append(
+        (
+            workload,
+            cache,
+            len(results),
+            total_seconds,
+            len(results) / total_seconds if total_seconds else 0.0,
+            plan_seconds,
+            stats.hits,
+        )
+    )
+    write_table(
+        "plan_cache",
+        ("workload", "cache", "asks", "seconds", "asks_per_s", "plan_seconds", "hits"),
+        sorted(ROWS),
+    )

@@ -1,18 +1,21 @@
-"""Quickstart: widths and query answering in a few lines.
+"""Quickstart: widths and query answering through the QueryEngine facade.
 
 Run with::
 
     python examples/quickstart.py
 
 The script (1) computes the classical and ω-aware width measures of the
-triangle query, (2) builds a small synthetic database, and (3) answers the
-Boolean triangle query with several strategies, checking they agree.
+triangle query, (2) builds a small synthetic database and a
+:class:`repro.QueryEngine` over it, (3) explains and answers the Boolean
+triangle query, showing the plan cache turning repeated asks into
+plan-free executions, and (4) cross-validates every strategy.
 """
 
 from __future__ import annotations
 
+from repro import QueryEngine
 from repro.constants import OMEGA_BEST_KNOWN
-from repro.core import answer_boolean_query, compare_strategies, triangle_figure1
+from repro.core import triangle_figure1
 from repro.db import parse_query, triangle_instance
 from repro.hypergraph import triangle
 from repro.polymatroid import triangle_witness
@@ -37,16 +40,43 @@ def main() -> None:
     print(f"paper closed form 2ω/(ω+1)   : {2 * omega / (omega + 1):.4f}")
     print()
 
-    print("=== Answering the Boolean triangle query ===")
+    print("=== A QueryEngine over a synthetic database ===")
     query = parse_query("Q() :- R(X, Y), S(Y, Z), T(X, Z)")
     database = triangle_instance(
         num_edges=2_000, domain_size=200, skew="heavy", plant_triangle=True, seed=42
     )
+    engine = QueryEngine(database, omega=omega)
     print(f"database size N = {database.size} tuples")
+    print(f"strategies: {engine.registry.names()}")
+    print()
 
-    reports = compare_strategies(query, database, omega=omega)
-    for name, report in sorted(reports.items()):
-        print(f"  strategy {name:<13s} answer={report.answer}  time={report.seconds * 1e3:7.2f} ms")
+    print("=== explain(): the plan, without executing ===")
+    explanation = engine.explain(query, strategy="omega", include_widths=True)
+    print(explanation.describe())
+    print()
+
+    print("=== ask(): first ask plans, the second hits the plan cache ===")
+    engine.clear_plan_cache()  # explain() above already warmed the cache
+    first = engine.ask(query, strategy="omega")
+    second = engine.ask(query, strategy="omega")
+    for label, result in (("first", first), ("second", second)):
+        print(
+            f"  {label:<6s} answer={result.answer}  total={result.seconds * 1e3:7.2f} ms  "
+            f"plan={result.plan_seconds * 1e3:6.2f} ms  "
+            f"execute={result.execute_seconds * 1e3:6.2f} ms  "
+            f"plan from {result.plan_source}"
+        )
+    stats = engine.cache_info()
+    print(f"  plan cache: {stats.hits} hits / {stats.misses} misses")
+    print()
+
+    print("=== compare(): every strategy must agree ===")
+    results = engine.compare(query)
+    for name, result in sorted(results.items()):
+        print(
+            f"  strategy {name:<13s} answer={result.answer}  "
+            f"time={result.seconds * 1e3:7.2f} ms"
+        )
 
     figure1 = triangle_figure1(database, omega)
     print(
@@ -54,11 +84,6 @@ def main() -> None:
         f"time={figure1.seconds * 1e3:7.2f} ms  "
         f"(Δ={figure1.threshold}, found in the {figure1.found_in} part)"
     )
-
-    print()
-    print("=== The engine's chosen plan ===")
-    report = answer_boolean_query(query, database, strategy="omega", omega=omega)
-    print(report.describe())
 
 
 if __name__ == "__main__":

@@ -1,5 +1,38 @@
 """Setuptools shim for environments without PEP 517 build isolation."""
 
-from setuptools import setup
+import pathlib
+import re
 
-setup()
+from setuptools import find_packages, setup
+
+ROOT = pathlib.Path(__file__).resolve().parent
+
+
+def read_version() -> str:
+    """Parse ``repro.__version__`` without importing the package."""
+    text = (ROOT / "src" / "repro" / "__init__.py").read_text(encoding="utf-8")
+    match = re.search(r'^__version__ = "([^"]+)"', text, re.MULTILINE)
+    if not match:
+        raise RuntimeError("could not find __version__ in src/repro/__init__.py")
+    return match.group(1)
+
+
+setup(
+    name="repro-omega-submodular-width",
+    version=read_version(),
+    description=(
+        'Reproduction of "Fast Matrix Multiplication meets the Submodular '
+        'Width": width measures, ω-query plans, and a cached Boolean query '
+        "engine"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=[
+        "numpy",
+        "scipy",
+    ],
+    extras_require={
+        "test": ["pytest", "hypothesis", "pytest-benchmark"],
+    },
+)

@@ -7,11 +7,35 @@ The package is organised by subsystem:
 * :mod:`repro.width` — ρ*, fhtw, submodular width, ω-submodular width;
 * :mod:`repro.matmul` — Strassen, rectangular/boolean MM, cost model;
 * :mod:`repro.db` — relations, conjunctive queries, join algorithms, generators;
-* :mod:`repro.core` — ω-query plans, planner and executor, per-class algorithms.
+* :mod:`repro.core` — ω-query plans, planner and executor, per-class algorithms;
+* :mod:`repro.api` — the public query engine: :class:`QueryEngine` facade,
+  pluggable strategy registry, LRU plan cache, batch execution.
 
-The most common entry points are re-exported here.
+Answering queries goes through :class:`repro.api.QueryEngine`::
+
+    from repro import QueryEngine
+    from repro.db import parse_query, triangle_instance
+
+    engine = QueryEngine(triangle_instance(1000, domain_size=80, seed=1))
+    result = engine.ask(parse_query("Q() :- R(X, Y), S(Y, Z), T(X, Z)"))
+
+Repeated asks of the same query *shape* (up to variable renaming) hit the
+engine's plan cache and skip planning; ``engine.ask_many`` batches queries
+and shares plans across isomorphic shapes; custom strategies register via
+:func:`repro.api.register_strategy`.  The most common entry points are
+re-exported here.
 """
 
+from .api import (
+    Explanation,
+    QueryEngine,
+    QueryResult,
+    Strategy,
+    StrategyDisagreement,
+    StrategyRegistry,
+    available_strategies,
+    register_strategy,
+)
 from .constants import (
     DEFAULT_OMEGA,
     OMEGA_BEST_KNOWN,
@@ -29,20 +53,28 @@ from .width import (
     submodular_width,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DEFAULT_OMEGA",
+    "Explanation",
     "Hypergraph",
     "OMEGA_BEST_KNOWN",
     "OMEGA_NAIVE",
     "OMEGA_OPTIMAL",
     "OMEGA_STRASSEN",
+    "QueryEngine",
+    "QueryResult",
     "SetFunction",
+    "Strategy",
+    "StrategyDisagreement",
+    "StrategyRegistry",
     "__version__",
+    "available_strategies",
     "fractional_edge_cover_number",
     "fractional_hypertree_width",
     "gamma",
     "omega_submodular_width",
+    "register_strategy",
     "submodular_width",
 ]

@@ -1,0 +1,66 @@
+"""The public query-answering API: engine facade, strategies, plan cache.
+
+This package is the supported surface for answering Boolean conjunctive
+queries; the free functions in :mod:`repro.core.engine` remain as thin
+wrappers over it.  The moving parts:
+
+:class:`QueryEngine`
+    A stateful facade owning a database.  ``engine.ask(query)`` answers a
+    query, ``engine.explain(query)`` reports the chosen strategy, plan and
+    width measures without executing, ``engine.ask_many(queries)`` runs a
+    batch while sharing plans across isomorphic query shapes, and
+    ``engine.compare(query)`` cross-validates strategies (raising
+    :class:`StrategyDisagreement` on mismatch).
+
+Strategy registry (:mod:`repro.api.strategies`)
+    Every execution method is a :class:`Strategy` registered by name —
+    built-ins ``naive``, ``generic_join``, ``yannakakis``, ``omega`` — and
+    new ones plug in via the :func:`register_strategy` decorator.
+
+Plan cache (:mod:`repro.api.cache`)
+    An LRU keyed by (canonical query shape, strategy, ω, database
+    statistics fingerprint).  Plans are stored in canonical variable space,
+    so isomorphic queries hit the same entry; any database mutation bumps
+    the fingerprint and transparently invalidates stale plans.
+    ``engine.cache_info()`` exposes hit/miss counters.
+
+Typical use::
+
+    from repro.api import QueryEngine
+    from repro.db import parse_query, triangle_instance
+
+    engine = QueryEngine(triangle_instance(1000, domain_size=80, seed=1))
+    result = engine.ask(parse_query("Q() :- R(X, Y), S(Y, Z), T(X, Z)"))
+    print(result.answer, result.cache_hit, result.plan_seconds)
+"""
+
+from .cache import CacheStats, PlanCache
+from .engine import Explanation, QueryEngine, QueryResult
+from .errors import EngineError, StrategyDisagreement, UnknownStrategyError
+from .strategies import (
+    DEFAULT_REGISTRY,
+    Strategy,
+    StrategyOutcome,
+    StrategyRegistry,
+    available_strategies,
+    register_strategy,
+    unregister_strategy,
+)
+
+__all__ = [
+    "CacheStats",
+    "DEFAULT_REGISTRY",
+    "EngineError",
+    "Explanation",
+    "PlanCache",
+    "QueryEngine",
+    "QueryResult",
+    "Strategy",
+    "StrategyDisagreement",
+    "StrategyOutcome",
+    "StrategyRegistry",
+    "UnknownStrategyError",
+    "available_strategies",
+    "register_strategy",
+    "unregister_strategy",
+]

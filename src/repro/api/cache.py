@@ -1,0 +1,96 @@
+"""An LRU cache for ω-query plans.
+
+Plans are cached in *canonical shape space*: before insertion the engine
+renames a plan's variables through the query's canonical mapping
+(:meth:`ConjunctiveQuery.canonical_mapping`), so a single cached entry
+serves every query isomorphic to the one that was planned.  Keys combine
+
+* the canonical shape signature (atom scopes over canonical names),
+* the strategy name and the ω exponent the plan was costed with, and
+* the database statistics fingerprint — any mutation of the database bumps
+  its version and therefore misses the cache, which is how invalidation
+  works without an observer protocol.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Optional, Tuple
+
+from ..core.plan import OmegaQueryPlan
+
+#: (strategy name, shape signature, omega, database fingerprint)
+PlanCacheKey = Tuple[str, Hashable, float, Hashable]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A snapshot of plan-cache effectiveness counters."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    maxsize: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class PlanCache:
+    """A bounded mapping from :data:`PlanCacheKey` to canonical plans.
+
+    ``maxsize <= 0`` disables caching entirely (every lookup misses and
+    nothing is stored), which the benchmarks use as the control arm.
+    """
+
+    def __init__(self, maxsize: int = 128) -> None:
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[PlanCacheKey, OmegaQueryPlan]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.maxsize > 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: PlanCacheKey) -> Optional[OmegaQueryPlan]:
+        if not self.enabled:
+            self._misses += 1
+            return None
+        plan = self._entries.get(key)
+        if plan is None:
+            self._misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self._hits += 1
+        return plan
+
+    def put(self, key: PlanCacheKey, plan: OmegaQueryPlan) -> None:
+        if not self.enabled:
+            return
+        self._entries[key] = plan
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+
+    def clear(self) -> None:
+        """Drop all entries (counters are preserved)."""
+        self._entries.clear()
+
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            size=len(self._entries),
+            maxsize=self.maxsize,
+        )

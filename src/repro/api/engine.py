@@ -1,0 +1,453 @@
+"""The :class:`QueryEngine` facade: stateful, cached, batched query answering.
+
+Where the seed exposed one free function that re-planned on every call, the
+engine owns a :class:`~repro.db.database.Database`, resolves strategies
+through a registry, and memoizes ω-query plans in an LRU cache keyed by
+(canonical query shape, strategy, ω, database statistics fingerprint).  The
+second ask of any previously seen query shape therefore skips planning
+entirely — including asks of *isomorphic* queries with different variable
+or relation names — and batches (:meth:`QueryEngine.ask_many`) share plans
+across isomorphic group members even with the cache disabled.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from ..constants import DEFAULT_OMEGA
+from ..db.database import Database
+from ..db.query import ConjunctiveQuery
+from ..core.executor import ExecutionResult
+from ..core.plan import OmegaQueryPlan
+from ..core.planner import PlannedQuery
+from .cache import CacheStats, PlanCache, PlanCacheKey
+from .errors import StrategyDisagreement
+from .strategies import DEFAULT_REGISTRY, Strategy, StrategyRegistry
+
+
+@dataclass
+class QueryResult:
+    """The outcome of one :meth:`QueryEngine.ask`.
+
+    Extends the seed's ``EngineReport`` with a plan/execute timing
+    breakdown and plan-provenance counters:
+
+    * ``plan_seconds`` / ``execute_seconds`` — where the time went;
+      ``seconds`` is the end-to-end wall clock including dispatch.
+    * ``cache_hit`` — whether the plan came from the engine's plan cache.
+    * ``plan_source`` — ``"none"`` (strategy does not plan), ``"planner"``
+      (freshly planned), ``"cache"`` (LRU hit), ``"batch"`` (shared within
+      an :meth:`QueryEngine.ask_many` isomorphism group) or ``"given"``
+      (caller-supplied plan).
+    """
+
+    query: ConjunctiveQuery
+    answer: bool
+    strategy: str
+    seconds: float
+    plan_seconds: float = 0.0
+    execute_seconds: float = 0.0
+    cache_hit: bool = False
+    plan_source: str = "none"
+    plan: Optional[OmegaQueryPlan] = None
+    planned: Optional[PlannedQuery] = None
+    execution: Optional[ExecutionResult] = None
+
+    def describe(self) -> str:
+        lines = [
+            f"query:    {self.query}",
+            f"strategy: {self.strategy}",
+            f"answer:   {self.answer}",
+            f"time:     {self.seconds * 1000:.2f} ms "
+            f"(plan {self.plan_seconds * 1000:.2f} ms, "
+            f"execute {self.execute_seconds * 1000:.2f} ms)",
+        ]
+        if self.plan_source != "none":
+            lines.append(f"plan:     from {self.plan_source}")
+        if self.planned is not None:
+            lines.append(self.planned.describe())
+        elif self.plan is not None:
+            lines.append(self.plan.describe())
+        return "\n".join(lines)
+
+
+@dataclass
+class Explanation:
+    """What :meth:`QueryEngine.explain` reports: plan + structure, no execution."""
+
+    query: ConjunctiveQuery
+    strategy: str
+    is_acyclic: bool
+    num_variables: int
+    num_atoms: int
+    cache_hit: bool = False
+    plan: Optional[OmegaQueryPlan] = None
+    planned: Optional[PlannedQuery] = None
+    widths: Dict[str, float] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        lines = [
+            f"query:    {self.query}",
+            f"strategy: {self.strategy}",
+            f"shape:    {self.num_atoms} atoms over {self.num_variables} variables"
+            f" ({'acyclic' if self.is_acyclic else 'cyclic'})",
+        ]
+        for measure, value in sorted(self.widths.items()):
+            lines.append(f"{measure}: {value:.4f}")
+        if self.planned is not None:
+            lines.append("plan:")
+            lines.append(self.planned.describe())
+        elif self.plan is not None:
+            lines.append("plan (cached):")
+            lines.append(self.plan.describe())
+        return "\n".join(lines)
+
+
+class QueryEngine:
+    """A stateful Boolean-conjunctive-query engine over one database.
+
+    Parameters
+    ----------
+    database:
+        The data the engine answers queries against.  The engine reads the
+        database's statistics fingerprint on every ask, so mutating the
+        database (setting or deleting relations) transparently invalidates
+        cached plans.
+    omega:
+        The default matrix-multiplication exponent for cost models;
+        overridable per call.
+    registry:
+        The strategy registry to resolve names through; defaults to the
+        process-wide :data:`~repro.api.strategies.DEFAULT_REGISTRY`.  Pass
+        ``DEFAULT_REGISTRY.copy()`` to customise strategies locally.
+    plan_cache_size:
+        Maximum number of cached plans (LRU eviction); ``0`` disables the
+        cache.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        *,
+        omega: float = DEFAULT_OMEGA,
+        registry: Optional[StrategyRegistry] = None,
+        plan_cache_size: int = 128,
+    ) -> None:
+        self.database = database
+        self.omega = omega
+        self.registry = registry if registry is not None else DEFAULT_REGISTRY
+        self._plan_cache = PlanCache(plan_cache_size)
+
+    # ------------------------------------------------------------------
+    # Strategy resolution
+    # ------------------------------------------------------------------
+    def resolve_strategy(
+        self, query: ConjunctiveQuery, strategy: str = "auto"
+    ) -> Strategy:
+        """Resolve a strategy name (``"auto"`` included) for a query.
+
+        ``"auto"`` prefers Yannakakis for acyclic queries and the ω-engine
+        otherwise, matching the seed engine's dispatch.
+        """
+        return self.registry.get(self._resolve_key(query, strategy))
+
+    def _resolve_key(self, query: ConjunctiveQuery, strategy: str) -> str:
+        """Resolve ``"auto"`` to a concrete *registry key*.
+
+        The registry key (not ``Strategy.name``, which aliases may share)
+        identifies the strategy in results and in plan-cache keys.
+        """
+        if strategy == "auto":
+            if "yannakakis" in self.registry:
+                if self.registry.get("yannakakis").supports(query):
+                    return "yannakakis"
+            return "omega"
+        return strategy
+
+    def _resolve_supported(
+        self, query: ConjunctiveQuery, strategy: str
+    ) -> Tuple[str, Strategy]:
+        key = self._resolve_key(query, strategy)
+        resolved = self.registry.get(key)
+        if not resolved.supports(query):
+            raise ValueError(
+                f"strategy {key!r} does not support query {query.name} "
+                f"({'acyclic' if query.is_acyclic() else 'cyclic'})"
+            )
+        return key, resolved
+
+    # ------------------------------------------------------------------
+    # Asking
+    # ------------------------------------------------------------------
+    def ask(
+        self,
+        query: ConjunctiveQuery,
+        strategy: str = "auto",
+        *,
+        omega: Optional[float] = None,
+        plan: Optional[OmegaQueryPlan] = None,
+    ) -> QueryResult:
+        """Answer one Boolean query, reusing a cached plan when possible."""
+        start = time.perf_counter()
+        omega_value = self.omega if omega is None else omega
+        self.database.validate_against(query)
+        if plan is not None and strategy == "auto":
+            strategy = "omega"
+        strategy_key, resolved = self._resolve_supported(query, strategy)
+        if plan is not None and not resolved.uses_plans:
+            raise ValueError(
+                f"strategy {strategy_key!r} does not execute plans; an explicit "
+                "plan requires a plan-based strategy such as 'omega'"
+            )
+
+        planned: Optional[PlannedQuery] = None
+        plan_seconds = 0.0
+        cache_hit = False
+        plan_source = "none"
+        if plan is not None:
+            plan_source = "given"
+        elif resolved.uses_plans:
+            plan, planned, cache_hit, plan_seconds = self._obtain_plan(
+                strategy_key, resolved, query, omega_value
+            )
+            plan_source = "cache" if cache_hit else "planner"
+
+        execute_start = time.perf_counter()
+        outcome = resolved.execute(query, self.database, omega_value, plan=plan)
+        execute_seconds = time.perf_counter() - execute_start
+        if outcome.planned is not None:
+            planned = outcome.planned
+        return QueryResult(
+            query=query,
+            answer=outcome.answer,
+            strategy=strategy_key,
+            seconds=time.perf_counter() - start,
+            plan_seconds=plan_seconds,
+            execute_seconds=execute_seconds,
+            cache_hit=cache_hit,
+            plan_source=plan_source,
+            plan=outcome.plan if outcome.plan is not None else plan,
+            planned=planned,
+            execution=outcome.execution,
+        )
+
+    def ask_many(
+        self,
+        queries: Iterable[ConjunctiveQuery],
+        strategy: str = "auto",
+        *,
+        omega: Optional[float] = None,
+    ) -> List[QueryResult]:
+        """Answer a batch of queries, sharing plans across isomorphic shapes.
+
+        Queries are grouped by (resolved strategy, canonical shape
+        signature); each group is planned at most once.  With the plan
+        cache enabled the sharing happens through the cache (later group
+        members report ``plan_source == "cache"``); with the cache disabled
+        the representative's plan is renamed into each member's variables
+        (``plan_source == "batch"``).  Results come back in input order.
+        """
+        query_list = list(queries)
+        results: List[Optional[QueryResult]] = [None] * len(query_list)
+        groups: Dict[Tuple[str, Hashable], List[int]] = {}
+        singletons: List[int] = []
+        for position, query in enumerate(query_list):
+            strategy_key = self._resolve_key(query, strategy)
+            resolved = self.registry.get(strategy_key)
+            if resolved.uses_plans:
+                # Group like the cache keys: same shape AND same relation
+                # statistics, so a shared plan was costed for its members.
+                key = (
+                    strategy_key,
+                    (query.shape_signature(), self._atom_sizes(query)),
+                )
+                groups.setdefault(key, []).append(position)
+            else:
+                singletons.append(position)
+        for position in singletons:
+            results[position] = self.ask(
+                query_list[position], strategy, omega=omega
+            )
+        for members in groups.values():
+            representative = members[0]
+            rep_query = query_list[representative]
+            rep_result = self.ask(rep_query, strategy, omega=omega)
+            results[representative] = rep_result
+            if len(members) == 1:
+                continue
+            shared_canonical: Optional[OmegaQueryPlan] = None
+            if not self._plan_cache.enabled and rep_result.plan is not None:
+                shared_canonical = rep_result.plan.rename(
+                    rep_query.canonical_mapping()
+                )
+            for position in members[1:]:
+                member_query = query_list[position]
+                if shared_canonical is None:
+                    # The LRU cache carries the plan to the other members.
+                    results[position] = self.ask(
+                        member_query, strategy, omega=omega
+                    )
+                else:
+                    inverse = {
+                        canonical: variable
+                        for variable, canonical in member_query.canonical_mapping().items()
+                    }
+                    result = self.ask(
+                        member_query,
+                        strategy,
+                        omega=omega,
+                        plan=shared_canonical.rename(inverse),
+                    )
+                    result.plan_source = "batch"
+                    results[position] = result
+        assert all(result is not None for result in results)
+        return [result for result in results if result is not None]
+
+    def explain(
+        self,
+        query: ConjunctiveQuery,
+        strategy: str = "auto",
+        *,
+        omega: Optional[float] = None,
+        include_widths: bool = False,
+    ) -> Explanation:
+        """Report the chosen strategy and plan without executing the query.
+
+        For plan-based strategies the plan is obtained through the same
+        cache path as :meth:`ask` (so explaining a query warms the cache
+        for the ask that follows).  With ``include_widths=True`` the report
+        also carries the classical width measures ρ* and fhtw of the query
+        hypergraph.
+        """
+        omega_value = self.omega if omega is None else omega
+        self.database.validate_against(query)
+        strategy_key, resolved = self._resolve_supported(query, strategy)
+        plan: Optional[OmegaQueryPlan] = None
+        planned: Optional[PlannedQuery] = None
+        cache_hit = False
+        if resolved.uses_plans:
+            plan, planned, cache_hit, _ = self._obtain_plan(
+                strategy_key, resolved, query, omega_value
+            )
+        widths: Dict[str, float] = {}
+        if include_widths:
+            from ..width import (
+                fractional_edge_cover_number,
+                fractional_hypertree_width,
+            )
+
+            hypergraph = query.hypergraph()
+            widths["fractional edge cover ρ*"] = fractional_edge_cover_number(
+                hypergraph
+            )
+            widths["fractional hypertree width"] = fractional_hypertree_width(
+                hypergraph
+            ).value
+        return Explanation(
+            query=query,
+            strategy=strategy_key,
+            is_acyclic=query.is_acyclic(),
+            num_variables=len(query.variables),
+            num_atoms=len(query.atoms),
+            cache_hit=cache_hit,
+            plan=plan,
+            planned=planned,
+            widths=widths,
+        )
+
+    def compare(
+        self,
+        query: ConjunctiveQuery,
+        strategies: Optional[Sequence[str]] = None,
+        *,
+        omega: Optional[float] = None,
+    ) -> Dict[str, QueryResult]:
+        """Run several strategies on the same query; answers must agree.
+
+        Raises :class:`StrategyDisagreement` (carrying the per-strategy
+        answers) if any two strategies return different Boolean answers.
+        """
+        if strategies is None:
+            names = ["naive", "generic_join", "omega"]
+            if (
+                "yannakakis" in self.registry
+                and self.registry.get("yannakakis").supports(query)
+            ):
+                names.append("yannakakis")
+        else:
+            names = list(strategies)
+        results = {
+            name: self.ask(query, strategy=name, omega=omega) for name in names
+        }
+        answers = {name: result.answer for name, result in results.items()}
+        if len(set(answers.values())) > 1:
+            raise StrategyDisagreement(query, answers, results)
+        return results
+
+    # ------------------------------------------------------------------
+    # Plan-cache management
+    # ------------------------------------------------------------------
+    def cache_info(self) -> CacheStats:
+        """Hit/miss/eviction counters and current size of the plan cache."""
+        return self._plan_cache.stats()
+
+    def clear_plan_cache(self) -> None:
+        self._plan_cache.clear()
+
+    def _atom_sizes(self, query: ConjunctiveQuery) -> Tuple[Tuple[Tuple[str, ...], int], ...]:
+        """Per-atom relation sizes in canonical variable space.
+
+        The shape signature deliberately forgets which relations the atoms
+        bind to (so renamed isomorphic queries share plans), but plans are
+        *costed* against the actual relation statistics — the cache key and
+        the batch grouping include these sizes so two same-shaped queries
+        over differently-sized relations are planned separately.
+        """
+        mapping = query.canonical_mapping()
+        return tuple(
+            sorted(
+                (
+                    tuple(sorted(mapping[v] for v in atom.variables)),
+                    len(self.database[atom.relation]),
+                )
+                for atom in query.atoms
+            )
+        )
+
+    def _obtain_plan(
+        self,
+        strategy_key: str,
+        strategy: Strategy,
+        query: ConjunctiveQuery,
+        omega: float,
+    ) -> Tuple[OmegaQueryPlan, Optional[PlannedQuery], bool, float]:
+        """Fetch a plan from the cache or build (and cache) a fresh one.
+
+        Returns ``(plan, planned-or-None, cache_hit, plan_seconds)``.
+        """
+        mapping = query.canonical_mapping()
+        key: PlanCacheKey = (
+            strategy_key,
+            (query.shape_signature(), self._atom_sizes(query)),
+            omega,
+            self.database.statistics_fingerprint(),
+        )
+        canonical = self._plan_cache.get(key)
+        if canonical is not None:
+            inverse = {c: variable for variable, c in mapping.items()}
+            return canonical.rename(inverse), None, True, 0.0
+        plan_start = time.perf_counter()
+        planned = strategy.plan(query, self.database, omega)
+        plan_seconds = time.perf_counter() - plan_start
+        self._plan_cache.put(key, planned.plan.rename(mapping))
+        return planned.plan, planned, False, plan_seconds
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        stats = self.cache_info()
+        return (
+            f"QueryEngine({self.database!r}, omega={self.omega}, "
+            f"strategies={self.registry.names()}, "
+            f"cache={stats.size}/{stats.maxsize})"
+        )

@@ -1,0 +1,51 @@
+"""Exceptions raised by the public query-engine API."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..db.query import ConjunctiveQuery
+    from .engine import QueryResult
+
+
+class EngineError(Exception):
+    """Base class for query-engine API errors."""
+
+
+class UnknownStrategyError(EngineError, ValueError):
+    """An unregistered strategy name was requested.
+
+    Subclasses :class:`ValueError` for backwards compatibility with the
+    pre-registry engine, which raised ``ValueError`` directly.
+    """
+
+    def __init__(self, name: str, known: tuple) -> None:
+        self.name = name
+        self.known = tuple(known)
+        super().__init__(
+            f"unknown strategy {name!r}; known: {self.known}"
+        )
+
+
+class StrategyDisagreement(EngineError, AssertionError):
+    """Two strategies returned different Boolean answers for one query.
+
+    Carries the per-strategy answers (and full results when available) so
+    cross-validation harnesses can report exactly who disagreed.
+    Subclasses :class:`AssertionError` for backwards compatibility with the
+    old ``compare_strategies`` behaviour.
+    """
+
+    def __init__(
+        self,
+        query: "ConjunctiveQuery",
+        answers: Mapping[str, bool],
+        results: Mapping[str, "QueryResult"] | None = None,
+    ) -> None:
+        self.query = query
+        self.answers: Dict[str, bool] = dict(answers)
+        self.results = dict(results) if results is not None else {}
+        super().__init__(
+            f"strategies disagree on the Boolean answer of {query}: {self.answers}"
+        )

@@ -1,0 +1,242 @@
+"""Pluggable execution strategies and the strategy registry.
+
+The seed engine dispatched on a hard-coded if/elif chain; here every way of
+answering a Boolean conjunctive query is a :class:`Strategy` object looked
+up by name in a :class:`StrategyRegistry`.  The four shipped strategies —
+``naive``, ``generic_join``, ``yannakakis`` and ``omega`` — are registered
+on import; users add their own with the :func:`register_strategy`
+decorator::
+
+    @register_strategy
+    class SamplingStrategy(Strategy):
+        name = "sampling"
+
+        def execute(self, query, database, omega, plan=None):
+            return StrategyOutcome(answer=my_sampler(query, database))
+
+Strategies that plan (``uses_plans = True``) split the work in two: the
+engine obtains a plan — from its LRU plan cache whenever the query shape,
+ω and database statistics match a previous ask — and hands it to
+:meth:`Strategy.execute`, so repeated asks of the same shape skip planning
+entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple, Union, overload
+
+from ..db.database import Database
+from ..db.joins import generic_join_boolean, naive_boolean, yannakakis_boolean
+from ..db.query import ConjunctiveQuery
+from ..core.executor import ExecutionResult, PlanExecutor
+from ..core.plan import OmegaQueryPlan
+from ..core.planner import PlannedQuery, plan_query
+from .errors import UnknownStrategyError
+
+
+@dataclass
+class StrategyOutcome:
+    """What a strategy produced: the answer plus optional diagnostics."""
+
+    answer: bool
+    plan: Optional[OmegaQueryPlan] = None
+    planned: Optional[PlannedQuery] = None
+    execution: Optional[ExecutionResult] = None
+
+
+class Strategy:
+    """One way of answering a Boolean conjunctive query.
+
+    Subclasses set :attr:`name`, optionally restrict :meth:`supports`, and
+    implement :meth:`execute`.  Plan-based strategies additionally set
+    ``uses_plans = True`` and implement :meth:`plan`; the engine calls
+    :meth:`plan` (through its cache) and passes the result to
+    :meth:`execute`.
+    """
+
+    #: Registry key; subclasses must override.
+    name: str = ""
+    #: Whether the engine should obtain (and cache) a plan for this strategy.
+    uses_plans: bool = False
+
+    def supports(self, query: ConjunctiveQuery) -> bool:
+        """Whether this strategy can answer the query at all."""
+        return True
+
+    def plan(
+        self, query: ConjunctiveQuery, database: Database, omega: float
+    ) -> PlannedQuery:
+        """Build a plan for the query (plan-based strategies only)."""
+        raise NotImplementedError(f"strategy {self.name!r} does not plan")
+
+    def execute(
+        self,
+        query: ConjunctiveQuery,
+        database: Database,
+        omega: float,
+        plan: Optional[OmegaQueryPlan] = None,
+    ) -> StrategyOutcome:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Strategy {self.name!r}>"
+
+
+class StrategyRegistry:
+    """A mutable name → :class:`Strategy` mapping."""
+
+    def __init__(self, strategies: Dict[str, Strategy] | None = None) -> None:
+        self._strategies: Dict[str, Strategy] = dict(strategies or {})
+
+    def register(
+        self, strategy: Strategy, *, name: Optional[str] = None, replace: bool = False
+    ) -> Strategy:
+        key = name or strategy.name
+        if not key:
+            raise ValueError("strategies must declare a non-empty name")
+        if key in self._strategies and not replace:
+            raise ValueError(
+                f"strategy {key!r} is already registered; pass replace=True "
+                "to override it"
+            )
+        self._strategies[key] = strategy
+        return strategy
+
+    def unregister(self, name: str) -> Strategy:
+        if name not in self._strategies:
+            raise UnknownStrategyError(name, self.names())
+        return self._strategies.pop(name)
+
+    def get(self, name: str) -> Strategy:
+        try:
+            return self._strategies[name]
+        except KeyError:
+            raise UnknownStrategyError(name, self.names()) from None
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._strategies))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._strategies
+
+    def copy(self) -> "StrategyRegistry":
+        """An independent copy (engines can customise without global effect)."""
+        return StrategyRegistry(dict(self._strategies))
+
+
+#: The process-wide registry used by default by every :class:`QueryEngine`.
+DEFAULT_REGISTRY = StrategyRegistry()
+
+
+@overload
+def register_strategy(target: type) -> type: ...
+@overload
+def register_strategy(target: Strategy) -> Strategy: ...
+@overload
+def register_strategy(
+    *,
+    name: Optional[str] = None,
+    registry: Optional[StrategyRegistry] = None,
+    replace: bool = False,
+) -> Callable[[Union[type, Strategy]], Union[type, Strategy]]: ...
+
+
+def register_strategy(
+    target: Union[type, Strategy, None] = None,
+    *,
+    name: Optional[str] = None,
+    registry: Optional[StrategyRegistry] = None,
+    replace: bool = False,
+):
+    """Register a :class:`Strategy` class or instance, usable as a decorator.
+
+    ``@register_strategy`` on a class instantiates it and registers the
+    instance under its ``name`` attribute; ``@register_strategy(name=...,
+    replace=True)`` customises the key or allows overriding a built-in.
+    Returns the decorated class/instance unchanged, so classes stay
+    importable.
+    """
+    where = registry if registry is not None else DEFAULT_REGISTRY
+
+    def apply(obj: Union[type, Strategy]):
+        strategy = obj() if isinstance(obj, type) else obj
+        if not isinstance(strategy, Strategy):
+            raise TypeError("register_strategy expects a Strategy subclass or instance")
+        where.register(strategy, name=name, replace=replace)
+        return obj
+
+    if target is not None:
+        return apply(target)
+    return apply
+
+
+def unregister_strategy(
+    name: str, registry: Optional[StrategyRegistry] = None
+) -> Strategy:
+    """Remove a strategy from the (default) registry and return it."""
+    where = registry if registry is not None else DEFAULT_REGISTRY
+    return where.unregister(name)
+
+
+def available_strategies(registry: Optional[StrategyRegistry] = None) -> Tuple[str, ...]:
+    """The registered strategy names (sorted)."""
+    where = registry if registry is not None else DEFAULT_REGISTRY
+    return where.names()
+
+
+# ----------------------------------------------------------------------
+# Built-in strategies
+# ----------------------------------------------------------------------
+@register_strategy
+class NaiveStrategy(Strategy):
+    """Materialise the full pairwise join and test for emptiness."""
+
+    name = "naive"
+
+    def execute(self, query, database, omega, plan=None):
+        return StrategyOutcome(answer=naive_boolean(query, database))
+
+
+@register_strategy
+class GenericJoinStrategy(Strategy):
+    """Worst-case optimal join with early termination."""
+
+    name = "generic_join"
+
+    def execute(self, query, database, omega, plan=None):
+        return StrategyOutcome(answer=generic_join_boolean(query, database))
+
+
+@register_strategy
+class YannakakisStrategy(Strategy):
+    """Full semijoin reduction; only applicable to α-acyclic queries."""
+
+    name = "yannakakis"
+
+    def supports(self, query):
+        return query.is_acyclic()
+
+    def execute(self, query, database, omega, plan=None):
+        return StrategyOutcome(answer=yannakakis_boolean(query, database))
+
+
+@register_strategy
+class OmegaStrategy(Strategy):
+    """The paper's engine: cost-based ω-query planning plus execution."""
+
+    name = "omega"
+    uses_plans = True
+
+    def plan(self, query, database, omega):
+        return plan_query(query, database, omega)
+
+    def execute(self, query, database, omega, plan=None):
+        planned: Optional[PlannedQuery] = None
+        if plan is None:
+            planned = self.plan(query, database, omega)
+            plan = planned.plan
+        execution = PlanExecutor(query, database).run(plan, omega)
+        return StrategyOutcome(
+            answer=execution.answer, plan=plan, planned=planned, execution=execution
+        )

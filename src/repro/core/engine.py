@@ -1,30 +1,35 @@
-"""The top-level Boolean query engine.
+"""Back-compat wrappers over the :mod:`repro.api` query engine.
 
-``answer_boolean_query`` ties the substrates together: it analyses the
-query (widths, acyclicity), plans an ω-query plan against the actual data,
-executes it, and can fall back to the classical baselines.  This is the
-"one call" entry point used by the examples and by the strategy-comparison
-benchmark.
+Historically this module *was* the engine: ``answer_boolean_query``
+hard-coded the strategy dispatch and re-planned on every call.  The engine
+now lives in :class:`repro.api.QueryEngine` (strategy registry, LRU plan
+cache, batch execution); the free functions below remain as stable thin
+wrappers so existing callers keep working.  New code should construct a
+``QueryEngine`` directly and reuse it across calls to benefit from plan
+caching.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..constants import DEFAULT_OMEGA
 from ..db.database import Database
-from ..db.joins import generic_join_boolean, naive_boolean, yannakakis_boolean
 from ..db.query import ConjunctiveQuery
-from .executor import ExecutionResult, PlanExecutor
+from .executor import ExecutionResult
 from .plan import OmegaQueryPlan
-from .planner import PlannedQuery, plan_query
+from .planner import PlannedQuery
 
 
 @dataclass
 class EngineReport:
-    """What the engine did and what it found."""
+    """What the engine did and what it found (legacy result shape).
+
+    :meth:`repro.api.QueryEngine.ask` returns the richer
+    :class:`repro.api.QueryResult`; this report keeps the historical field
+    set for callers of :func:`answer_boolean_query`.
+    """
 
     answer: bool
     strategy: str
@@ -45,6 +50,8 @@ class EngineReport:
         return "\n".join(lines)
 
 
+#: The historically shipped strategy names.  The authoritative list is the
+#: registry (``repro.api.available_strategies()``), which user code extends.
 STRATEGIES = ("auto", "naive", "generic_join", "yannakakis", "omega")
 
 
@@ -55,56 +62,21 @@ def answer_boolean_query(
     omega: float = DEFAULT_OMEGA,
     plan: Optional[OmegaQueryPlan] = None,
 ) -> EngineReport:
-    """Answer a Boolean conjunctive query.
+    """Answer a Boolean conjunctive query (one-shot convenience wrapper).
 
-    Parameters
-    ----------
-    query, database:
-        The query and its input data (validated against each other).
-    strategy:
-        One of ``"auto"``, ``"naive"``, ``"generic_join"``, ``"yannakakis"``
-        (acyclic queries only) or ``"omega"`` (plan + execute with MM-aware
-        eliminations).  ``"auto"`` uses Yannakakis for acyclic queries and
-        the ω-engine otherwise.
-    omega:
-        The matrix multiplication exponent used by the cost model.
-    plan:
-        An explicit ω-query plan to execute (implies the ``"omega"``
-        strategy and skips planning).
+    Builds a throwaway :class:`repro.api.QueryEngine` with plan caching
+    disabled, so behaviour matches the historical free function.  See the
+    engine's :meth:`~repro.api.QueryEngine.ask` for the parameters;
+    ``strategy`` may name any registered strategy (``"auto"`` picks
+    Yannakakis for acyclic queries and the ω-engine otherwise) and an
+    explicit ``plan`` implies the ``"omega"`` strategy.
     """
-    database.validate_against(query)
-    start = time.perf_counter()
+    from ..api.engine import QueryEngine
+
+    engine = QueryEngine(database, omega=omega, plan_cache_size=0)
     if plan is not None:
-        strategy = "omega"
-    if strategy == "auto":
-        strategy = "yannakakis" if query.is_acyclic() else "omega"
-    if strategy not in STRATEGIES:
-        raise ValueError(f"unknown strategy {strategy!r}; known: {STRATEGIES}")
-
-    if strategy == "naive":
-        answer = naive_boolean(query, database)
-        return EngineReport(answer, strategy, time.perf_counter() - start)
-    if strategy == "generic_join":
-        answer = generic_join_boolean(query, database)
-        return EngineReport(answer, strategy, time.perf_counter() - start)
-    if strategy == "yannakakis":
-        answer = yannakakis_boolean(query, database)
-        return EngineReport(answer, strategy, time.perf_counter() - start)
-
-    planned: Optional[PlannedQuery] = None
-    if plan is None:
-        planned = plan_query(query, database, omega)
-        plan = planned.plan
-    executor = PlanExecutor(query, database)
-    execution = executor.run(plan, omega)
-    return EngineReport(
-        answer=execution.answer,
-        strategy="omega",
-        seconds=time.perf_counter() - start,
-        plan=plan,
-        planned=planned,
-        execution=execution,
-    )
+        strategy = "omega"  # the historical contract: a plan implies "omega"
+    return _to_report(engine.ask(query, strategy=strategy, plan=plan))
 
 
 def compare_strategies(
@@ -115,19 +87,24 @@ def compare_strategies(
 ) -> Dict[str, EngineReport]:
     """Run several strategies on the same instance (answers must agree).
 
-    Raises ``AssertionError`` if two strategies disagree — this doubles as a
-    cross-validation harness in the integration tests.
+    Raises :class:`repro.api.StrategyDisagreement` — an
+    :class:`AssertionError` subclass carrying the per-strategy answers — if
+    two strategies disagree; this doubles as a cross-validation harness in
+    the integration tests.
     """
-    if strategies is None:
-        strategies = ["naive", "generic_join", "omega"]
-        if query.is_acyclic():
-            strategies.append("yannakakis")
-    reports = {
-        name: answer_boolean_query(query, database, strategy=name, omega=omega)
-        for name in strategies
-    }
-    answers = {report.answer for report in reports.values()}
-    if len(answers) > 1:
-        details = {name: report.answer for name, report in reports.items()}
-        raise AssertionError(f"strategies disagree on the Boolean answer: {details}")
-    return reports
+    from ..api.engine import QueryEngine
+
+    engine = QueryEngine(database, omega=omega, plan_cache_size=0)
+    results = engine.compare(query, strategies)
+    return {name: _to_report(result) for name, result in results.items()}
+
+
+def _to_report(result) -> EngineReport:
+    return EngineReport(
+        answer=result.answer,
+        strategy=result.strategy,
+        seconds=result.seconds,
+        plan=result.plan,
+        planned=result.planned,
+        execution=result.execution,
+    )

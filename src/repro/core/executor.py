@@ -57,6 +57,23 @@ class ExecutionResult:
     def total_intermediate_tuples(self) -> int:
         return sum(step.output_tuples for step in self.steps)
 
+    def describe(self) -> str:
+        """A per-step execution trace (method, sizes, matrix shapes)."""
+        lines = [f"answer: {self.answer}  ({self.seconds * 1000:.2f} ms)"]
+        for trace in self.steps:
+            block = "".join(sorted(trace.block))
+            detail = (
+                f"shape={trace.matrix_shape} groups={trace.group_count}"
+                if trace.method is StepMethod.MATRIX_MULTIPLICATION
+                else f"{trace.input_relations} relations"
+            )
+            lines.append(
+                f"  {{{block}}} via {trace.method.value}: "
+                f"{trace.input_tuples} -> {trace.output_tuples} tuples "
+                f"[{detail}, {trace.seconds * 1000:.2f} ms]"
+            )
+        return "\n".join(lines)
+
 
 class PlanExecutor:
     """Executes an :class:`OmegaQueryPlan` against a database."""

@@ -59,6 +59,14 @@ class PlanStep:
         assert self.mm_term is not None
         return f"eliminate {{{block}}} by {self.mm_term.label()}"
 
+    def rename(self, mapping: dict) -> "PlanStep":
+        """The same step over renamed variables (missing keys unchanged)."""
+        return PlanStep(
+            block=_rename_set(self.block, mapping),
+            method=self.method,
+            mm_term=_rename_term(self.mm_term, mapping),
+        )
+
 
 @dataclass(frozen=True)
 class OmegaQueryPlan:
@@ -91,6 +99,19 @@ class OmegaQueryPlan:
             for position, step in enumerate(self.steps)
         )
 
+    def rename(self, mapping: dict) -> "OmegaQueryPlan":
+        """The same plan over renamed variables.
+
+        The renaming must be injective on the plan's variables (enforced by
+        :meth:`Hypergraph.rename`).  Used by the plan cache to move plans
+        between a concrete query's variables and the canonical shape
+        variables, so one cached plan serves every isomorphic query.
+        """
+        return OmegaQueryPlan(
+            hypergraph=self.hypergraph.rename(mapping),
+            steps=tuple(step.rename(mapping) for step in self.steps),
+        )
+
     def validate(self) -> None:
         """Check each MM step's term against the elimination hypergraph sequence.
 
@@ -108,6 +129,21 @@ class OmegaQueryPlan:
                     f"MM term {step.mm_term.label()} is not realizable when "
                     f"eliminating {{{''.join(sorted(step.block))}}}"
                 )
+
+
+def _rename_set(variables: FrozenSet[str], mapping: dict) -> FrozenSet[str]:
+    return frozenset(mapping.get(v, v) for v in variables)
+
+
+def _rename_term(term: Optional[MMTerm], mapping: dict) -> Optional[MMTerm]:
+    if term is None:
+        return None
+    return MMTerm(
+        first=_rename_set(term.first, mapping),
+        second=_rename_set(term.second, mapping),
+        eliminated=_rename_set(term.eliminated, mapping),
+        group_by=_rename_set(term.group_by, mapping),
+    )
 
 
 def all_for_loop_plan(hypergraph: Hypergraph, order: Sequence) -> OmegaQueryPlan:

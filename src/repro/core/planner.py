@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import itertools
 import math
+import time
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
@@ -81,9 +82,15 @@ class PlannedQuery:
     plan: OmegaQueryPlan
     estimated_cost: float
     annotated_steps: List[PlannedStep]
+    #: Wall-clock planning time; set by :func:`plan_query`, zero for plans
+    #: built directly through :func:`plan_for_order`.
+    seconds: float = 0.0
 
     def describe(self) -> str:
-        lines = [f"estimated cost: {self.estimated_cost:.3g}"]
+        header = f"estimated cost: {self.estimated_cost:.3g}"
+        if self.seconds:
+            header += f" (planned in {self.seconds * 1000:.2f} ms)"
+        lines = [header]
         for annotated in self.annotated_steps:
             mm = (
                 f"{annotated.mm_cost:.3g}" if annotated.mm_cost is not None else "n/a"
@@ -253,6 +260,7 @@ def plan_query(
     orders: Optional[Iterable[Sequence[str]]] = None,
 ) -> PlannedQuery:
     """Pick the cheapest plan over the candidate elimination orders."""
+    start = time.perf_counter()
     if orders is None:
         orders = candidate_orders(query, database)
     best: Optional[PlannedQuery] = None
@@ -261,4 +269,5 @@ def plan_query(
         if best is None or planned.estimated_cost < best.estimated_cost:
             best = planned
     assert best is not None
+    best.seconds = time.perf_counter() - start
     return best

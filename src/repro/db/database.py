@@ -18,6 +18,7 @@ class Database:
 
     def __init__(self, relations: Mapping[str, Relation] | Iterable[Tuple[str, Relation]] = ()):
         self._relations: Dict[str, Relation] = {}
+        self._version = 0
         items = relations.items() if isinstance(relations, Mapping) else relations
         for name, relation in items:
             self[name] = relation
@@ -27,6 +28,14 @@ class Database:
         if not isinstance(relation, Relation):
             raise TypeError("databases store Relation objects")
         self._relations[name] = relation.with_name(name)
+        self._version += 1
+
+    def __delitem__(self, name: str) -> None:
+        if name not in self._relations:
+            known = ", ".join(sorted(self._relations))
+            raise KeyError(f"no relation {name!r}; known relations: {known}")
+        del self._relations[name]
+        self._version += 1
 
     def __getitem__(self, name: str) -> Relation:
         try:
@@ -51,6 +60,26 @@ class Database:
     def size(self) -> int:
         """Total number of tuples across all relations (the paper's ``N``)."""
         return sum(len(relation) for relation in self._relations.values())
+
+    @property
+    def version(self) -> int:
+        """A counter bumped by every mutation (relation set or deleted).
+
+        Plan caches key on :meth:`statistics_fingerprint`, which embeds
+        this counter, so any mutation invalidates previously cached plans.
+        """
+        return self._version
+
+    def statistics_fingerprint(self) -> Tuple[int, int]:
+        """A hashable fingerprint of the database statistics.
+
+        The mutation counter is the authoritative component: two calls on
+        the same database return equal fingerprints iff no mutation
+        happened in between.  The total size rides along so fingerprints
+        from *different* database objects (whose counters evolve
+        independently) are less likely to collide in a shared cache.
+        """
+        return (self._version, self.size)
 
     def copy(self) -> "Database":
         return Database(dict(self._relations))

@@ -9,12 +9,26 @@ database.
 
 from __future__ import annotations
 
+import itertools
+import math
 import re
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..hypergraph.hypergraph import Hypergraph
 from .relation import Relation
+
+#: A canonical shape signature: the sorted tuple of atom scopes after the
+#: variables have been renamed to canonical names ``v0, v1, ...``.
+ShapeSignature = Tuple[Tuple[str, ...], ...]
+
+#: Canonicalization tries at most this many variable orderings (the product
+#: of the factorials of the refinement-class sizes); beyond it a
+#: deterministic name-based tie-break is used instead, which still yields a
+#: consistent signature for *identical* queries but may distinguish some
+#: isomorphic ones.
+CANONICAL_SEARCH_LIMIT = 5040
 
 
 @dataclass(frozen=True)
@@ -89,20 +103,145 @@ class ConjunctiveQuery:
     def is_acyclic(self) -> bool:
         return self.hypergraph().is_acyclic()
 
+    # ------------------------------------------------------------------
+    # Canonical shape (plan-cache keys, isomorphic-batch grouping)
+    # ------------------------------------------------------------------
+    def canonical_mapping(self) -> Dict[str, str]:
+        """A bijection from this query's variables to canonical names.
+
+        Canonical names are ``v0, v1, ...``; two isomorphic queries (same
+        atom scopes up to a variable renaming, relation names ignored) map
+        onto the same canonical shape whenever the canonicalization search
+        stays within :data:`CANONICAL_SEARCH_LIMIT` orderings.
+        """
+        return dict(_canonical_mapping_cached(self))
+
+    def shape_signature(self) -> ShapeSignature:
+        """The canonical shape: sorted atom scopes over canonical names.
+
+        This is the hashable key used by the plan cache and by batch
+        execution to recognise repeated query shapes — it is invariant
+        under variable renaming and relation renaming (but preserves atom
+        multiplicity, unlike the deduplicated hypergraph).
+        """
+        mapping = self.canonical_mapping()
+        return tuple(
+            sorted(
+                tuple(sorted(mapping[v] for v in atom.variables))
+                for atom in self.atoms
+            )
+        )
+
     def __str__(self) -> str:
         body = ", ".join(str(atom) for atom in self.atoms)
         return f"{self.name}() :- {body}"
 
 
+# ----------------------------------------------------------------------
+# Canonicalization: colour refinement + bounded search
+# ----------------------------------------------------------------------
+def _refine_colors(
+    variables: Sequence[str], edges: Sequence[FrozenSet[str]]
+) -> Dict[str, int]:
+    """Partition the variables by iterated structural colour refinement.
+
+    Variables start coloured by the multiset of sizes of their incident
+    edges; each round re-colours a variable by the multiset of (sorted)
+    colour tuples of its incident edges.  The resulting colours are
+    isomorphism-invariant class indices (0, 1, ...).
+    """
+    incident = {v: [e for e in edges if v in e] for v in variables}
+    keys = {
+        v: (len(incident[v]), tuple(sorted(len(e) for e in incident[v])))
+        for v in variables
+    }
+    colors = _colors_from_keys(keys)
+    while True:
+        keys = {
+            v: (
+                colors[v],
+                tuple(
+                    sorted(
+                        tuple(sorted(colors[u] for u in edge))
+                        for edge in incident[v]
+                    )
+                ),
+            )
+            for v in variables
+        }
+        refined = _colors_from_keys(keys)
+        if len(set(refined.values())) == len(set(colors.values())):
+            return refined
+        colors = refined
+
+
+def _colors_from_keys(keys: Dict[str, tuple]) -> Dict[str, int]:
+    ordered = sorted(set(keys.values()))
+    index = {key: position for position, key in enumerate(ordered)}
+    return {v: index[keys[v]] for v in keys}
+
+
+def _signature_for_order(
+    order: Sequence[str], scopes: Sequence[FrozenSet[str]]
+) -> ShapeSignature:
+    mapping = {v: f"v{position}" for position, v in enumerate(order)}
+    return tuple(sorted(tuple(sorted(mapping[v] for v in scope)) for scope in scopes))
+
+
+@lru_cache(maxsize=512)
+def _canonical_mapping_cached(query: "ConjunctiveQuery") -> Tuple[Tuple[str, str], ...]:
+    scopes = [atom.variable_set for atom in query.atoms]
+    edges = sorted(set(scopes), key=sorted)
+    variables = sorted(query.variables)
+    colors = _refine_colors(variables, edges)
+    classes: List[List[str]] = []
+    for color in sorted(set(colors.values())):
+        classes.append(sorted(v for v in variables if colors[v] == color))
+    search_size = 1
+    for cls in classes:
+        search_size *= math.factorial(len(cls))
+        if search_size > CANONICAL_SEARCH_LIMIT:
+            break
+    if search_size > CANONICAL_SEARCH_LIMIT:
+        # Deterministic fallback: order within each class by name.  Exact
+        # repeats of the same query still share a signature.
+        order = [v for cls in classes for v in cls]
+        return tuple(
+            (v, f"v{position}") for position, v in enumerate(order)
+        )
+    best_order: Optional[Tuple[str, ...]] = None
+    best_signature: Optional[ShapeSignature] = None
+    for per_class in itertools.product(
+        *(itertools.permutations(cls) for cls in classes)
+    ):
+        order = tuple(v for cls in per_class for v in cls)
+        signature = _signature_for_order(order, scopes)
+        if best_signature is None or signature < best_signature:
+            best_signature = signature
+            best_order = order
+    assert best_order is not None
+    return tuple((v, f"v{position}") for position, v in enumerate(best_order))
+
+
 _ATOM_PATTERN = re.compile(r"([A-Za-z_][A-Za-z0-9_']*)\s*\(([^()]*)\)")
+_VARIABLE_PATTERN = re.compile(r"[A-Za-z_][A-Za-z0-9_']*")
 
 
-def parse_query(text: str, name: Optional[str] = None) -> ConjunctiveQuery:
+def parse_query(
+    text: str, name: Optional[str] = None, *, strict: bool = True
+) -> ConjunctiveQuery:
     """Parse a Datalog-style Boolean query.
 
     Accepts either a full rule ``Q() :- R(X, Y), S(Y, Z)`` or just the body
     ``R(X, Y), S(Y, Z)``.  Relation names and variables are identifiers
     (primes allowed, e.g. ``Z'``).
+
+    In strict mode (the default) any non-whitespace text in the body that
+    is not part of a well-formed atom — an unbalanced parenthesis, a
+    dangling identifier, a stray token between atoms — raises
+    :class:`ValueError` instead of being silently dropped, and every
+    variable must be a single identifier.  Pass ``strict=False`` for the
+    historical lenient behaviour.
 
     >>> q = parse_query("Q() :- R(X, Y), S(Y, Z), T(X, Z)")
     >>> sorted(q.variables)
@@ -124,13 +263,57 @@ def parse_query(text: str, name: Optional[str] = None) -> ConjunctiveQuery:
         elif head.strip():
             head_name = head_name or head.strip()
     atoms = []
+    cursor = 0
+    first = True
     for match in _ATOM_PATTERN.finditer(body):
+        if strict:
+            _require_atom_separator(
+                body, cursor, match.start(), "leading" if first else "between"
+            )
+        first = False
+        cursor = match.end()
         relation = match.group(1)
-        variables = [v.strip() for v in match.group(2).split(",") if v.strip()]
+        atom_body = match.group(2)
+        if strict and atom_body.strip():
+            variables = [v.strip() for v in atom_body.split(",")]
+            for variable in variables:
+                if not _VARIABLE_PATTERN.fullmatch(variable):
+                    shown = variable if variable else "<empty>"
+                    raise ValueError(
+                        f"malformed variable {shown!r} in atom "
+                        f"{relation}({atom_body.strip()}); "
+                        "use strict=False to ignore"
+                    )
+        else:
+            variables = [v.strip() for v in atom_body.split(",") if v.strip()]
         atoms.append(Atom(relation, tuple(variables)))
+    if strict:
+        _require_atom_separator(body, cursor, len(body), "trailing")
     if not atoms:
         raise ValueError(f"could not parse any atoms from {text!r}")
     return ConjunctiveQuery(tuple(atoms), name=head_name or "Q")
+
+
+#: What strict mode allows between atoms: exactly one comma ("leading" and
+#: "trailing" gaps around the body allow only whitespace).
+_SEPARATOR_PATTERNS = {
+    "leading": re.compile(r"\s*"),
+    "between": re.compile(r"\s*,\s*"),
+    "trailing": re.compile(r"\s*"),
+}
+
+
+def _require_atom_separator(body: str, start: int, end: int, position: str) -> None:
+    """Reject anything but the expected separator between matched atoms."""
+    gap = body[start:end]
+    if not _SEPARATOR_PATTERNS[position].fullmatch(gap):
+        expected = (
+            "a single comma" if position == "between" else "only whitespace"
+        )
+        raise ValueError(
+            f"malformed query: unparsed text {gap.strip()!r} between atoms "
+            f"(expected {expected}); use strict=False to ignore"
+        )
 
 
 def query_from_hypergraph(

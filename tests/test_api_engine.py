@@ -1,0 +1,524 @@
+"""Tests for the public API layer: QueryEngine, strategies, plan cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    DEFAULT_REGISTRY,
+    PlanCache,
+    QueryEngine,
+    Strategy,
+    StrategyDisagreement,
+    StrategyOutcome,
+    StrategyRegistry,
+    UnknownStrategyError,
+    available_strategies,
+    register_strategy,
+    unregister_strategy,
+)
+from repro.constants import OMEGA_BEST_KNOWN
+from repro.core import answer_boolean_query, compare_strategies
+from repro.db import (
+    Database,
+    Relation,
+    four_cycle_instance,
+    naive_boolean,
+    parse_query,
+    random_database,
+    triangle_instance,
+)
+
+OMEGA = OMEGA_BEST_KNOWN
+TRIANGLE = parse_query("Q() :- R(X, Y), S(Y, Z), T(X, Z)")
+FOUR_CYCLE = parse_query("Q() :- R(X, Y), S(Y, Z), T(Z, W), U(W, X)")
+
+
+def make_engine(num_edges=120, seed=1, **kwargs) -> QueryEngine:
+    db = triangle_instance(num_edges, domain_size=24, seed=seed, plant_triangle=True)
+    kwargs.setdefault("omega", OMEGA)
+    return QueryEngine(db, **kwargs)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        for name in ("naive", "generic_join", "yannakakis", "omega"):
+            assert name in DEFAULT_REGISTRY
+            assert DEFAULT_REGISTRY.get(name).name == name
+        assert set(available_strategies()) >= {
+            "naive", "generic_join", "yannakakis", "omega",
+        }
+
+    def test_unknown_strategy_is_value_error(self):
+        with pytest.raises(UnknownStrategyError):
+            DEFAULT_REGISTRY.get("magic")
+        with pytest.raises(ValueError):
+            DEFAULT_REGISTRY.get("magic")
+
+    def test_duplicate_registration_rejected(self):
+        registry = StrategyRegistry()
+
+        class Dummy(Strategy):
+            name = "dummy"
+
+            def execute(self, query, database, omega, plan=None):
+                return StrategyOutcome(answer=True)
+
+        register_strategy(Dummy, registry=registry)
+        with pytest.raises(ValueError):
+            register_strategy(Dummy, registry=registry)
+        register_strategy(Dummy, registry=registry, replace=True)
+        assert registry.get("dummy").name == "dummy"
+
+    def test_custom_strategy_end_to_end(self):
+        @register_strategy
+        class ConstantTrue(Strategy):
+            name = "constant_true"
+
+            def execute(self, query, database, omega, plan=None):
+                return StrategyOutcome(answer=True)
+
+        try:
+            engine = make_engine()
+            result = engine.ask(TRIANGLE, strategy="constant_true")
+            assert result.answer is True
+            assert result.strategy == "constant_true"
+            assert result.plan_source == "none"
+        finally:
+            unregister_strategy("constant_true")
+        with pytest.raises(UnknownStrategyError):
+            make_engine().ask(TRIANGLE, strategy="constant_true")
+
+    def test_engine_local_registry_isolated(self):
+        registry = DEFAULT_REGISTRY.copy()
+
+        class Local(Strategy):
+            name = "local_only"
+
+            def execute(self, query, database, omega, plan=None):
+                return StrategyOutcome(answer=False)
+
+        register_strategy(Local, registry=registry)
+        engine = make_engine(registry=registry)
+        assert engine.ask(TRIANGLE, strategy="local_only").answer is False
+        assert "local_only" not in DEFAULT_REGISTRY
+
+
+class TestPlanCache:
+    def test_second_ask_hits_cache_and_skips_planning(self):
+        engine = make_engine()
+        first = engine.ask(TRIANGLE, strategy="omega")
+        assert not first.cache_hit
+        assert first.plan_source == "planner"
+        assert first.plan_seconds > 0
+        second = engine.ask(TRIANGLE, strategy="omega")
+        assert second.cache_hit
+        assert second.plan_source == "cache"
+        assert second.plan_seconds == 0.0
+        assert second.answer == first.answer
+        assert second.plan == first.plan
+        stats = engine.cache_info()
+        assert stats.hits == 1 and stats.misses == 1 and stats.size == 1
+
+    def test_isomorphic_shape_shares_plan(self):
+        db = triangle_instance(120, domain_size=24, seed=5)
+        both = Database(
+            dict(list(db.items()) + [("A", db["R"]), ("B", db["S"]), ("C", db["T"])])
+        )
+        engine = QueryEngine(both, omega=OMEGA)
+        renamed = parse_query("Q() :- A(U, V), B(V, W), C(U, W)")
+        assert TRIANGLE.shape_signature() == renamed.shape_signature()
+        engine.ask(TRIANGLE, strategy="omega")
+        result = engine.ask(renamed, strategy="omega")
+        assert result.cache_hit
+        result.plan.validate()
+        assert result.answer == naive_boolean(renamed, both)
+
+    def test_database_mutation_invalidates(self):
+        engine = make_engine()
+        engine.ask(TRIANGLE, strategy="omega")
+        assert engine.ask(TRIANGLE, strategy="omega").cache_hit
+        engine.database["R"] = engine.database["R"]  # same content, still a mutation
+        after = engine.ask(TRIANGLE, strategy="omega")
+        assert not after.cache_hit
+        assert after.plan_source == "planner"
+
+    def test_relation_delete_bumps_fingerprint(self):
+        db = triangle_instance(30, domain_size=10, seed=0)
+        before = db.statistics_fingerprint()
+        del db["R"]
+        assert db.statistics_fingerprint() != before
+        with pytest.raises(KeyError):
+            del db["R"]
+
+    def test_omega_changes_miss(self):
+        engine = make_engine()
+        engine.ask(TRIANGLE, strategy="omega", omega=2.0)
+        result = engine.ask(TRIANGLE, strategy="omega", omega=3.0)
+        assert not result.cache_hit
+
+    def test_cache_disabled(self):
+        engine = make_engine(plan_cache_size=0)
+        engine.ask(TRIANGLE, strategy="omega")
+        result = engine.ask(TRIANGLE, strategy="omega")
+        assert not result.cache_hit
+        assert engine.cache_info().size == 0
+
+    def test_lru_eviction(self):
+        db = Database(
+            {
+                "R": Relation(("A", "B"), [(1, 2)]),
+                "S": Relation(("B", "C"), [(2, 3)]),
+                "T": Relation(("A", "C"), [(1, 3)]),
+                "U": Relation(("C", "D"), [(3, 1)]),
+            }
+        )
+        engine = QueryEngine(db, omega=OMEGA, plan_cache_size=2)
+        four_cycle = parse_query("Q() :- R(X, Y), S(Y, Z), T(X, Z), U(Z, W)")
+        path = parse_query("Q() :- R(X, Y), S(Y, Z)")
+        engine.ask(TRIANGLE, strategy="omega")
+        engine.ask(four_cycle, strategy="omega")
+        engine.ask(path, strategy="omega")  # evicts the triangle entry
+        stats = engine.cache_info()
+        assert stats.evictions == 1 and stats.size == 2
+        assert not engine.ask(TRIANGLE, strategy="omega").cache_hit
+
+    def test_same_shape_different_relation_sizes_not_shared(self):
+        small = triangle_instance(40, domain_size=12, seed=1)
+        both = Database(dict(small.items()))
+        big = triangle_instance(400, domain_size=40, seed=2)
+        for name, source in (("A", "R"), ("B", "S"), ("C", "T")):
+            both[name] = big[source]
+        engine = QueryEngine(both, omega=OMEGA)
+        engine.ask(TRIANGLE, strategy="omega")
+        over_big = parse_query("Q() :- A(X, Y), B(Y, Z), C(X, Z)")
+        result = engine.ask(over_big, strategy="omega")
+        assert not result.cache_hit  # same shape, different statistics
+        assert result.plan_source == "planner"
+
+    def test_alias_strategies_do_not_share_cache_entries(self):
+        from repro.api.strategies import OmegaStrategy
+
+        plan_calls = []
+
+        class MyOmega(OmegaStrategy):
+            name = "omega"  # deliberately the same .name as the built-in
+
+            def plan(self, query, database, omega):
+                plan_calls.append(query)
+                return super().plan(query, database, omega)
+
+        registry = DEFAULT_REGISTRY.copy()
+        registry.register(MyOmega(), name="my_omega")
+        engine = make_engine(registry=registry)
+        engine.ask(TRIANGLE, strategy="omega")
+        result = engine.ask(TRIANGLE, strategy="my_omega")
+        assert not result.cache_hit  # the alias plans for itself
+        assert plan_calls == [TRIANGLE]
+        assert result.strategy == "my_omega"
+        assert engine.ask(TRIANGLE, strategy="my_omega").cache_hit
+
+    def test_cache_stats_hit_rate(self):
+        from repro.core import all_for_loop_plan
+        from repro.hypergraph import triangle
+
+        cache = PlanCache(maxsize=1)
+        key = ("omega", (("v0", "v1"),), 2.0, (0, ()))
+        assert cache.get(key) is None
+        plan = all_for_loop_plan(triangle(), ["X", "Y", "Z"])
+        cache.put(key, plan)
+        assert cache.get(key) is plan
+        stats = cache.stats()
+        assert stats.hits == 1 and stats.misses == 1
+        assert stats.hit_rate == 0.5
+
+    def test_clear_plan_cache(self):
+        engine = make_engine()
+        engine.ask(TRIANGLE, strategy="omega")
+        engine.clear_plan_cache()
+        assert not engine.ask(TRIANGLE, strategy="omega").cache_hit
+
+
+class TestAsk:
+    @pytest.mark.parametrize("strategy", ["naive", "generic_join", "omega"])
+    def test_strategies_match_naive(self, strategy):
+        for seed in range(3):
+            db = triangle_instance(
+                80, domain_size=18, seed=seed, plant_triangle=(seed % 2 == 0)
+            )
+            engine = QueryEngine(db, omega=OMEGA)
+            result = engine.ask(TRIANGLE, strategy=strategy)
+            assert result.answer == naive_boolean(TRIANGLE, db)
+            assert result.seconds >= result.execute_seconds
+
+    def test_auto_uses_yannakakis_for_acyclic(self):
+        q = parse_query("Q() :- R(X, Y), S(Y, Z)")
+        db = random_database(q, 30, seed=3, plant_witness=True)
+        result = QueryEngine(db, omega=OMEGA).ask(q)
+        assert result.strategy == "yannakakis"
+        assert result.answer
+
+    def test_yannakakis_rejected_for_cyclic(self):
+        engine = make_engine()
+        with pytest.raises(ValueError):
+            engine.ask(TRIANGLE, strategy="yannakakis")
+
+    def test_explicit_plan_bypasses_cache(self):
+        from repro.core import all_for_loop_plan
+        from repro.hypergraph import triangle
+
+        engine = make_engine()
+        plan = all_for_loop_plan(triangle(), ["Z", "Y", "X"])
+        result = engine.ask(TRIANGLE, plan=plan)
+        assert result.strategy == "omega"
+        assert result.plan_source == "given"
+        assert result.answer
+        assert engine.cache_info().misses == 0
+
+    def test_explicit_plan_needs_plan_based_strategy(self):
+        from repro.core import all_for_loop_plan
+        from repro.hypergraph import triangle
+
+        engine = make_engine()
+        plan = all_for_loop_plan(triangle(), ["X", "Y", "Z"])
+        with pytest.raises(ValueError, match="does not execute plans"):
+            engine.ask(TRIANGLE, strategy="naive", plan=plan)
+
+    def test_describe_mentions_timing_breakdown(self):
+        engine = make_engine()
+        result = engine.ask(TRIANGLE, strategy="omega")
+        text = result.describe()
+        assert "plan" in text and "execute" in text and "strategy" in text
+
+
+class TestAskMany:
+    def test_batch_groups_isomorphic_shapes(self):
+        db = triangle_instance(100, domain_size=20, seed=7)
+        both = Database(
+            dict(list(db.items()) + [("A", db["R"]), ("B", db["S"]), ("C", db["T"])])
+        )
+        renamed = parse_query("Q() :- A(U, V), B(V, W), C(U, W)")
+        engine = QueryEngine(both, omega=OMEGA)
+        results = engine.ask_many([TRIANGLE, renamed, TRIANGLE], strategy="omega")
+        assert len(results) == 3
+        assert [r.query for r in results] == [TRIANGLE, renamed, TRIANGLE]
+        assert not results[0].cache_hit
+        assert results[1].cache_hit and results[2].cache_hit
+        answers = {r.answer for r in results}
+        assert answers == {naive_boolean(TRIANGLE, both)}
+
+    def test_batch_shares_plans_without_cache(self):
+        db = triangle_instance(100, domain_size=20, seed=8)
+        both = Database(
+            dict(list(db.items()) + [("A", db["R"]), ("B", db["S"]), ("C", db["T"])])
+        )
+        renamed = parse_query("Q() :- A(U, V), B(V, W), C(U, W)")
+        engine = QueryEngine(both, omega=OMEGA, plan_cache_size=0)
+        results = engine.ask_many([TRIANGLE, renamed], strategy="omega")
+        assert results[0].plan_source == "planner"
+        assert results[1].plan_source == "batch"
+        assert results[1].answer == naive_boolean(renamed, both)
+
+    def test_batch_keeps_custom_plan_based_strategy(self):
+        from repro.core import PlanExecutor, plan_query
+
+        @register_strategy
+        class CustomOmega(Strategy):
+            name = "custom_omega"
+            uses_plans = True
+
+            def plan(self, query, database, omega):
+                return plan_query(query, database, omega)
+
+            def execute(self, query, database, omega, plan=None):
+                if plan is None:
+                    plan = self.plan(query, database, omega).plan
+                execution = PlanExecutor(query, database).run(plan, omega)
+                return StrategyOutcome(answer=execution.answer, execution=execution)
+
+        try:
+            db = triangle_instance(80, domain_size=18, seed=4)
+            both = Database(
+                dict(
+                    list(db.items())
+                    + [("A", db["R"]), ("B", db["S"]), ("C", db["T"])]
+                )
+            )
+            renamed = parse_query("Q() :- A(U, V), B(V, W), C(U, W)")
+            engine = QueryEngine(both, omega=OMEGA, plan_cache_size=0)
+            results = engine.ask_many([TRIANGLE, renamed], strategy="custom_omega")
+            assert [r.strategy for r in results] == ["custom_omega", "custom_omega"]
+            assert results[1].plan_source == "batch"
+            assert {r.answer for r in results} == {naive_boolean(TRIANGLE, both)}
+        finally:
+            unregister_strategy("custom_omega")
+
+    def test_batch_does_not_share_across_different_sizes(self):
+        small = triangle_instance(30, domain_size=10, seed=1)
+        big = triangle_instance(300, domain_size=30, seed=2)
+        both = Database(dict(small.items()))
+        for name, source in (("A", "R"), ("B", "S"), ("C", "T")):
+            both[name] = big[source]
+        over_big = parse_query("Q() :- A(X, Y), B(Y, Z), C(X, Z)")
+        engine = QueryEngine(both, omega=OMEGA, plan_cache_size=0)
+        results = engine.ask_many([TRIANGLE, over_big], strategy="omega")
+        # Same shape but different relation statistics: both plan afresh.
+        assert [r.plan_source for r in results] == ["planner", "planner"]
+
+    def test_batch_mixed_strategies_auto(self):
+        q_acyclic = parse_query("Q() :- R(X, Y), S(Y, Z)")
+        db = triangle_instance(60, domain_size=14, seed=2)
+        engine = QueryEngine(db, omega=OMEGA)
+        results = engine.ask_many([TRIANGLE, q_acyclic])
+        assert results[0].strategy == "omega"
+        assert results[1].strategy == "yannakakis"
+
+
+class TestExplain:
+    def test_explain_reports_plan_without_execution(self):
+        engine = make_engine()
+        explanation = engine.explain(TRIANGLE, strategy="omega")
+        assert explanation.strategy == "omega"
+        assert explanation.planned is not None
+        assert not explanation.is_acyclic
+        assert "eliminate" in explanation.describe()
+
+    def test_explain_warms_the_cache(self):
+        engine = make_engine()
+        engine.explain(TRIANGLE, strategy="omega")
+        assert engine.ask(TRIANGLE, strategy="omega").cache_hit
+
+    def test_explain_rejects_unsupported_strategy(self):
+        engine = make_engine()
+        with pytest.raises(ValueError, match="does not support"):
+            engine.explain(TRIANGLE, strategy="yannakakis")
+
+    def test_explain_with_widths(self):
+        engine = make_engine()
+        explanation = engine.explain(TRIANGLE, strategy="omega", include_widths=True)
+        values = dict(explanation.widths)
+        assert pytest.approx(1.5) == values["fractional edge cover ρ*"]
+        assert pytest.approx(1.5) == values["fractional hypertree width"]
+
+
+class TestCompareAndDisagreement:
+    def test_compare_agrees(self):
+        engine = make_engine()
+        results = engine.compare(TRIANGLE)
+        assert set(results) == {"naive", "generic_join", "omega"}
+        assert len({r.answer for r in results.values()}) == 1
+
+    def test_disagreement_carries_answers(self):
+        @register_strategy
+        class ConstantFalse(Strategy):
+            name = "constant_false"
+
+            def execute(self, query, database, omega, plan=None):
+                return StrategyOutcome(answer=False)
+
+        try:
+            engine = make_engine()  # plants a triangle: naive says True
+            with pytest.raises(StrategyDisagreement) as excinfo:
+                engine.compare(TRIANGLE, ["naive", "constant_false"])
+            error = excinfo.value
+            assert error.answers == {"naive": True, "constant_false": False}
+            assert error.query is TRIANGLE
+            assert set(error.results) == {"naive", "constant_false"}
+            assert isinstance(error, AssertionError)  # legacy contract
+        finally:
+            unregister_strategy("constant_false")
+
+
+class TestBackCompatWrappers:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("strategy", ["naive", "generic_join", "omega", "auto"])
+    def test_answer_boolean_query_matches_engine(self, seed, strategy):
+        db = triangle_instance(
+            70, domain_size=16, seed=seed, plant_triangle=(seed % 2 == 0)
+        )
+        report = answer_boolean_query(TRIANGLE, db, strategy=strategy, omega=OMEGA)
+        engine_result = QueryEngine(db, omega=OMEGA).ask(TRIANGLE, strategy=strategy)
+        assert report.answer == engine_result.answer
+        assert report.strategy == engine_result.strategy
+
+    def test_compare_strategies_matches_engine(self):
+        db = four_cycle_instance(60, domain_size=14, seed=2, plant_cycle=True)
+        reports = compare_strategies(FOUR_CYCLE, db, omega=OMEGA)
+        assert len({r.answer for r in reports.values()}) == 1
+        assert set(reports) == {"naive", "generic_join", "omega"}
+
+    def test_compare_strategies_raises_strategy_disagreement(self):
+        @register_strategy
+        class ConstantFalse2(Strategy):
+            name = "constant_false2"
+
+            def execute(self, query, database, omega, plan=None):
+                return StrategyOutcome(answer=False)
+
+        try:
+            db = triangle_instance(50, domain_size=12, seed=0, plant_triangle=True)
+            with pytest.raises(StrategyDisagreement):
+                compare_strategies(TRIANGLE, db, ["naive", "constant_false2"])
+            with pytest.raises(AssertionError):
+                compare_strategies(TRIANGLE, db, ["naive", "constant_false2"])
+        finally:
+            unregister_strategy("constant_false2")
+
+
+class TestCanonicalSignatures:
+    def test_isomorphic_queries_share_signature(self):
+        a = parse_query("Q() :- R(X, Y), S(Y, Z), T(X, Z)")
+        b = parse_query("Q() :- Edge1(C, A), Edge2(A, B), Edge3(B, C)")
+        assert a.shape_signature() == b.shape_signature()
+
+    def test_non_isomorphic_queries_differ(self):
+        triangle = parse_query("Q() :- R(X, Y), S(Y, Z), T(X, Z)")
+        path = parse_query("Q() :- R(X, Y), S(Y, Z), T(Z, W)")
+        assert triangle.shape_signature() != path.shape_signature()
+
+    def test_four_cycle_signature_invariant_under_rotation(self):
+        a = parse_query("Q() :- R(X, Y), S(Y, Z), T(Z, W), U(W, X)")
+        b = parse_query("Q() :- R(W, X), S(X, Y), T(Y, Z), U(Z, W)")
+        assert a.shape_signature() == b.shape_signature()
+
+    def test_mapping_is_a_bijection(self):
+        mapping = FOUR_CYCLE.canonical_mapping()
+        assert set(mapping) == set(FOUR_CYCLE.variables)
+        assert len(set(mapping.values())) == len(mapping)
+
+
+class TestStrictParsing:
+    def test_unbalanced_atom_raises(self):
+        with pytest.raises(ValueError, match="unparsed text"):
+            parse_query("Q() :- R(X, Y), S(Y, Z")
+
+    def test_garbage_between_atoms_raises(self):
+        with pytest.raises(ValueError, match="unparsed text"):
+            parse_query("R(X, Y) AND S(Y, Z)")
+
+    def test_malformed_variable_raises(self):
+        with pytest.raises(ValueError, match="malformed variable"):
+            parse_query("R(X, Y), S(Y Z)")
+
+    def test_doubled_comma_raises(self):
+        with pytest.raises(ValueError, match="malformed variable"):
+            parse_query("Q() :- R(X,,Y), S(Y, Z)")
+
+    def test_missing_comma_between_atoms_raises(self):
+        with pytest.raises(ValueError, match="single comma"):
+            parse_query("Q() :- R(X, Y) S(Y, Z)")
+
+    def test_trailing_comma_raises(self):
+        with pytest.raises(ValueError, match="unparsed text"):
+            parse_query("Q() :- R(X, Y), S(Y, Z),")
+
+    def test_lenient_mode_keeps_old_behaviour(self):
+        query = parse_query("R(X, Y) AND S(Y, Z)", strict=False)
+        assert len(query.atoms) == 2
+        assert len(parse_query("R(X,,Y)", strict=False).atoms[0].variables) == 2
+
+    def test_well_formed_queries_still_parse(self):
+        query = parse_query("Q() :- R(X, Y), S(Y, Z), T(X, Z)")
+        assert sorted(query.variables) == ["X", "Y", "Z"]
+        body_only = parse_query("R(X', Y), S(Y, Z)")
+        assert len(body_only.atoms) == 2
