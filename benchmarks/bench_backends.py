@@ -1,0 +1,132 @@
+"""SetBackend vs ColumnarBackend on semijoin-heavy workloads.
+
+The columnar backend's pitch is that the hot loops of the combinatorial
+algorithms — semijoin reductions above all — become vectorized probes on
+dictionary-encoded code arrays instead of per-row Python hashing.  Two
+workloads quantify it:
+
+* ``yannakakis_chain`` — the full Yannakakis pipeline (GYO join tree +
+  semijoin reduction) on an acyclic 4-atom chain query over ≥10^5-row
+  random binary relations, driven through :class:`repro.api.QueryEngine`;
+* ``semijoin_kernel`` — one raw ``R(X,Y) ⋉ S(Y,Z)`` reduction at the same
+  scale, isolating the kernel from planning and tree construction.
+
+Each workload runs under both backends on identical data (same seeds); the
+timings, answers and the columnar-vs-set speedup land in
+``benchmarks/results/backends.txt``.  Setting ``REPRO_BENCH_TINY=1``
+shrinks the inputs so CI can smoke-run the file in seconds.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.api import QueryEngine
+from repro.db import Database, Relation, parse_query
+
+from benchmarks._reporting import write_table
+
+TINY = os.environ.get("REPRO_BENCH_TINY", "").strip().lower() in ("1", "true", "yes")
+CHAIN_ROWS = 2_000 if TINY else 120_000
+KERNEL_ROWS = 2_000 if TINY else 200_000
+BACKENDS = ("set", "columnar")
+
+CHAIN_QUERY = parse_query(
+    "Q() :- R1(X0, X1), R2(X1, X2), R3(X2, X3), R4(X3, X4)"
+)
+
+#: (workload, backend) -> (rows, mean seconds, answer)
+RESULTS = {}
+
+
+def _random_columns(seed: int, num_rows: int, domain: int):
+    rng = np.random.default_rng(seed)
+    return (
+        rng.integers(0, domain, num_rows).tolist(),
+        rng.integers(0, domain, num_rows).tolist(),
+    )
+
+
+def _chain_database(backend: str) -> Database:
+    domain = max(4, CHAIN_ROWS // 2)
+    tables = {}
+    for position in range(1, 5):
+        columns = _random_columns(1000 + position, CHAIN_ROWS, domain)
+        tables[f"R{position}"] = Relation.from_columns(
+            ("A", "B"), columns, backend=backend
+        )
+    return Database(backend=backend).bulk_load(tables)
+
+
+def _write_results() -> None:
+    workloads = {workload for workload, _ in RESULTS}
+    if any(
+        (workload, backend) not in RESULTS
+        for workload in workloads
+        for backend in BACKENDS
+    ):
+        # Partial run (e.g. ``-k columnar``): leave the committed artifact
+        # alone rather than overwrite it with incomparable rows.
+        return
+    rows = []
+    for (workload, backend), (num_rows, seconds, answer) in sorted(RESULTS.items()):
+        reference = RESULTS[(workload, "set")]
+        speedup = (
+            reference[1] / seconds
+            if backend == "columnar" and seconds
+            else float("nan")
+        )
+        rows.append((workload, backend, num_rows, seconds, speedup, answer))
+    write_table(
+        "backends",
+        ("workload", "backend", "rows_per_relation", "seconds", "speedup_vs_set", "answer"),
+        rows,
+    )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_yannakakis_chain(benchmark, backend):
+    database = _chain_database(backend)
+    engine = QueryEngine(database)
+
+    def run():
+        return engine.ask(CHAIN_QUERY, strategy="yannakakis").answer
+
+    answer = benchmark.pedantic(run, rounds=3, iterations=1)
+    RESULTS[("yannakakis_chain", backend)] = (
+        CHAIN_ROWS,
+        float(benchmark.stats.stats.mean),
+        answer,
+    )
+    other = RESULTS.get(("yannakakis_chain", "set"))
+    if backend == "columnar" and other is not None:
+        assert answer == other[2]  # backends must agree
+    _write_results()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_semijoin_kernel(benchmark, backend):
+    domain = max(4, KERNEL_ROWS // 2)
+    left = Relation.from_columns(
+        ("X", "Y"), _random_columns(7, KERNEL_ROWS, domain), backend=backend
+    )
+    right = Relation.from_columns(
+        ("Y", "Z"), _random_columns(8, KERNEL_ROWS, domain), backend=backend
+    )
+
+    def run():
+        return len(left.semijoin(right))
+
+    survivors = benchmark.pedantic(run, rounds=3, iterations=1)
+    RESULTS[("semijoin_kernel", backend)] = (
+        KERNEL_ROWS,
+        float(benchmark.stats.stats.mean),
+        survivors,
+    )
+    other = RESULTS.get(("semijoin_kernel", "set"))
+    if backend == "columnar" and other is not None:
+        assert survivors == other[2]  # identical surviving-row counts
+    _write_results()

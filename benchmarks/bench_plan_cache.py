@@ -13,6 +13,8 @@ throughput and the planning-time share in
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.api import QueryEngine
@@ -22,7 +24,11 @@ from repro.db import four_cycle_instance, parse_query, triangle_instance
 from benchmarks._reporting import write_table
 
 OMEGA = OMEGA_BEST_KNOWN
-REPEATS = 25
+#: ``REPRO_BENCH_TINY=1`` shrinks inputs so CI can smoke-run the harness.
+TINY = os.environ.get("REPRO_BENCH_TINY", "").strip().lower() in ("1", "true", "yes")
+REPEATS = 5 if TINY else 25
+TRIANGLE_EDGES = 120 if TINY else 1_200
+CYCLE_EDGES = 80 if TINY else 700
 ROWS = []
 
 WORKLOADS = {
@@ -32,14 +38,14 @@ WORKLOADS = {
             # An isomorphic renaming: must hit the same cache entry.
             parse_query("Q() :- R(A, B), S(B, C), T(A, C)"),
         ],
-        lambda: triangle_instance(1_200, domain_size=70, seed=11),
+        lambda: triangle_instance(TRIANGLE_EDGES, domain_size=70, seed=11),
     ),
     "4cycle": (
         [
             parse_query("Q() :- R(X, Y), S(Y, Z), T(Z, W), U(W, X)"),
             parse_query("Q() :- R(P, Q'), S(Q', V), T(V, W), U(W, P)"),
         ],
-        lambda: four_cycle_instance(700, domain_size=50, seed=12),
+        lambda: four_cycle_instance(CYCLE_EDGES, domain_size=50, seed=12),
     ),
 }
 

@@ -10,7 +10,9 @@ wrappers over it.  The moving parts:
     width measures without executing, ``engine.ask_many(queries)`` runs a
     batch while sharing plans across isomorphic query shapes, and
     ``engine.compare(query)`` cross-validates strategies (raising
-    :class:`StrategyDisagreement` on mismatch).
+    :class:`StrategyDisagreement` on mismatch).  ``QueryEngine(db,
+    backend="columnar")`` converts the database to a storage backend (see
+    :mod:`repro.db.backends`) so every strategy runs on its kernels.
 
 Strategy registry (:mod:`repro.api.strategies`)
     Every execution method is a :class:`Strategy` registered by name —

@@ -125,6 +125,11 @@ class QueryEngine:
     plan_cache_size:
         Maximum number of cached plans (LRU eviction); ``0`` disables the
         cache.
+    backend:
+        Optional storage backend name (``"set"``, ``"columnar"``); when
+        given, the database's relations are converted in place via
+        :meth:`Database.convert_backend` so every strategy runs on that
+        representation.  ``None`` leaves the database untouched.
     """
 
     def __init__(
@@ -134,7 +139,10 @@ class QueryEngine:
         omega: float = DEFAULT_OMEGA,
         registry: Optional[StrategyRegistry] = None,
         plan_cache_size: int = 128,
+        backend: Optional[str] = None,
     ) -> None:
+        if backend is not None:
+            database.convert_backend(backend)
         self.database = database
         self.omega = omega
         self.registry = registry if registry is not None else DEFAULT_REGISTRY

@@ -133,7 +133,7 @@ def _two_paths(
     first, second = endpoints
     degrees_left = left.degree_map([first], [middle])
     degrees_right = right.degree_map([second], [middle])
-    middle_values = set(left.column_values(middle)) & set(right.column_values(middle))
+    middle_values = left.column_values(middle) & right.column_values(middle)
     heavy = {
         value
         for value in middle_values
@@ -141,13 +141,13 @@ def _two_paths(
     }
     light = middle_values - heavy
 
-    light_left = left.select(lambda row: row[middle] in light)
-    light_right = right.select(lambda row: row[middle] in light)
+    light_left = left.restrict(middle, light)
+    light_right = right.restrict(middle, light)
     light_pairs = light_left.join(light_right).project([first, second])
     inspected = len(light_left) + len(light_right)
 
-    heavy_left = left.select(lambda row: row[middle] in heavy)
-    heavy_right = right.select(lambda row: row[middle] in heavy)
+    heavy_left = left.restrict(middle, heavy)
+    heavy_right = right.restrict(middle, heavy)
     if heavy_left.is_empty() or heavy_right.is_empty():
         return light_pairs, inspected
     left_matrix, first_index, middle_index = heavy_left.to_matrix([first], [middle])

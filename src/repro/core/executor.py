@@ -27,7 +27,7 @@ from ..constants import DEFAULT_OMEGA
 from ..db.database import Database
 from ..db.query import ConjunctiveQuery
 from ..db.relation import Relation
-from ..matmul.boolean import boolean_multiply
+from ..matmul.boolean import boolean_multiply, matrix_from_pairs
 from ..width.mm_expr import MMTerm
 from .plan import OmegaQueryPlan, PlanStep, StepMethod
 
@@ -207,8 +207,9 @@ def _eliminate_by_matrix_multiplication(
     b_col_vars = sorted(second) + b_extra
     schema = a_row_vars + b_col_vars + common_group
 
+    backend_kind = incident[0].backend_kind
     if a_joined.is_empty() or b_joined.is_empty():
-        return Relation(schema, ()), (0, 0, 0), 0
+        return Relation(schema, (), backend=backend_kind), (0, 0, 0), 0
 
     a_groups = _group_rows(a_joined, common_group)
     b_groups = _group_rows(b_joined, common_group)
@@ -238,7 +239,9 @@ def _eliminate_by_matrix_multiplication(
         nonzero_rows, nonzero_cols = np.nonzero(product)
         for i, j in zip(nonzero_rows.tolist(), nonzero_cols.tolist()):
             rows_out.append(row_values[i] + col_values[j] + group_key)
-    produced = Relation(schema, rows_out)
+    # Keep the incident relations' storage backend so downstream steps stay
+    # on the vectorized kernels when the database is columnar.
+    produced = Relation(schema, rows_out, backend=backend_kind)
     return produced, max_shape, groups_done
 
 
@@ -288,8 +291,10 @@ def _binary_matrix(
     for _, col_key in sorted(pairs):
         if col_key not in col_index:
             col_index[col_key] = len(col_index)
-    matrix = np.zeros((max(len(row_index), 1), max(len(col_index), 1)), dtype=np.uint8)
-    for row_key, col_key in pairs:
-        if row_key in row_index and col_key in col_index:
-            matrix[row_index[row_key], col_index[col_key]] = 1
+    matrix = matrix_from_pairs(
+        pairs,
+        row_index,
+        col_index,
+        shape=(max(len(row_index), 1), max(len(col_index), 1)),
+    )
     return matrix, row_index, col_index

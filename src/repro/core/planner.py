@@ -11,9 +11,12 @@ estimates
   rectangular-multiplication cost on the actual matrix dimensions —
 
 and picks the cheaper method per step and the cheapest order overall.  The
-estimates use actual relation statistics (sizes, distinct counts, degrees)
-but are heuristic for intermediate results (AGM-style upper bounds), which
-is the standard optimizer trade-off.
+estimates consume the relations' cached
+:class:`~repro.db.backends.RelationStats` (sizes, distinct counts
+``V(A, r)`` and conditional degrees ``deg(Y | X)``, computed once by the
+storage backend and shared across every candidate order) but are heuristic
+for intermediate results (AGM-style upper bounds), which is the standard
+optimizer trade-off.
 """
 
 from __future__ import annotations
@@ -25,6 +28,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from ..constants import DEFAULT_OMEGA
+from ..db.backends import RelationStats
 from ..db.database import Database
 from ..db.query import ConjunctiveQuery
 from ..db.relation import Relation
@@ -40,22 +44,32 @@ EXHAUSTIVE_ORDER_LIMIT = 6
 
 @dataclass
 class _Estimate:
-    """A pseudo-relation used during planning: a scope and a size estimate."""
+    """A pseudo-relation used during planning: a scope and a size estimate.
+
+    Estimates built from base relations carry the backend's cached
+    :class:`~repro.db.backends.RelationStats`, which the join-size bound
+    uses for degree-based (``deg(Y | X)``) chaining; estimates for
+    intermediate results have ``stats=None`` and fall back to AGM-style
+    size products.
+    """
 
     variables: FrozenSet[str]
     size: float
     distinct: Dict[str, float]
+    stats: Optional["RelationStats"] = None
 
     @classmethod
     def from_relation(cls, relation: Relation) -> "_Estimate":
+        stats = relation.stats
         distinct = {
-            variable: max(1, len(relation.column_values(variable)))
+            variable: float(max(1, stats.distinct(variable)))
             for variable in relation.schema
         }
         return cls(
             variables=relation.variables,
-            size=float(max(1, len(relation))),
+            size=float(max(1, stats.n_rows)),
             distinct=distinct,
+            stats=stats,
         )
 
 
@@ -117,23 +131,43 @@ def _distinct_estimate(estimates: Sequence[_Estimate], variables: Iterable[str])
 
 
 def _join_size_bound(estimates: Sequence[_Estimate], scope: FrozenSet[str]) -> float:
-    """A crude AGM-style bound: greedy cover of the scope by the estimates."""
+    """A degree-refined AGM-style bound: greedy cover of the scope.
+
+    The greedy cover repeatedly takes the estimate covering the most
+    uncovered variables per log-size unit.  An estimate that carries real
+    backend statistics and overlaps the already-covered variables
+    contributes its *conditional* degree ``deg(new | shared)`` — the
+    worst-case fan-out of the bound variables into the new ones — instead
+    of its full cardinality, which is the classical chain bound
+    ``|R_1| · Π deg_{R_i}(new_i | shared_i)`` and is never larger than the
+    pure size product.
+    """
     remaining = set(scope)
+    covered: set = set()
     bound = 1.0
-    # Greedy: repeatedly take the estimate covering the most uncovered
-    # variables per log-size unit.
     pool = list(estimates)
     while remaining and pool:
         def score(e: _Estimate) -> float:
-            covered = len(e.variables & remaining)
-            if covered == 0:
+            gained = len(e.variables & remaining)
+            if gained == 0:
                 return float("-inf")
-            return covered / max(math.log2(e.size + 1.0), 1e-9)
+            return gained / max(math.log2(e.size + 1.0), 1e-9)
 
         best = max(pool, key=score)
-        if not best.variables & remaining:
+        new_variables = best.variables & remaining
+        if not new_variables:
             break
-        bound *= best.size
+        anchor = sorted(best.variables & covered)
+        if best.stats is not None and anchor:
+            contribution = float(
+                best.stats.max_degree(sorted(new_variables), anchor)
+            )
+            if contribution <= 0.0:
+                contribution = best.size
+        else:
+            contribution = best.size
+        bound *= max(contribution, 1.0)
+        covered |= best.variables
         remaining -= best.variables
         pool.remove(best)
     if remaining:
@@ -164,18 +198,30 @@ def _mm_cost(
 # ----------------------------------------------------------------------
 # Planning
 # ----------------------------------------------------------------------
+def base_estimates(query: ConjunctiveQuery, database: Database) -> List[_Estimate]:
+    """Per-atom planning estimates backed by the relations' cached statistics."""
+    return [
+        _Estimate.from_relation(relation)
+        for relation in database.instance_for(query).values()
+    ]
+
+
 def plan_for_order(
     query: ConjunctiveQuery,
     database: Database,
     order: Sequence[str],
     omega: float = DEFAULT_OMEGA,
+    _estimates: Optional[Sequence[_Estimate]] = None,
 ) -> PlannedQuery:
-    """Build the cheapest plan that follows a specific elimination order."""
+    """Build the cheapest plan that follows a specific elimination order.
+
+    ``_estimates`` lets :func:`plan_query` share one statistics pass across
+    every candidate order instead of re-deriving it per order.
+    """
     hypergraph = query.hypergraph()
-    estimates = [
-        _Estimate.from_relation(relation)
-        for relation in database.instance_for(query).values()
-    ]
+    estimates = (
+        list(_estimates) if _estimates is not None else base_estimates(query, database)
+    )
     current = hypergraph
     steps: List[PlanStep] = []
     annotated: List[PlannedStep] = []
@@ -263,9 +309,10 @@ def plan_query(
     start = time.perf_counter()
     if orders is None:
         orders = candidate_orders(query, database)
+    estimates = base_estimates(query, database)
     best: Optional[PlannedQuery] = None
     for order in orders:
-        planned = plan_for_order(query, database, order, omega)
+        planned = plan_for_order(query, database, order, omega, _estimates=estimates)
         if best is None or planned.estimated_cost < best.estimated_cost:
             best = planned
     assert best is not None

@@ -124,12 +124,13 @@ def triangle_figure1(
     report.light_candidates = light_candidates
 
     # Heavy case: all three vertices heavy.  Build M1(X,Y) and M2(Y,Z)
-    # restricted to heavy values and multiply them.
-    heavy_x = {row[0] for row in r_heavy.rows}
-    heavy_y = {row[0] for row in s_heavy.rows}
-    heavy_z = {row[0] for row in t_heavy.rows}
-    m1 = r.select(lambda row: row["X"] in heavy_x and row["Y"] in heavy_y)
-    m2 = s.select(lambda row: row["Y"] in heavy_y and row["Z"] in heavy_z)
+    # restricted to heavy values and multiply them.  ``restrict`` probes the
+    # backend's per-variable index (vectorized on the columnar backend).
+    heavy_x = r_heavy.column_values("X")
+    heavy_y = s_heavy.column_values("Y")
+    heavy_z = t_heavy.column_values("Z")
+    m1 = r.restrict("X", heavy_x).restrict("Y", heavy_y)
+    m2 = s.restrict("Y", heavy_y).restrict("Z", heavy_z)
     if not m1.is_empty() and not m2.is_empty():
         m1_matrix, x_index, y_index = m1.to_matrix(["X"], ["Y"])
         m2_matrix, _, z_index = m2.to_matrix(["Y"], ["Z"], row_index=y_index)

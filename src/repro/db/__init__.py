@@ -1,5 +1,19 @@
-"""Relational database substrate: relations, queries, joins and generators."""
+"""Relational database substrate: relations, queries, joins and generators.
 
+Relations store their tuples in pluggable backends (``"set"`` — the
+reference frozenset-of-tuples — and ``"columnar"`` — dictionary-encoded
+NumPy columns with lazy hash indexes); see :mod:`repro.db.backends` and the
+:class:`Relation` facade in :mod:`repro.db.relation`.
+"""
+
+from .backends import (
+    BACKENDS,
+    ColumnarBackend,
+    RelationBackend,
+    RelationStats,
+    SetBackend,
+    available_backends,
+)
 from .database import Database
 from .generators import (
     bipartite_clique_pairs,
@@ -24,9 +38,15 @@ from .relation import Relation
 
 __all__ = [
     "Atom",
+    "BACKENDS",
+    "ColumnarBackend",
     "ConjunctiveQuery",
     "Database",
     "Relation",
+    "RelationBackend",
+    "RelationStats",
+    "SetBackend",
+    "available_backends",
     "bipartite_clique_pairs",
     "clique_instance",
     "default_variable_order",

@@ -1,0 +1,813 @@
+"""Pluggable relation storage backends and per-relation statistics.
+
+A :class:`~repro.db.relation.Relation` is a thin facade; the tuples live in
+a :class:`RelationBackend`.  Two implementations ship:
+
+:class:`SetBackend`
+    The reference implementation — a ``frozenset`` of value tuples, exactly
+    the seed's representation.  Every operator is a Python loop; semantics
+    are the ground truth the other backends are differential-tested against.
+
+:class:`ColumnarBackend`
+    Dictionary-encoded NumPy columns.  Each column stores an ``int64`` code
+    array plus a small dictionary (code → value); hash indexes (value →
+    code, distinct-code sets, grouped row indexes) are built lazily and
+    cached.  Semijoins become vectorized membership probes on composite
+    keys, natural joins become sort + ``searchsorted`` gathers on code
+    arrays, projections deduplicate via ``np.unique`` and Boolean matrices
+    are filled directly from the code arrays.  Operator outputs share the
+    input dictionaries, so chains of operators never re-encode values.
+
+Both backends expose a :class:`RelationStats` view — the textbook
+``n_r`` / ``V(A, r)`` / ``deg(Y | X)`` statistics — with all computations
+cached on the backend (and shared across renames, which reuse the
+underlying storage), so the planner reads real statistics instead of
+re-scanning relations on every candidate order.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+Value = object
+Row = Tuple[Value, ...]
+
+#: Composite int64 keys fall back to generic paths past this stride product.
+_COMPOSITE_LIMIT = 1 << 62
+
+#: NumPy dtype kinds that round-trip safely through ``np.unique().tolist()``.
+_FAST_KINDS = "biufU"
+
+#: Homogeneous Python element types eligible for the vectorized encoder.
+_FAST_TYPES = (bool, int, float, str)
+
+
+# ----------------------------------------------------------------------
+# Statistics
+# ----------------------------------------------------------------------
+class RelationStats:
+    """Per-relation statistics: ``n_r``, ``V(A, r)`` and ``deg(Y | X)``.
+
+    A lightweight named view over a backend's cached positional statistics;
+    the planner consumes these instead of recomputing distinct sets and
+    degree maps from scratch for every candidate elimination order.
+    """
+
+    __slots__ = ("_backend",)
+
+    def __init__(self, backend: "RelationBackend") -> None:
+        self._backend = backend
+
+    @property
+    def n_rows(self) -> int:
+        """The relation cardinality ``n_r``."""
+        return len(self._backend)
+
+    def distinct(self, variable: str) -> int:
+        """``V(A, r)``: the number of distinct values of one column."""
+        return self._backend.distinct_count(self._backend.position(variable))
+
+    @property
+    def distinct_counts(self) -> Dict[str, int]:
+        """``V(A, r)`` for every column of the schema."""
+        return {
+            variable: self._backend.distinct_count(position)
+            for position, variable in enumerate(self._backend.schema)
+        }
+
+    def max_degree(self, target: Sequence[str], given: Sequence[str] = ()) -> int:
+        """``deg(target | given)``: the worst-case fan-out (cached)."""
+        schema = self._backend.schema
+        target_positions = tuple(
+            self._backend.position(v) for v in target if v in schema
+        )
+        given_positions = tuple(
+            self._backend.position(v) for v in given if v in schema
+        )
+        return self._backend.max_degree(target_positions, given_positions)
+
+    def fingerprint(self) -> Tuple[int, Tuple[int, ...]]:
+        """A hashable summary ``(n_r, V(A, r) per column)`` for cache keys."""
+        return self._backend.stats_fingerprint()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RelationStats(n={self.n_rows}, V={self.distinct_counts})"
+
+
+# ----------------------------------------------------------------------
+# The backend protocol
+# ----------------------------------------------------------------------
+class RelationBackend:
+    """Storage + kernels for one relation.
+
+    Subclasses implement the constructors and the positional primitives;
+    the :class:`~repro.db.relation.Relation` facade translates variable
+    names to positions, dispatches to backend fast paths when both operands
+    share a representation, and falls back to generic row-at-a-time logic
+    otherwise.  All backends use set semantics (no duplicate rows).
+    """
+
+    kind: str = ""
+    schema: Tuple[str, ...] = ()
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def from_rows(
+        cls, schema: Tuple[str, ...], rows: Iterable[Sequence[Value]]
+    ) -> "RelationBackend":
+        """Build from an iterable of rows (validates widths, deduplicates)."""
+        raise NotImplementedError
+
+    @classmethod
+    def from_columns(
+        cls, schema: Tuple[str, ...], columns: Sequence[Sequence[Value]]
+    ) -> "RelationBackend":
+        """Build from per-column value sequences (bulk fast path)."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _validate_columns(
+        schema: Tuple[str, ...], columns: Sequence[Sequence[Value]]
+    ) -> Tuple[List[Sequence[Value]], int]:
+        """Shared ``from_columns`` validation: widths and equal lengths.
+
+        Returns the materialized columns and the common row count.
+        """
+        columns = [
+            column if hasattr(column, "__len__") else list(column)
+            for column in columns
+        ]
+        if len(columns) != len(schema):
+            raise ValueError(
+                f"{len(columns)} columns do not match schema of width {len(schema)}"
+            )
+        lengths = {len(column) for column in columns}
+        if len(lengths) > 1:
+            raise ValueError(f"columns have unequal lengths {sorted(lengths)}")
+        return columns, (lengths.pop() if lengths else 0)
+
+    # -- core accessors -------------------------------------------------
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def iter_rows(self) -> Iterator[Row]:
+        raise NotImplementedError
+
+    def row_set(self) -> FrozenSet[Row]:
+        """The rows as a frozenset (materialized lazily, then cached)."""
+        raise NotImplementedError
+
+    def rename(self, schema: Tuple[str, ...]) -> "RelationBackend":
+        """Same data under new column names (shares storage and caches)."""
+        raise NotImplementedError
+
+    def position(self, variable: str) -> int:
+        try:
+            return self.schema.index(variable)
+        except ValueError:
+            raise KeyError(
+                f"variable {variable!r} not in schema {self.schema}"
+            ) from None
+
+    # -- statistics -----------------------------------------------------
+    def stats(self) -> RelationStats:
+        return RelationStats(self)
+
+    def distinct_count(self, position: int) -> int:
+        raise NotImplementedError
+
+    def distinct_values(self, position: int) -> FrozenSet[Value]:
+        """The active domain of one column (the distinct-value index)."""
+        raise NotImplementedError
+
+    def max_degree(
+        self, target_positions: Tuple[int, ...], given_positions: Tuple[int, ...]
+    ) -> int:
+        raise NotImplementedError
+
+    def stats_fingerprint(self) -> Tuple[int, Tuple[int, ...]]:
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# SetBackend: the reference row-store
+# ----------------------------------------------------------------------
+class SetBackend(RelationBackend):
+    """Rows as a ``frozenset`` of tuples — the seed's representation."""
+
+    kind = "set"
+    __slots__ = ("schema", "_rows", "_cache")
+
+    def __init__(
+        self,
+        schema: Tuple[str, ...],
+        rows: FrozenSet[Row],
+        cache: Optional[dict] = None,
+    ) -> None:
+        self.schema = schema
+        self._rows = rows
+        # Shared across renames: statistics are positional, and renaming
+        # neither reorders columns nor changes the rows.
+        self._cache: dict = cache if cache is not None else {}
+
+    @classmethod
+    def from_rows(cls, schema, rows):
+        width = len(schema)
+        normalized = set()
+        for row in rows:
+            row_tuple = tuple(row)
+            if len(row_tuple) != width:
+                raise ValueError(
+                    f"row {row_tuple} does not match schema of width {width}"
+                )
+            normalized.add(row_tuple)
+        return cls(schema, frozenset(normalized))
+
+    @classmethod
+    def from_columns(cls, schema, columns):
+        columns, count = cls._validate_columns(schema, columns)
+        if not schema:
+            return cls(schema, frozenset([()] if count else []))
+        return cls(schema, frozenset(zip(*columns)))
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def iter_rows(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def row_set(self) -> FrozenSet[Row]:
+        return self._rows
+
+    def rename(self, schema: Tuple[str, ...]) -> "SetBackend":
+        return SetBackend(schema, self._rows, self._cache)
+
+    # -- statistics -----------------------------------------------------
+    def distinct_values(self, position: int) -> FrozenSet[Value]:
+        key = ("distinct", position)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = frozenset(row[position] for row in self._rows)
+            self._cache[key] = cached
+        return cached
+
+    def distinct_count(self, position: int) -> int:
+        return len(self.distinct_values(position))
+
+    def max_degree(self, target_positions, given_positions) -> int:
+        key = ("degree", target_positions, given_positions)
+        cached = self._cache.get(key)
+        if cached is None:
+            seen: Dict[Row, set] = {}
+            for row in self._rows:
+                group = tuple(row[p] for p in given_positions)
+                seen.setdefault(group, set()).add(
+                    tuple(row[p] for p in target_positions)
+                )
+            cached = max((len(values) for values in seen.values()), default=0)
+            self._cache[key] = cached
+        return cached
+
+    def stats_fingerprint(self):
+        cached = self._cache.get("fingerprint")
+        if cached is None:
+            cached = (
+                len(self._rows),
+                tuple(self.distinct_count(p) for p in range(len(self.schema))),
+            )
+            self._cache["fingerprint"] = cached
+        return cached
+
+
+# ----------------------------------------------------------------------
+# ColumnarBackend: dictionary-encoded NumPy columns
+# ----------------------------------------------------------------------
+class _Column:
+    """One dictionary-encoded column: ``int64`` codes + code → value table.
+
+    ``values`` (an object ndarray) decodes codes vectorized; the value →
+    code hash index and the distinct-code set are built lazily and cached.
+    Columns are immutable and freely shared between backends, so operator
+    outputs reuse the input dictionaries without re-encoding.
+    """
+
+    __slots__ = ("codes", "values", "_index", "_distinct_codes")
+
+    def __init__(
+        self,
+        codes: np.ndarray,
+        values: np.ndarray,
+        index: Optional[Dict[Value, int]] = None,
+    ) -> None:
+        self.codes = codes
+        self.values = values
+        self._index = index
+        self._distinct_codes: Optional[np.ndarray] = None
+
+    @property
+    def index(self) -> Dict[Value, int]:
+        if self._index is None:
+            self._index = {value: code for code, value in enumerate(self.values)}
+        return self._index
+
+    @property
+    def distinct_codes(self) -> np.ndarray:
+        if self._distinct_codes is None:
+            self._distinct_codes = np.unique(self.codes)
+        return self._distinct_codes
+
+    def take(self, row_indices: np.ndarray) -> "_Column":
+        return _Column(self.codes[row_indices], self.values, self._index)
+
+    def with_codes(self, codes: np.ndarray) -> "_Column":
+        return _Column(codes, self.values, self._index)
+
+    def decode(self) -> np.ndarray:
+        """The column as an object array of original values."""
+        return self.values[self.codes]
+
+    @classmethod
+    def from_values(cls, column: Sequence[Value]) -> "_Column":
+        """Encode raw values; vectorized when the column is homogeneous."""
+        arr: Optional[np.ndarray] = None
+        if isinstance(column, np.ndarray):
+            if column.ndim == 1 and column.dtype.kind in _FAST_KINDS:
+                arr = column
+        else:
+            column = list(column)
+            element_types = set(map(type, column))
+            if len(element_types) == 1 and element_types.pop() in _FAST_TYPES:
+                candidate = np.asarray(column)
+                if candidate.ndim == 1 and candidate.dtype.kind in _FAST_KINDS:
+                    arr = candidate
+        if arr is not None and arr.dtype.kind == "f" and np.isnan(arr).any():
+            # np.unique collapses NaNs; the reference backend (Python set
+            # semantics) keeps distinct NaN objects apart, so NaN columns
+            # take the dict-encoding path below (over the original values)
+            # to stay interchangeable.
+            arr = None
+        if arr is not None:
+            uniques, inverse = np.unique(arr, return_inverse=True)
+            values = np.empty(len(uniques), dtype=object)
+            values[:] = uniques.tolist()
+            return cls(inverse.astype(np.int64, copy=False), values)
+        index: Dict[Value, int] = {}
+        codes = np.empty(len(column), dtype=np.int64)
+        for position, value in enumerate(column):
+            code = index.get(value)
+            if code is None:
+                code = len(index)
+                index[value] = code
+            codes[position] = code
+        values = np.empty(len(index), dtype=object)
+        for value, code in index.items():
+            values[code] = value
+        return cls(codes, values, index)
+
+
+class ColumnarBackend(RelationBackend):
+    """Dictionary-encoded columns with lazily-built hash indexes.
+
+    Wins whenever an operator touches many rows of few columns — semijoin
+    reductions, projections, heavy/light splits, matrix construction — by
+    replacing per-row Python loops with NumPy kernels over code arrays.
+    Loses on tiny relations (kernel launch overhead) and on operators that
+    must look at arbitrary Python predicates row by row.
+    """
+
+    kind = "columnar"
+    __slots__ = ("schema", "_columns", "_n", "_cache")
+
+    def __init__(
+        self,
+        schema: Tuple[str, ...],
+        columns: Sequence[_Column],
+        n_rows: int,
+        cache: Optional[dict] = None,
+    ) -> None:
+        self.schema = schema
+        self._columns = tuple(columns)
+        self._n = n_rows
+        self._cache: dict = cache if cache is not None else {}
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def from_rows(cls, schema, rows):
+        width = len(schema)
+        materialized: List[Row] = []
+        for row in rows:
+            row_tuple = tuple(row)
+            if len(row_tuple) != width:
+                raise ValueError(
+                    f"row {row_tuple} does not match schema of width {width}"
+                )
+            materialized.append(row_tuple)
+        if not schema:
+            return cls(schema, (), 1 if materialized else 0)
+        columns = (
+            [list(column) for column in zip(*materialized)]
+            if materialized
+            else [[] for _ in schema]
+        )
+        return cls._from_encoded(schema, [_Column.from_values(c) for c in columns])
+
+    @classmethod
+    def from_columns(cls, schema, columns):
+        columns, count = cls._validate_columns(schema, columns)
+        if not schema:
+            return cls(schema, (), 1 if count else 0)
+        return cls._from_encoded(schema, [_Column.from_values(c) for c in columns])
+
+    @classmethod
+    def _from_encoded(
+        cls, schema: Tuple[str, ...], columns: List[_Column]
+    ) -> "ColumnarBackend":
+        """Deduplicate encoded columns and wrap them."""
+        n = len(columns[0].codes) if columns else 0
+        if n:
+            stacked = np.stack([column.codes for column in columns], axis=1)
+            unique_rows = np.unique(stacked, axis=0)
+            if len(unique_rows) != n:
+                columns = [
+                    column.with_codes(unique_rows[:, i])
+                    for i, column in enumerate(columns)
+                ]
+                n = len(unique_rows)
+        return cls(schema, columns, n)
+
+    # -- core accessors -------------------------------------------------
+    def __len__(self) -> int:
+        return self._n
+
+    def iter_rows(self) -> Iterator[Row]:
+        if not self.schema:
+            return iter([()] * self._n)
+        decoded = [column.decode() for column in self._columns]
+        return zip(*decoded)
+
+    def row_set(self) -> FrozenSet[Row]:
+        cached = self._cache.get("row_set")
+        if cached is None:
+            cached = frozenset(self.iter_rows())
+            self._cache["row_set"] = cached
+        return cached
+
+    def rename(self, schema: Tuple[str, ...]) -> "ColumnarBackend":
+        return ColumnarBackend(schema, self._columns, self._n, self._cache)
+
+    def take(self, row_indices: np.ndarray) -> "ColumnarBackend":
+        """A new backend over a subset of rows (codes gathered, dicts shared)."""
+        return ColumnarBackend(
+            self.schema,
+            [column.take(row_indices) for column in self._columns],
+            len(row_indices),
+        )
+
+    # -- statistics -----------------------------------------------------
+    def distinct_count(self, position: int) -> int:
+        return len(self._columns[position].distinct_codes)
+
+    def distinct_values(self, position: int) -> FrozenSet[Value]:
+        key = ("distinct", position)
+        cached = self._cache.get(key)
+        if cached is None:
+            column = self._columns[position]
+            cached = frozenset(column.values[column.distinct_codes].tolist())
+            self._cache[key] = cached
+        return cached
+
+    def max_degree(self, target_positions, given_positions) -> int:
+        key = ("degree", target_positions, given_positions)
+        cached = self._cache.get(key)
+        if cached is None:
+            degrees = self.degree_counts(target_positions, given_positions)[1]
+            cached = int(degrees.max()) if len(degrees) else 0
+            self._cache[key] = cached
+        return cached
+
+    def stats_fingerprint(self):
+        cached = self._cache.get("fingerprint")
+        if cached is None:
+            cached = (
+                self._n,
+                tuple(self.distinct_count(p) for p in range(len(self.schema))),
+            )
+            self._cache["fingerprint"] = cached
+        return cached
+
+    # -- key helpers ----------------------------------------------------
+    def _codes(self, positions: Sequence[int]) -> List[np.ndarray]:
+        return [self._columns[p].codes for p in positions]
+
+    def _composite_keys(
+        self,
+        code_arrays: Sequence[np.ndarray],
+        positions: Sequence[int],
+        n_rows: int,
+    ) -> Optional[np.ndarray]:
+        """Mix per-column codes into one int64 key per row (None on overflow).
+
+        Strides come from the *dictionary* sizes of ``positions``; any code
+        array expressed in those dictionaries' spaces can be mixed, which is
+        how another relation's translated codes become probe keys.
+        """
+        if not code_arrays:
+            return np.zeros(n_rows, dtype=np.int64)
+        keys = code_arrays[0].astype(np.int64, copy=True)
+        total = len(self._columns[positions[0]].values)
+        for codes, position in zip(code_arrays[1:], positions[1:]):
+            size = len(self._columns[position].values)
+            total *= max(size, 1)
+            if total > _COMPOSITE_LIMIT:
+                return None
+            keys *= size
+            keys += codes
+        return keys
+
+    def translate_codes(
+        self, position: int, other: "ColumnarBackend", other_position: int
+    ) -> np.ndarray:
+        """The other backend's column codes re-expressed in this dictionary.
+
+        Values unknown to this side's dictionary map to ``-1``; the lookup
+        table is built over the (small) dictionaries, not the rows.
+        """
+        own_index = self._columns[position].index
+        other_values = other._columns[other_position].values
+        table = np.fromiter(
+            (own_index.get(value, -1) for value in other_values),
+            dtype=np.int64,
+            count=len(other_values),
+        )
+        return table[other._columns[other_position].codes]
+
+    def lookup_code(self, position: int, value: Value) -> Optional[int]:
+        """The dictionary code of one value (the per-variable hash index)."""
+        return self._columns[position].index.get(value)
+
+    # -- operators ------------------------------------------------------
+    def select_equals(self, items: Sequence[Tuple[int, Value]]) -> "ColumnarBackend":
+        mask: Optional[np.ndarray] = None
+        for position, value in items:
+            code = self.lookup_code(position, value)
+            if code is None:
+                return self.take(np.empty(0, dtype=np.int64))
+            hits = self._columns[position].codes == code
+            mask = hits if mask is None else (mask & hits)
+        if mask is None:
+            return self
+        return self.take(np.nonzero(mask)[0])
+
+    def restrict(self, position: int, values: Iterable[Value]) -> "ColumnarBackend":
+        """Rows whose ``position`` value lies in ``values`` (index probe)."""
+        index = self._columns[position].index
+        wanted = [index[v] for v in values if v in index]
+        if not wanted:
+            return self.take(np.empty(0, dtype=np.int64))
+        mask = np.isin(self._columns[position].codes, np.asarray(wanted, dtype=np.int64))
+        return self.take(np.nonzero(mask)[0])
+
+    def project(self, positions: Sequence[int], schema: Tuple[str, ...]) -> "ColumnarBackend":
+        if not positions:
+            return ColumnarBackend(schema, (), 1 if self._n else 0)
+        if len(positions) == 1:
+            column = self._columns[positions[0]]
+            codes = column.distinct_codes
+            return ColumnarBackend(
+                schema, [column.with_codes(codes)], len(codes)
+            )
+        stacked = np.stack(self._codes(positions), axis=1)
+        unique_rows = np.unique(stacked, axis=0)
+        columns = [
+            self._columns[p].with_codes(unique_rows[:, i])
+            for i, p in enumerate(positions)
+        ]
+        return ColumnarBackend(schema, columns, len(unique_rows))
+
+    def semijoin(
+        self,
+        self_positions: Sequence[int],
+        other: "ColumnarBackend",
+        other_positions: Sequence[int],
+        negate: bool = False,
+    ) -> Optional["ColumnarBackend"]:
+        """Rows whose key appears (or not) in the other side's key index.
+
+        Returns ``None`` when the composite key would overflow, in which
+        case the caller falls back to the generic path.
+        """
+        translated = []
+        valid: Optional[np.ndarray] = None
+        for sp, op in zip(self_positions, other_positions):
+            codes = self.translate_codes(sp, other, op)
+            ok = codes >= 0
+            valid = ok if valid is None else (valid & ok)
+            translated.append(codes)
+        if valid is not None and not valid.all():
+            keep = np.nonzero(valid)[0]
+            translated = [codes[keep] for codes in translated]
+        left_keys = self._composite_keys(
+            self._codes(self_positions), self_positions, self._n
+        )
+        if left_keys is None:
+            return None
+        right_count = len(translated[0]) if translated else len(other)
+        right_keys = self._composite_keys(translated, self_positions, right_count)
+        if right_keys is None:
+            return None
+        mask = np.isin(left_keys, right_keys, invert=negate)
+        return self.take(np.nonzero(mask)[0])
+
+    def join(
+        self,
+        self_positions: Sequence[int],
+        other: "ColumnarBackend",
+        other_positions: Sequence[int],
+        other_extra_positions: Sequence[int],
+        schema: Tuple[str, ...],
+    ) -> Optional["ColumnarBackend"]:
+        """Natural join via sort + ``searchsorted`` on composite code keys."""
+        translated = []
+        valid: Optional[np.ndarray] = None
+        for sp, op in zip(self_positions, other_positions):
+            codes = self.translate_codes(sp, other, op)
+            ok = codes >= 0
+            valid = ok if valid is None else (valid & ok)
+            translated.append(codes)
+        if valid is not None and not valid.all():
+            right_rows = np.nonzero(valid)[0]
+            translated = [codes[right_rows] for codes in translated]
+        else:
+            right_rows = np.arange(len(other), dtype=np.int64)
+        left_keys = self._composite_keys(
+            self._codes(self_positions), self_positions, self._n
+        )
+        if left_keys is None:
+            return None
+        right_keys = self._composite_keys(
+            translated, self_positions, len(right_rows)
+        )
+        if right_keys is None:
+            return None
+
+        order = np.argsort(right_keys, kind="stable")
+        sorted_keys = right_keys[order]
+        starts = np.searchsorted(sorted_keys, left_keys, side="left")
+        ends = np.searchsorted(sorted_keys, left_keys, side="right")
+        counts = ends - starts
+        total = int(counts.sum())
+        left_out = np.repeat(np.arange(self._n, dtype=np.int64), counts)
+        if total:
+            offsets = np.cumsum(counts) - counts
+            within = np.arange(total, dtype=np.int64) - np.repeat(offsets, counts)
+            right_out = right_rows[order[np.repeat(starts, counts) + within]]
+        else:
+            right_out = np.empty(0, dtype=np.int64)
+        columns = [column.take(left_out) for column in self._columns]
+        columns.extend(other._columns[p].take(right_out) for p in other_extra_positions)
+        # Inputs are sets, so (left row, right row) pairs — and hence the
+        # concatenated output rows — are already distinct.
+        return ColumnarBackend(schema, columns, total)
+
+    def union(
+        self, other: "ColumnarBackend", other_positions: Sequence[int]
+    ) -> "ColumnarBackend":
+        """Set union with the other's columns aligned by ``other_positions``."""
+        columns: List[_Column] = []
+        for position, other_position in enumerate(other_positions):
+            own = self._columns[position]
+            other_column = other._columns[other_position]
+            index = dict(own.index)
+            extension: List[Value] = []
+            table = np.empty(len(other_column.values), dtype=np.int64)
+            for code, value in enumerate(other_column.values):
+                mapped = index.get(value)
+                if mapped is None:
+                    mapped = len(index)
+                    index[value] = mapped
+                    extension.append(value)
+                table[code] = mapped
+            if extension:
+                values = np.empty(len(index), dtype=object)
+                values[: len(own.values)] = own.values
+                values[len(own.values):] = extension
+            else:
+                values = own.values
+            codes = np.concatenate([own.codes, table[other_column.codes]])
+            columns.append(_Column(codes, values, index))
+        if not columns:
+            return ColumnarBackend(self.schema, (), 1 if (self._n or len(other)) else 0)
+        return ColumnarBackend._from_encoded(self.schema, columns)
+
+    def degree_counts(
+        self, target_positions: Tuple[int, ...], given_positions: Tuple[int, ...]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Unique ``given`` code rows and their distinct-``target`` counts."""
+        if self._n == 0:
+            return (
+                np.empty((0, len(given_positions)), dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+            )
+        pair_positions = list(given_positions) + list(target_positions)
+        if pair_positions:
+            stacked = np.stack(self._codes(pair_positions), axis=1)
+            pairs = np.unique(stacked, axis=0)
+        else:
+            pairs = np.zeros((1, 0), dtype=np.int64)
+        given_part = pairs[:, : len(given_positions)]
+        if len(given_positions):
+            keys, counts = np.unique(given_part, axis=0, return_counts=True)
+        else:
+            keys = np.zeros((1, 0), dtype=np.int64)
+            counts = np.asarray([len(pairs)], dtype=np.int64)
+        return keys, counts
+
+    def decode_key_rows(
+        self, positions: Sequence[int], key_rows: np.ndarray
+    ) -> List[Row]:
+        """Turn unique code rows (as from :meth:`degree_counts`) into value tuples."""
+        decoded = [
+            self._columns[p].values[key_rows[:, i]] for i, p in enumerate(positions)
+        ]
+        if not decoded:
+            return [()] * len(key_rows)
+        return list(zip(*decoded))
+
+    def split_by_keys(
+        self, positions: Sequence[int], heavy_key_rows: np.ndarray
+    ) -> Optional[Tuple["ColumnarBackend", "ColumnarBackend"]]:
+        """Partition rows by membership of their ``positions`` key in a key set.
+
+        Returns ``(heavy backend over positions, light backend over the full
+        schema)``; ``None`` if the composite key overflows.
+        """
+        row_keys = self._composite_keys(self._codes(positions), positions, self._n)
+        if row_keys is None:
+            return None
+        heavy_columns = [self._columns[p].with_codes(heavy_key_rows[:, i])
+                         for i, p in enumerate(positions)]
+        heavy_keys = self._composite_keys(
+            [column.codes for column in heavy_columns], positions, len(heavy_key_rows)
+        )
+        if heavy_keys is None:
+            return None
+        heavy_schema = tuple(self.schema[p] for p in positions)
+        heavy = ColumnarBackend(heavy_schema, heavy_columns, len(heavy_key_rows))
+        light_mask = np.isin(row_keys, heavy_keys, invert=True)
+        light = self.take(np.nonzero(light_mask)[0])
+        return heavy, light
+
+    def matrix_pairs(
+        self, row_positions: Sequence[int], col_positions: Sequence[int]
+    ) -> List[Tuple[Row, Row]]:
+        """Distinct (row-tuple, column-tuple) pairs, deduplicated on codes."""
+        pair_positions = list(row_positions) + list(col_positions)
+        if self._n == 0:
+            return []
+        if pair_positions:
+            stacked = np.stack(self._codes(pair_positions), axis=1)
+            pairs = np.unique(stacked, axis=0)
+        else:
+            pairs = np.zeros((1, 0), dtype=np.int64)
+        row_part = self.decode_key_rows(row_positions, pairs[:, : len(row_positions)])
+        col_part = self.decode_key_rows(col_positions, pairs[:, len(row_positions):])
+        return list(zip(row_part, col_part))
+
+
+#: Registered storage backends by name.
+BACKENDS: Dict[str, type] = {
+    SetBackend.kind: SetBackend,
+    ColumnarBackend.kind: ColumnarBackend,
+}
+
+#: The process-wide default backend for relations built without an explicit
+#: choice (kept at the reference implementation for bit-for-bit seed parity).
+DEFAULT_BACKEND = SetBackend.kind
+
+
+def resolve_backend(kind: Optional[str]) -> type:
+    """Map a backend name (or ``None`` for the default) to its class."""
+    key = kind or DEFAULT_BACKEND
+    try:
+        return BACKENDS[key]
+    except KeyError:
+        known = ", ".join(sorted(BACKENDS))
+        raise ValueError(f"unknown backend {key!r}; known backends: {known}") from None
+
+
+def available_backends() -> Tuple[str, ...]:
+    """The registered backend names (sorted)."""
+    return tuple(sorted(BACKENDS))

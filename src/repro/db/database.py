@@ -2,11 +2,15 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
+from typing import Dict, Hashable, Iterable, Iterator, Mapping, Optional, Tuple, Union
 
+from .backends import RelationStats, resolve_backend
 from .query import ConjunctiveQuery
 from .relation import Relation
+
+#: A relation spec accepted by :meth:`Database.bulk_load`: either a built
+#: :class:`Relation` or a ``(schema, rows)`` pair.
+RelationSpec = Union[Relation, Tuple[Iterable[str], Iterable]]
 
 
 class Database:
@@ -14,11 +18,29 @@ class Database:
 
     The paper measures complexity in the total input size
     ``N = Σ_R |R|`` (data complexity); :attr:`size` reports exactly that.
+
+    Parameters
+    ----------
+    relations:
+        Initial relations (mapping or (name, relation) pairs).
+    backend:
+        When set (``"set"`` or ``"columnar"``), every relation stored in
+        the database — at construction and through later assignments — is
+        converted to that storage backend; ``None`` keeps whatever backend
+        each relation already uses.
     """
 
-    def __init__(self, relations: Mapping[str, Relation] | Iterable[Tuple[str, Relation]] = ()):
+    def __init__(
+        self,
+        relations: Union[Mapping[str, Relation], Iterable[Tuple[str, Relation]]] = (),
+        *,
+        backend: Optional[str] = None,
+    ):
         self._relations: Dict[str, Relation] = {}
         self._version = 0
+        if backend is not None:
+            resolve_backend(backend)  # validate the name up front
+        self.backend = backend
         items = relations.items() if isinstance(relations, Mapping) else relations
         for name, relation in items:
             self[name] = relation
@@ -27,7 +49,7 @@ class Database:
     def __setitem__(self, name: str, relation: Relation) -> None:
         if not isinstance(relation, Relation):
             raise TypeError("databases store Relation objects")
-        self._relations[name] = relation.with_name(name)
+        self._relations[name] = relation.with_backend(self.backend).with_name(name)
         self._version += 1
 
     def __delitem__(self, name: str) -> None:
@@ -56,6 +78,63 @@ class Database:
     def items(self) -> Iterable[Tuple[str, Relation]]:
         return sorted(self._relations.items())
 
+    # ------------------------------------------------------------------
+    # Bulk construction and backend management
+    # ------------------------------------------------------------------
+    def bulk_load(
+        self,
+        tables: Union[Mapping[str, RelationSpec], Iterable[Tuple[str, RelationSpec]]] = (),
+        **named: RelationSpec,
+    ) -> "Database":
+        """Load many relations at once (single version bump, batch coercion).
+
+        Each value is either a :class:`Relation` or a ``(schema, rows)``
+        pair; everything is converted to the database backend.  Compared to
+        per-relation assignment this bumps the mutation counter once, so
+        plan caches are invalidated a single time per batch.  Returns
+        ``self`` for chaining.
+        """
+        items = list(tables.items() if isinstance(tables, Mapping) else tables)
+        items.extend(named.items())
+        for name, spec in items:
+            if not isinstance(spec, Relation):
+                if isinstance(spec, (str, bytes)) or not isinstance(
+                    spec, (tuple, list)
+                ) or len(spec) != 2:
+                    raise TypeError(
+                        "bulk_load values must be Relation objects or "
+                        f"(schema, rows) pairs; got {spec!r} for {name!r}"
+                    )
+                schema, rows = spec
+                # Build directly in the target backend (one encode, no
+                # intermediate row-store materialization).
+                spec = Relation(schema, rows, backend=self.backend)
+            self._relations[name] = spec.with_backend(self.backend).with_name(name)
+        if items:
+            self._version += 1
+        return self
+
+    def convert_backend(self, backend: Optional[str]) -> "Database":
+        """Convert every stored relation to ``backend`` and adopt it as default.
+
+        A no-op (no version bump) when every relation already uses the
+        requested backend.  Returns ``self`` for chaining.
+        """
+        if backend is not None:
+            resolve_backend(backend)  # validate before adopting the name
+        self.backend = backend
+        converted = {
+            name: relation.with_backend(backend)
+            for name, relation in self._relations.items()
+        }
+        if any(
+            converted[name] is not self._relations[name] for name in converted
+        ):
+            self._relations = converted
+            self._version += 1
+        return self
+
+    # ------------------------------------------------------------------
     @property
     def size(self) -> int:
         """Total number of tuples across all relations (the paper's ``N``)."""
@@ -70,19 +149,35 @@ class Database:
         """
         return self._version
 
-    def statistics_fingerprint(self) -> Tuple[int, int]:
+    def stats(self) -> Dict[str, RelationStats]:
+        """Per-relation statistics objects (``n_r``, ``V(A, r)``, degrees).
+
+        Computed and cached by each relation's storage backend; the caches
+        survive renames, so the planner reading these repeatedly across
+        candidate orders costs one scan per relation, not one per order.
+        """
+        return {name: relation.stats for name, relation in self.items()}
+
+    def statistics_fingerprint(self) -> Hashable:
         """A hashable fingerprint of the database statistics.
 
         The mutation counter is the authoritative component: two calls on
         the same database return equal fingerprints iff no mutation
-        happened in between.  The total size rides along so fingerprints
-        from *different* database objects (whose counters evolve
-        independently) are less likely to collide in a shared cache.
+        happened in between.  The per-relation statistics fingerprints
+        (cardinality + per-column distinct counts, cached on the storage
+        backends) ride along so fingerprints from *different* database
+        objects (whose counters evolve independently) are unlikely to
+        collide in a shared plan cache.
         """
-        return (self._version, self.size)
+        return (
+            self._version,
+            tuple(
+                (name, relation.stats.fingerprint()) for name, relation in self.items()
+            ),
+        )
 
     def copy(self) -> "Database":
-        return Database(dict(self._relations))
+        return Database(dict(self._relations), backend=self.backend)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         parts = ", ".join(f"{name}[{len(rel)}]" for name, rel in self.items())

@@ -53,6 +53,13 @@ def naive_boolean(query: ConjunctiveQuery, database: Database) -> bool:
 def _variable_domain(
     query: ConjunctiveQuery, relations: Mapping[str, Relation], variable: str
 ) -> FrozenSet:
+    """Intersect the covering atoms' active domains for one variable.
+
+    Reads each backend's cached distinct-value index
+    (:meth:`Relation.column_values`) instead of re-scanning the columns,
+    and intersects smallest-first, so padding a disconnected query costs
+    one cached lookup per atom after the first ask.
+    """
     domains = [
         relations[atom.relation].column_values(variable)
         for atom in query.atoms
@@ -60,10 +67,11 @@ def _variable_domain(
     ]
     if not domains:
         return frozenset()
-    result = set(domains[0])
+    domains.sort(key=len)
+    result = domains[0]
     for domain in domains[1:]:
-        result &= domain
-    return frozenset(result)
+        result = result & domain
+    return result
 
 
 # ----------------------------------------------------------------------
@@ -109,8 +117,8 @@ def generic_join(
                 if v in assignment
             }
             matching = relation.select(bound) if bound else relation
-            values = set(matching.column_values(variable))
-            candidates = values if candidates is None else candidates & values
+            values = matching.column_values(variable)
+            candidates = set(values) if candidates is None else candidates & values
             if not candidates:
                 return False
         if candidates is None:
@@ -141,13 +149,17 @@ def generic_join_boolean(
 
 
 def default_variable_order(query: ConjunctiveQuery, database: Database) -> List[str]:
-    """A degree-driven heuristic order: most constrained variables first."""
+    """A degree-driven heuristic order: most constrained variables first.
+
+    Reads the cached per-relation statistics (``V(A, r)``) rather than
+    re-scanning columns for their distinct values.
+    """
     relations = database.instance_for(query)
     scores = {}
     for variable in query.variables:
         covering = [a for a in query.atoms if variable in a.variable_set]
         domain_sizes = [
-            max(1, len(relations[a.relation].column_values(variable))) for a in covering
+            max(1, relations[a.relation].stats.distinct(variable)) for a in covering
         ]
         scores[variable] = (-len(covering), min(domain_sizes))
     return sorted(query.variables, key=lambda v: scores[v])

@@ -1,17 +1,43 @@
-"""Relations: named-column sets of tuples with the statistics the paper needs.
+"""Relations: a named-schema facade over pluggable storage backends.
 
-A relation ``R(X, Y, ...)`` is stored as a schema (tuple of variable names)
-plus a set of value tuples.  Besides the classical operators
+A relation ``R(X, Y, ...)`` is a schema (tuple of variable names) plus a
+*backend* holding the tuples.  Besides the classical operators
 (select/project/join/semijoin), relations expose the *degree* statistics of
 Definition E.9 — ``deg_R(Y | X)`` — and the heavy/light partitioning that
 the paper's algorithms (Figure 1, PANDA decomposition steps) are built on,
 plus conversion to 0/1 matrices for the matrix-multiplication eliminations.
+
+Backend protocol
+----------------
+Storage lives behind :class:`~repro.db.backends.RelationBackend`; this
+facade translates variable names into column positions, dispatches to a
+backend fast path when both operands share a representation, and falls back
+to generic row-at-a-time logic (the reference semantics) otherwise.  Two
+backends ship:
+
+* ``"set"`` (:class:`~repro.db.backends.SetBackend`) — a frozenset of
+  tuples, the reference implementation and the default.  Best for tiny
+  relations and for operators driven by arbitrary Python predicates.
+* ``"columnar"`` (:class:`~repro.db.backends.ColumnarBackend`) —
+  dictionary-encoded NumPy code columns with lazily-built hash indexes.
+  Semijoins become vectorized key-membership probes, joins become sort +
+  ``searchsorted`` gathers, and Boolean matrices are filled straight from
+  the code arrays; it wins by an order of magnitude on semijoin-heavy
+  workloads (e.g. Yannakakis on ≥10^5-row chains — see
+  ``benchmarks/bench_backends.py``) and whenever an operator streams many
+  rows through few columns.
+
+Pick a backend per relation (``Relation(..., backend="columnar")``), per
+database (``Database(backend=...)`` / ``Database.convert_backend``) or per
+engine (``QueryEngine(db, backend=...)``); both backends pass the same
+differential test suite and are interchangeable semantically.  Statistics
+(:attr:`Relation.stats`) — row counts, per-column distinct counts
+``V(A, r)``, max degrees ``deg(Y | X)`` — are computed by the backend,
+cached, and consumed by the cost-based planner.
 """
 
 from __future__ import annotations
 
-import itertools
-from collections import defaultdict
 from typing import (
     Callable,
     Dict,
@@ -23,12 +49,31 @@ from typing import (
     Optional,
     Sequence,
     Tuple,
+    Union,
 )
 
 import numpy as np
 
-Value = object
-Row = Tuple[Value, ...]
+from ..matmul.boolean import matrix_from_pairs
+from .backends import (
+    BACKENDS,
+    ColumnarBackend,
+    RelationBackend,
+    RelationStats,
+    Row,
+    SetBackend,
+    Value,
+    available_backends,
+    resolve_backend,
+)
+
+__all__ = [
+    "Relation",
+    "RelationStats",
+    "Row",
+    "Value",
+    "available_backends",
+]
 
 
 class Relation:
@@ -42,102 +87,147 @@ class Relation:
         The tuples; duplicates are collapsed (set semantics).
     name:
         Optional name used in query plans and debugging output.
+    backend:
+        Storage backend: a name from :func:`available_backends` (``"set"``,
+        ``"columnar"``), an existing :class:`RelationBackend` to adopt, or
+        ``None`` for the process default (``"set"``).
     """
 
-    __slots__ = ("_schema", "_rows", "name")
+    __slots__ = ("_backend", "name")
 
     def __init__(
         self,
         schema: Sequence[str],
         rows: Iterable[Sequence[Value]] = (),
         name: Optional[str] = None,
+        *,
+        backend: Union[str, RelationBackend, None] = None,
     ) -> None:
         schema_tuple = tuple(schema)
         if len(set(schema_tuple)) != len(schema_tuple):
             raise ValueError(f"duplicate variables in schema {schema_tuple}")
-        self._schema: Tuple[str, ...] = schema_tuple
-        width = len(schema_tuple)
-        normalized = set()
-        for row in rows:
-            row_tuple = tuple(row)
-            if len(row_tuple) != width:
+        if isinstance(backend, RelationBackend):
+            try:
+                has_rows = len(rows) > 0  # type: ignore[arg-type]
+            except TypeError:
+                has_rows = True  # non-sized iterable: treat as provided
+            if has_rows:
                 raise ValueError(
-                    f"row {row_tuple} does not match schema of width {width}"
+                    "cannot pass both rows and a RelationBackend instance; "
+                    "the backend already holds the tuples"
                 )
-            normalized.add(row_tuple)
-        self._rows: FrozenSet[Row] = frozenset(normalized)
+            if len(backend.schema) != len(schema_tuple):
+                raise ValueError(
+                    f"backend of width {len(backend.schema)} does not match "
+                    f"schema {schema_tuple}"
+                )
+            if backend.schema != schema_tuple:
+                backend = backend.rename(schema_tuple)
+            self._backend = backend
+        else:
+            self._backend = resolve_backend(backend).from_rows(schema_tuple, rows)
         self.name = name
+
+    @classmethod
+    def _wrap(cls, backend: RelationBackend, name: Optional[str] = None) -> "Relation":
+        """Adopt a backend without re-validating (internal fast constructor)."""
+        relation = object.__new__(cls)
+        relation._backend = backend
+        relation.name = name
+        return relation
 
     # ------------------------------------------------------------------
     # Basic accessors
     # ------------------------------------------------------------------
     @property
     def schema(self) -> Tuple[str, ...]:
-        return self._schema
+        return self._backend.schema
 
     @property
     def variables(self) -> FrozenSet[str]:
-        return frozenset(self._schema)
+        return frozenset(self._backend.schema)
 
     @property
     def rows(self) -> FrozenSet[Row]:
-        return self._rows
+        return self._backend.row_set()
+
+    @property
+    def backend_kind(self) -> str:
+        """The storage backend's registry name (``"set"``, ``"columnar"``)."""
+        return self._backend.kind
+
+    @property
+    def stats(self) -> RelationStats:
+        """Cached relation statistics: ``n_r``, ``V(A, r)``, ``deg(Y | X)``."""
+        return self._backend.stats()
+
+    def with_backend(self, kind: Optional[str]) -> "Relation":
+        """This relation converted to another backend (no-op if same/None)."""
+        if kind is None or self._backend.kind == kind:
+            return self
+        converted = resolve_backend(kind).from_rows(
+            self.schema, self._backend.iter_rows()
+        )
+        return Relation._wrap(converted, self.name)
 
     def __len__(self) -> int:
-        return len(self._rows)
+        return len(self._backend)
 
     def __iter__(self) -> Iterator[Row]:
-        return iter(self._rows)
+        return self._backend.iter_rows()
 
     def __contains__(self, row: Sequence[Value]) -> bool:
-        return tuple(row) in self._rows
+        return tuple(row) in self._backend.row_set()
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Relation):
             return NotImplemented
-        if set(self._schema) != set(other._schema):
+        if set(self.schema) != set(other.schema):
             return False
-        return self.project(sorted(self._schema))._rows == other.project(
-            sorted(other._schema)
-        )._rows
+        return (
+            self.project(sorted(self.schema)).rows
+            == other.project(sorted(other.schema)).rows
+        )
 
     def __hash__(self) -> int:
-        return hash((self._schema, self._rows))
+        return hash((self.schema, self.rows))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         label = self.name or "Relation"
-        return f"{label}({', '.join(self._schema)})[{len(self)} rows]"
+        return f"{label}({', '.join(self.schema)})[{len(self)} rows]"
 
     def is_empty(self) -> bool:
-        return not self._rows
+        return len(self._backend) == 0
 
     def with_name(self, name: str) -> "Relation":
-        clone = Relation(self._schema, (), name)
-        clone._rows = self._rows
-        return clone
+        return Relation._wrap(self._backend, name)
 
     # ------------------------------------------------------------------
     # Column helpers
     # ------------------------------------------------------------------
     def _positions(self, variables: Sequence[str]) -> List[int]:
-        positions = []
-        for variable in variables:
-            try:
-                positions.append(self._schema.index(variable))
-            except ValueError:
-                raise KeyError(
-                    f"variable {variable!r} not in schema {self._schema}"
-                ) from None
-        return positions
+        return [self._backend.position(variable) for variable in variables]
 
     def column_values(self, variable: str) -> FrozenSet[Value]:
-        """The active domain of one column."""
-        position = self._positions([variable])[0]
-        return frozenset(row[position] for row in self._rows)
+        """The active domain of one column (cached distinct-value index)."""
+        return self._backend.distinct_values(self._backend.position(variable))
 
     def active_domain(self) -> FrozenSet[Value]:
         """All values appearing anywhere in the relation."""
-        return frozenset(value for row in self._rows for value in row)
+        domain: set = set()
+        for position in range(len(self.schema)):
+            domain |= self._backend.distinct_values(position)
+        return frozenset(domain)
+
+    def _columnar_pair(
+        self, other: "Relation"
+    ) -> Optional[Tuple[ColumnarBackend, ColumnarBackend]]:
+        """Both backends, when both relations are columnar (fast-path gate)."""
+        if isinstance(self._backend, ColumnarBackend) and isinstance(
+            other._backend, ColumnarBackend
+        ):
+            return self._backend, other._backend
+        return None
 
     # ------------------------------------------------------------------
     # Classical operators
@@ -145,118 +235,216 @@ class Relation:
     def project(self, variables: Sequence[str]) -> "Relation":
         """Project onto the given variables (duplicates collapse)."""
         variables = list(variables)
+        if len(set(variables)) != len(variables):
+            raise ValueError(f"duplicate variables in schema {tuple(variables)}")
         positions = self._positions(variables)
-        rows = {tuple(row[p] for p in positions) for row in self._rows}
+        if isinstance(self._backend, ColumnarBackend):
+            return Relation._wrap(
+                self._backend.project(positions, tuple(variables))
+            )
+        rows = {tuple(row[p] for p in positions) for row in self._backend.iter_rows()}
         return Relation(variables, rows)
 
-    def select(self, condition: Mapping[str, Value] | Callable[[Dict[str, Value]], bool]) -> "Relation":
+    def select(
+        self,
+        condition: Union[Mapping[str, Value], Callable[[Dict[str, Value]], bool]],
+    ) -> "Relation":
         """Select rows matching an equality mapping or an arbitrary predicate."""
         if callable(condition):
+            schema = self.schema
             keep = [
                 row
-                for row in self._rows
-                if condition(dict(zip(self._schema, row)))
+                for row in self._backend.iter_rows()
+                if condition(dict(zip(schema, row)))
             ]
-            return Relation(self._schema, keep, self.name)
+            return Relation(schema, keep, self.name, backend=self._backend.kind)
         positions = self._positions(list(condition.keys()))
         wanted = list(condition.values())
+        if isinstance(self._backend, ColumnarBackend):
+            return Relation._wrap(
+                self._backend.select_equals(list(zip(positions, wanted))), self.name
+            )
         keep = [
             row
-            for row in self._rows
+            for row in self._backend.iter_rows()
             if all(row[p] == value for p, value in zip(positions, wanted))
         ]
-        return Relation(self._schema, keep, self.name)
+        return Relation(self.schema, keep, self.name)
+
+    def restrict(self, variable: str, values: Iterable[Value]) -> "Relation":
+        """Select the rows whose ``variable`` value lies in ``values``.
+
+        The set-membership analogue of an equality select; the columnar
+        backend answers it with one vectorized index probe.
+        """
+        position = self._backend.position(variable)
+        if isinstance(self._backend, ColumnarBackend):
+            return Relation._wrap(self._backend.restrict(position, values), self.name)
+        wanted = set(values)
+        keep = [row for row in self._backend.iter_rows() if row[position] in wanted]
+        return Relation(self.schema, keep, self.name)
 
     def rename(self, mapping: Mapping[str, str]) -> "Relation":
         """Rename columns (variables not mentioned keep their names)."""
-        new_schema = [mapping.get(variable, variable) for variable in self._schema]
-        return Relation(new_schema, self._rows, self.name)
+        new_schema = tuple(mapping.get(variable, variable) for variable in self.schema)
+        if len(set(new_schema)) != len(new_schema):
+            raise ValueError(f"duplicate variables in schema {new_schema}")
+        return Relation._wrap(self._backend.rename(new_schema), self.name)
 
     def join(self, other: "Relation") -> "Relation":
         """Natural (hash) join on the shared variables."""
-        shared = [v for v in self._schema if v in other.variables]
+        shared = [v for v in self.schema if v in other.variables]
         other_only = [v for v in other.schema if v not in self.variables]
-        left_positions = self._positions(shared) if shared else []
-        right_shared_positions = other._positions(shared) if shared else []
-        right_extra_positions = other._positions(other_only) if other_only else []
+        out_schema = tuple(self.schema) + tuple(other_only)
+        pair = self._columnar_pair(other)
+        if pair is not None:
+            left, right = pair
+            joined = left.join(
+                self._positions(shared),
+                right,
+                other._positions(shared),
+                other._positions(other_only),
+                out_schema,
+            )
+            if joined is not None:
+                return Relation._wrap(joined)
+        left_positions = self._positions(shared)
+        right_shared_positions = other._positions(shared)
+        right_extra_positions = other._positions(other_only)
 
-        index: Dict[Row, List[Row]] = defaultdict(list)
-        for row in other._rows:
+        index: Dict[Row, List[Row]] = {}
+        for row in other._backend.iter_rows():
             key = tuple(row[p] for p in right_shared_positions)
-            index[key].append(tuple(row[p] for p in right_extra_positions))
-
-        out_schema = list(self._schema) + other_only
+            index.setdefault(key, []).append(
+                tuple(row[p] for p in right_extra_positions)
+            )
         out_rows: List[Row] = []
-        for row in self._rows:
+        for row in self._backend.iter_rows():
             key = tuple(row[p] for p in left_positions)
             for extra in index.get(key, ()):
                 out_rows.append(tuple(row) + extra)
-        return Relation(out_schema, out_rows)
+        return Relation(out_schema, out_rows, backend=self._backend.kind)
 
     def semijoin(self, other: "Relation") -> "Relation":
         """Keep the rows whose shared-variable projection appears in ``other``."""
-        shared = [v for v in self._schema if v in other.variables]
+        shared = [v for v in self.schema if v in other.variables]
         if not shared:
-            return self if not other.is_empty() else Relation(self._schema, (), self.name)
-        left_positions = self._positions(shared)
-        right_keys = {
-            tuple(row[p] for p in other._positions(shared)) for row in other._rows
-        }
-        keep = [
-            row
-            for row in self._rows
-            if tuple(row[p] for p in left_positions) in right_keys
-        ]
-        return Relation(self._schema, keep, self.name)
+            return self if not other.is_empty() else Relation(
+                self.schema, (), self.name, backend=self._backend.kind
+            )
+        return self._semijoin(other, shared, negate=False)
 
     def antijoin(self, other: "Relation") -> "Relation":
         """Keep the rows whose shared-variable projection does NOT appear in ``other``."""
-        matching = self.semijoin(other)
-        return Relation(self._schema, self._rows - matching._rows, self.name)
+        shared = [v for v in self.schema if v in other.variables]
+        if not shared:
+            return self if other.is_empty() else Relation(
+                self.schema, (), self.name, backend=self._backend.kind
+            )
+        return self._semijoin(other, shared, negate=True)
+
+    def _semijoin(
+        self, other: "Relation", shared: List[str], negate: bool
+    ) -> "Relation":
+        pair = self._columnar_pair(other)
+        if pair is not None:
+            left, right = pair
+            reduced = left.semijoin(
+                self._positions(shared), right, other._positions(shared), negate
+            )
+            if reduced is not None:
+                return Relation._wrap(reduced, self.name)
+        left_positions = self._positions(shared)
+        other_positions = other._positions(shared)
+        right_keys = {
+            tuple(row[p] for p in other_positions)
+            for row in other._backend.iter_rows()
+        }
+        keep = [
+            row
+            for row in self._backend.iter_rows()
+            if (tuple(row[p] for p in left_positions) in right_keys) != negate
+        ]
+        return Relation(self.schema, keep, self.name, backend=self._backend.kind)
 
     def union(self, other: "Relation") -> "Relation":
-        if set(self._schema) != set(other.schema):
+        if set(self.schema) != set(other.schema):
             raise ValueError("union requires identical variable sets")
-        aligned = other.project(self._schema)
-        return Relation(self._schema, self._rows | aligned._rows, self.name)
+        pair = self._columnar_pair(other)
+        if pair is not None:
+            left, right = pair
+            return Relation._wrap(
+                left.union(right, other._positions(list(self.schema))), self.name
+            )
+        aligned = other.project(self.schema)
+        return Relation(
+            self.schema,
+            self.rows | aligned.rows,
+            self.name,
+            backend=self._backend.kind,
+        )
 
     def intersect(self, other: "Relation") -> "Relation":
-        if set(self._schema) != set(other.schema):
+        if set(self.schema) != set(other.schema):
             raise ValueError("intersection requires identical variable sets")
-        aligned = other.project(self._schema)
-        return Relation(self._schema, self._rows & aligned._rows, self.name)
+        # Over identical variable sets, intersection is a semijoin on the
+        # full schema — which the columnar backend answers with one probe.
+        return self._semijoin(other, list(self.schema), negate=False)
 
     def cross(self, other: "Relation") -> "Relation":
         """Cartesian product (the schemas must be disjoint)."""
         if self.variables & other.variables:
             raise ValueError("cross product requires disjoint schemas")
-        rows = [tuple(a) + tuple(b) for a in self._rows for b in other._rows]
-        return Relation(list(self._schema) + list(other.schema), rows)
+        out_schema = tuple(self.schema) + tuple(other.schema)
+        pair = self._columnar_pair(other)
+        if pair is not None:
+            left, right = pair
+            joined = left.join([], right, [], other._positions(list(other.schema)), out_schema)
+            if joined is not None:
+                return Relation._wrap(joined)
+        rows = [
+            tuple(a) + tuple(b)
+            for a in self._backend.iter_rows()
+            for b in other._backend.iter_rows()
+        ]
+        return Relation(out_schema, rows, backend=self._backend.kind)
 
     # ------------------------------------------------------------------
     # Degree statistics (Definition E.9) and heavy/light partitioning
     # ------------------------------------------------------------------
     def degree(self, target: Sequence[str], given: Sequence[str] = ()) -> int:
         """``deg_R(target | given)``: the worst-case fan-out of ``given`` into ``target``."""
-        degrees = self.degree_map(target, given)
-        return max(degrees.values(), default=0)
+        target = [v for v in target if v not in given]
+        schema = set(self.schema)
+        return self.stats.max_degree(
+            [v for v in target if v in schema], [v for v in given if v in schema]
+        )
 
     def degree_map(
         self, target: Sequence[str], given: Sequence[str] = ()
     ) -> Dict[Row, int]:
         """Per-binding degrees: for each ``given`` value, how many ``target`` values."""
         target = [v for v in target if v not in given]
-        target_positions = self._positions([v for v in target if v in self._schema])
-        given_positions = self._positions([v for v in given if v in self._schema])
-        seen: Dict[Row, set] = defaultdict(set)
-        for row in self._rows:
+        schema = set(self.schema)
+        target_positions = self._positions([v for v in target if v in schema])
+        given_positions = self._positions([v for v in given if v in schema])
+        if isinstance(self._backend, ColumnarBackend):
+            keys, counts = self._backend.degree_counts(
+                tuple(target_positions), tuple(given_positions)
+            )
+            decoded = self._backend.decode_key_rows(given_positions, keys)
+            return dict(zip(decoded, counts.tolist()))
+        seen: Dict[Row, set] = {}
+        for row in self._backend.iter_rows():
             key = tuple(row[p] for p in given_positions)
-            value = tuple(row[p] for p in target_positions)
-            seen[key].add(value)
+            seen.setdefault(key, set()).add(tuple(row[p] for p in target_positions))
         return {key: len(values) for key, values in seen.items()}
 
     def heavy_light_split(
-        self, given: Sequence[str], threshold: int, target: Optional[Sequence[str]] = None
+        self,
+        given: Sequence[str],
+        threshold: int,
+        target: Optional[Sequence[str]] = None,
     ) -> Tuple["Relation", "Relation"]:
         """Split into (heavy, light) parts by the degree of ``given`` bindings.
 
@@ -267,21 +455,44 @@ class Relation:
         the light part.
         """
         if target is None:
-            target = [v for v in self._schema if v not in given]
-        degrees = self.degree_map(target, given)
-        heavy_keys = {key for key, degree in degrees.items() if degree > threshold}
+            target = [v for v in self.schema if v not in given]
         given = list(given)
+        heavy_name = f"{self.name or 'R'}_heavy"
+        light_name = f"{self.name or 'R'}_light"
+        if isinstance(self._backend, ColumnarBackend) and given:
+            schema = set(self.schema)
+            target_positions = tuple(
+                self._positions([v for v in target if v not in given and v in schema])
+            )
+            given_positions = self._positions(given)
+            keys, counts = self._backend.degree_counts(
+                target_positions, tuple(given_positions)
+            )
+            heavy_keys = keys[counts > threshold]
+            split = self._backend.split_by_keys(given_positions, heavy_keys)
+            if split is not None:
+                heavy_backend, light_backend = split
+                return (
+                    Relation._wrap(heavy_backend, heavy_name),
+                    Relation._wrap(light_backend, light_name),
+                )
+        degrees = self.degree_map(target, given)
+        heavy_keys_set = {key for key, degree in degrees.items() if degree > threshold}
         given_positions = self._positions(given)
         heavy_rows = set()
         light_rows = []
-        for row in self._rows:
+        for row in self._backend.iter_rows():
             key = tuple(row[p] for p in given_positions)
-            if key in heavy_keys:
+            if key in heavy_keys_set:
                 heavy_rows.add(key)
             else:
                 light_rows.append(row)
-        heavy = Relation(given, heavy_rows, name=f"{self.name or 'R'}_heavy")
-        light = Relation(self._schema, light_rows, name=f"{self.name or 'R'}_light")
+        heavy = Relation(
+            given, heavy_rows, name=heavy_name, backend=self._backend.kind
+        )
+        light = Relation(
+            self.schema, light_rows, name=light_name, backend=self._backend.kind
+        )
         return heavy, light
 
     # ------------------------------------------------------------------
@@ -297,33 +508,42 @@ class Relation:
         """Encode the relation as a 0/1 matrix over (row, column) value tuples.
 
         Returns ``(matrix, row_index, col_index)``; indexes can be supplied
-        to align several relations on the same dimensions.
+        to align several relations on the same dimensions.  The columnar
+        backend deduplicates the (row, column) key pairs on its code arrays
+        before any Python-level work happens.
         """
         row_variables = list(row_variables)
         col_variables = list(col_variables)
         row_positions = self._positions(row_variables)
         col_positions = self._positions(col_variables)
-        projected = {
-            (
-                tuple(row[p] for p in row_positions),
-                tuple(row[p] for p in col_positions),
+        if isinstance(self._backend, ColumnarBackend):
+            projected: Iterable[Tuple[Row, Row]] = self._backend.matrix_pairs(
+                row_positions, col_positions
             )
-            for row in self._rows
-        }
+        else:
+            projected = {
+                (
+                    tuple(row[p] for p in row_positions),
+                    tuple(row[p] for p in col_positions),
+                )
+                for row in self._backend.iter_rows()
+            }
+        if row_index is None or col_index is None:
+            # Sorting fixes a deterministic index order; skipped when both
+            # indexes are caller-supplied (mixed-type keys need not be
+            # mutually comparable).
+            projected = sorted(projected)
         if row_index is None:
             row_index = {}
-            for key, _ in sorted(projected):
+            for key, _ in projected:
                 if key not in row_index:
                     row_index[key] = len(row_index)
         if col_index is None:
             col_index = {}
-            for _, key in sorted(projected):
+            for _, key in projected:
                 if key not in col_index:
                     col_index[key] = len(col_index)
-        matrix = np.zeros((len(row_index), len(col_index)), dtype=np.uint8)
-        for row_key, col_key in projected:
-            if row_key in row_index and col_key in col_index:
-                matrix[row_index[row_key], col_index[col_key]] = 1
+        matrix = matrix_from_pairs(projected, row_index, col_index)
         return matrix, row_index, col_index
 
     @staticmethod
@@ -334,6 +554,7 @@ class Relation:
         row_index: Dict[Row, int],
         col_index: Dict[Row, int],
         name: Optional[str] = None,
+        backend: Optional[str] = None,
     ) -> "Relation":
         """Decode a Boolean matrix back into a relation (inverse of ``to_matrix``)."""
         inverse_rows = {position: key for key, position in row_index.items()}
@@ -342,20 +563,54 @@ class Relation:
         nonzero_rows, nonzero_cols = np.nonzero(matrix)
         for i, j in zip(nonzero_rows.tolist(), nonzero_cols.tolist()):
             rows.append(inverse_rows[i] + inverse_cols[j])
-        return Relation(list(row_variables) + list(col_variables), rows, name)
+        return Relation(
+            list(row_variables) + list(col_variables), rows, name, backend=backend
+        )
 
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------
     @classmethod
+    def from_columns(
+        cls,
+        schema: Sequence[str],
+        columns: Sequence[Sequence[Value]],
+        name: Optional[str] = None,
+        *,
+        backend: Optional[str] = None,
+    ) -> "Relation":
+        """Bulk constructor from per-column value sequences.
+
+        The columnar backend dictionary-encodes each column vectorized when
+        the values are homogeneous (ints, floats, strings, NumPy arrays),
+        skipping per-row Python tuple handling entirely.
+        """
+        schema_tuple = tuple(schema)
+        if len(set(schema_tuple)) != len(schema_tuple):
+            raise ValueError(f"duplicate variables in schema {schema_tuple}")
+        built = resolve_backend(backend).from_columns(schema_tuple, columns)
+        return cls._wrap(built, name)
+
+    @classmethod
     def from_pairs(
-        cls, schema: Sequence[str], pairs: Iterable[Tuple[Value, Value]], name: str | None = None
+        cls,
+        schema: Sequence[str],
+        pairs: Iterable[Tuple[Value, Value]],
+        name: Optional[str] = None,
+        *,
+        backend: Optional[str] = None,
     ) -> "Relation":
         """Convenience constructor for binary relations."""
         if len(tuple(schema)) != 2:
             raise ValueError("from_pairs requires a binary schema")
-        return cls(schema, pairs, name)
+        return cls(schema, pairs, name, backend=backend)
 
     @classmethod
-    def empty(cls, schema: Sequence[str], name: str | None = None) -> "Relation":
-        return cls(schema, (), name)
+    def empty(
+        cls,
+        schema: Sequence[str],
+        name: Optional[str] = None,
+        *,
+        backend: Optional[str] = None,
+    ) -> "Relation":
+        return cls(schema, (), name, backend=backend)

@@ -5,6 +5,7 @@ from .boolean import (
     boolean_multiply_strassen,
     counting_multiply,
     has_any_product_entry,
+    matrix_from_pairs,
 )
 from .cost import (
     MatrixShape,
@@ -36,6 +37,7 @@ __all__ = [
     "counting_multiply",
     "has_any_product_entry",
     "heavy_vertex_bound",
+    "matrix_from_pairs",
     "mm_exponent",
     "naive_multiply",
     "omega_rectangular",

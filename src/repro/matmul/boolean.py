@@ -9,11 +9,42 @@ result (used by the examples that count homomorphic images).
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
 from .strassen import strassen_multiply
+
+
+def matrix_from_pairs(
+    pairs: Iterable[Tuple[object, object]],
+    row_index: Dict[object, int],
+    col_index: Dict[object, int],
+    shape: Optional[Tuple[int, int]] = None,
+) -> np.ndarray:
+    """A 0/1 matrix from (row key, column key) pairs and their index maps.
+
+    This is the ingestion primitive the relational layer uses to turn
+    deduplicated key pairs (straight off a columnar backend's code arrays)
+    into a Boolean operand: the nonzero entries are set in one vectorized
+    fancy-indexing assignment.  Pairs whose keys are missing from a
+    caller-supplied index are skipped, matching the alignment semantics of
+    ``Relation.to_matrix``.
+    """
+    if shape is None:
+        shape = (len(row_index), len(col_index))
+    matrix = np.zeros(shape, dtype=np.uint8)
+    rows: list = []
+    cols: list = []
+    for row_key, col_key in pairs:
+        i = row_index.get(row_key)
+        j = col_index.get(col_key)
+        if i is not None and j is not None:
+            rows.append(i)
+            cols.append(j)
+    if rows:
+        matrix[np.asarray(rows), np.asarray(cols)] = 1
+    return matrix
 
 
 def boolean_multiply(

@@ -522,3 +522,80 @@ class TestStrictParsing:
         assert sorted(query.variables) == ["X", "Y", "Z"]
         body_only = parse_query("R(X', Y), S(Y, Z)")
         assert len(body_only.atoms) == 2
+
+
+class TestStorageBackends:
+    def test_engine_backend_converts_database_in_place(self):
+        db = triangle_instance(60, domain_size=16, seed=3, plant_triangle=True)
+        assert db["R"].backend_kind == "set"
+        engine = QueryEngine(db, backend="columnar")
+        assert engine.database is db
+        assert db.backend == "columnar"
+        assert all(db[name].backend_kind == "columnar" for name in db)
+        assert engine.ask(TRIANGLE).answer
+
+    def test_plan_cache_behaviour_is_backend_independent(self):
+        for backend in (None, "columnar"):
+            db = triangle_instance(80, domain_size=20, seed=5)
+            engine = QueryEngine(db, omega=OMEGA, backend=backend)
+            first = engine.ask(TRIANGLE, strategy="omega")
+            second = engine.ask(TRIANGLE, strategy="omega")
+            assert not first.cache_hit and second.cache_hit
+            assert first.answer == second.answer
+
+    def test_database_backend_coerces_assignments(self):
+        db = Database(backend="columnar")
+        db["R"] = Relation(("X", "Y"), [(1, 2)])
+        assert db["R"].backend_kind == "columnar"
+        copied = db.copy()
+        assert copied.backend == "columnar"
+
+    def test_bulk_load_single_version_bump(self):
+        db = Database()
+        before = db.version
+        db.bulk_load(
+            {
+                "R": Relation(("X", "Y"), [(1, 2)]),
+                "S": (("Y", "Z"), [(2, 3)]),
+            },
+            T=(("X", "Z"), [(1, 3)]),
+        )
+        assert db.version == before + 1
+        assert set(db) == {"R", "S", "T"}
+        assert naive_boolean(TRIANGLE, db)
+
+    def test_convert_backend_noop_keeps_fingerprint(self):
+        db = triangle_instance(20, domain_size=8, seed=0)
+        fingerprint = db.statistics_fingerprint()
+        db.convert_backend(None)  # nothing stored changes representation
+        assert db.statistics_fingerprint() == fingerprint
+        db.convert_backend("columnar")
+        assert db.statistics_fingerprint() != fingerprint  # conversion is a mutation
+
+    def test_fingerprint_carries_relation_statistics(self):
+        db = Database()
+        db["R"] = Relation(("X", "Y"), [(1, 2), (1, 3)])
+        version, per_relation = db.statistics_fingerprint()
+        assert per_relation == (("R", (2, (1, 2))),)
+
+    def test_database_stats_view(self):
+        db = triangle_instance(30, domain_size=10, seed=1)
+        stats = db.stats()
+        assert set(stats) == {"R", "S", "T"}
+        assert stats["R"].n_rows == len(db["R"])
+
+    def test_invalid_backend_name_rejected_up_front(self):
+        with pytest.raises(ValueError):
+            Database(backend="nope")
+        db = Database()
+        with pytest.raises(ValueError):
+            db.convert_backend("nope")
+        assert db.backend is None  # failed conversion must not poison the db
+        db["R"] = Relation(("X",), [(1,)])  # still usable
+
+    def test_bulk_load_rejects_malformed_specs(self):
+        db = Database()
+        with pytest.raises(TypeError):
+            db.bulk_load(R="xy")  # a string is not a (schema, rows) pair
+        with pytest.raises(TypeError):
+            db.bulk_load(R=42)

@@ -161,3 +161,129 @@ class TestMatrixConversion:
         product = (r_matrix.astype(int) @ s_matrix.astype(int)) > 0
         via_matrix = Relation.from_matrix(product, ["X"], ["Z"], x_index, z_index)
         assert via_matrix == r.join(s).project(["X", "Z"])
+
+
+class TestBackends:
+    def test_backend_selection_and_kind(self):
+        r = Relation(("X", "Y"), [(1, 2)])
+        assert r.backend_kind == "set"
+        c = Relation(("X", "Y"), [(1, 2)], backend="columnar")
+        assert c.backend_kind == "columnar"
+        assert r == c
+        with pytest.raises(ValueError):
+            Relation(("X",), [(1,)], backend="nope")
+
+    def test_with_backend_round_trip(self):
+        r = Relation(("X", "Y"), [(1, 2), (3, 4)], name="R")
+        c = r.with_backend("columnar")
+        assert c.backend_kind == "columnar" and c.name == "R"
+        assert c.with_backend("set").rows == r.rows
+        assert r.with_backend("set") is r
+        assert r.with_backend(None) is r
+
+    def test_from_columns(self):
+        r = Relation.from_columns(("X", "Y"), ([1, 2, 2], [5, 6, 6]))
+        assert r.rows == {(1, 5), (2, 6)}  # duplicates collapse
+        c = Relation.from_columns(
+            ("X", "Y"), ([1, 2, 2], [5, 6, 6]), backend="columnar"
+        )
+        assert c.rows == r.rows
+        arr = np.array([3, 3, 4])
+        via_numpy = Relation.from_columns(("X",), (arr,), backend="columnar")
+        assert via_numpy.rows == {(3,), (4,)}
+        assert all(type(value) is int for (value,) in via_numpy.rows)
+        with pytest.raises(ValueError):
+            Relation.from_columns(("X", "Y"), ([1], [2, 3]))
+        with pytest.raises(ValueError):
+            Relation.from_columns(("X",), ([1], [2]))
+
+    def test_validation_matches_reference(self):
+        for backend in ("set", "columnar"):
+            with pytest.raises(ValueError):
+                Relation(("X", "X"), [], backend=backend)
+            with pytest.raises(ValueError):
+                Relation(("X", "Y"), [(1,)], backend=backend)
+            with pytest.raises(KeyError):
+                Relation(("X",), [(1,)], backend=backend).column_values("Z")
+
+    def test_columnar_rename_shares_storage(self):
+        c = Relation(("X", "Y"), [(1, 2), (3, 4)], backend="columnar")
+        renamed = c.rename({"X": "A"})
+        assert renamed._backend._columns is c._backend._columns
+        assert renamed.rows == {(1, 2), (3, 4)}
+
+    def test_stats_views(self):
+        r = Relation(("X", "Y"), [(1, 2), (1, 3), (2, 3)])
+        for backend in ("set", "columnar"):
+            stats = r.with_backend(backend).stats
+            assert stats.n_rows == 3
+            assert stats.distinct("X") == 2 and stats.distinct("Y") == 2
+            assert stats.distinct_counts == {"X": 2, "Y": 2}
+            assert stats.max_degree(["Y"], ["X"]) == 2
+            assert stats.max_degree(["X"]) == 2  # unconditional: V(X, r)
+            assert stats.fingerprint() == (3, (2, 2))
+
+    def test_restrict(self):
+        r = Relation(("X", "Y"), [(1, 2), (3, 4), (5, 6)], name="R")
+        for backend in ("set", "columnar"):
+            converted = r.with_backend(backend)
+            kept = converted.restrict("X", {1, 5, 99})
+            assert kept.rows == {(1, 2), (5, 6)}
+            assert kept.name == "R"
+            assert converted.restrict("X", set()).is_empty()
+
+    def test_nullary_and_empty_edge_cases(self):
+        for backend in ("set", "columnar"):
+            empty_nullary = Relation((), [], backend=backend)
+            unit = Relation((), [(), ()], backend=backend)
+            assert len(empty_nullary) == 0 and len(unit) == 1
+            assert list(unit) == [()]
+            assert unit.intersect(unit).rows == {()}
+            assert unit.intersect(empty_nullary).is_empty()
+            empty = Relation(("X", "Y"), [], backend=backend)
+            assert empty.project(["X"]).is_empty()
+            assert empty.join(empty).is_empty()
+            assert empty.degree(["Y"], ["X"]) == 0
+            assert empty.stats.fingerprint() == (0, (0, 0))
+
+    def test_mixed_backend_operations_fall_back(self):
+        left = Relation(("X", "Y"), [(1, 2), (3, 4)], backend="columnar")
+        right = Relation(("Y", "Z"), [(2, 7), (4, 8)])  # set backend
+        joined = left.join(right)
+        assert joined.rows == {(1, 2, 7), (3, 4, 8)}
+        assert left.semijoin(right).rows == {(1, 2), (3, 4)}
+
+    def test_columnar_string_and_mixed_values(self):
+        rows = [("a", 1), ("b", 2), ("a", 2)]
+        c = Relation(("X", "Y"), rows, backend="columnar")
+        assert c.rows == set(rows)
+        mixed = Relation(("X",), [(1,), ("one",)], backend="columnar")
+        assert mixed.rows == {(1,), ("one",)}
+        assert mixed.restrict("X", {"one"}).rows == {("one",)}
+
+    def test_backend_instance_adoption_guards(self):
+        from repro.db.backends import SetBackend
+
+        built = SetBackend.from_rows(("X", "Y"), [(1, 2)])
+        adopted = Relation(("A", "B"), backend=built)
+        assert adopted.rows == {(1, 2)} and adopted.schema == ("A", "B")
+        with pytest.raises(ValueError):
+            Relation(("A", "B"), [(3, 4)], backend=built)  # rows would be dropped
+        with pytest.raises(ValueError):
+            Relation(("A", "B", "C"), backend=built)  # width mismatch
+
+    def test_nan_parity_with_reference_backend(self):
+        rows = [(float("nan"),), (float("nan"),), (1.0,)]
+        reference = Relation(("X",), rows, backend="set")
+        columnar = Relation(("X",), rows, backend="columnar")
+        # Distinct NaN objects stay distinct under set semantics; the
+        # columnar encoder must not collapse them via np.unique.
+        assert len(reference) == len(columnar) == 3
+        assert reference.stats.distinct("X") == columnar.stats.distinct("X") == 3
+
+    def test_to_matrix_mixed_types_with_supplied_indexes(self):
+        r = Relation(("X", "Y"), [(1, "a"), ("b", 2)], backend="columnar")
+        row_index = {(1,): 0, ("b",): 1}
+        col_index = {("a",): 0, (2,): 1}
+        matrix, _, _ = r.to_matrix(["X"], ["Y"], row_index=row_index, col_index=col_index)
+        assert matrix[0, 0] == 1 and matrix[1, 1] == 1 and matrix.sum() == 2
