@@ -1,0 +1,195 @@
+"""IR optimizer effects: semijoin-chain fusion and cross-query CSE sharing.
+
+Two arms, both over the unified physical-operator layer:
+
+* **Fusion** — a "flower" query (one wide centre atom, several leaves)
+  lowers under Yannakakis to a chain of semijoins against the centre;
+  :func:`repro.exec.optimize.fuse_semijoins` collapses the chain into one
+  :class:`~repro.exec.ir.MultiSemijoin` executed in a single pass.  The
+  benchmark runs the same program fused and unfused.
+* **CSE** — a batch of ≥8 *isomorphic* chain queries (same relations,
+  renamed variables) through :meth:`repro.api.QueryEngine.ask_many`.  With
+  the engine's intermediate-result cache enabled, the name-insensitive
+  structural operator keys make every member after the first reuse the
+  representative's subplan results; with the cache disabled each member
+  executes from scratch.  The recorded speedup is the acceptance metric
+  (≥2x on the batch).
+
+Results land in ``benchmarks/results/ir_fusion.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.api import QueryEngine
+from repro.db import Database, parse_query
+from repro.exec import (
+    eliminate_common_subexpressions,
+    fuse_semijoins,
+    lower_yannakakis,
+    run_program,
+)
+
+from benchmarks._reporting import write_table
+
+#: ``REPRO_BENCH_TINY=1`` shrinks inputs so CI can smoke-run the harness.
+TINY = os.environ.get("REPRO_BENCH_TINY", "").strip().lower() in ("1", "true", "yes")
+FLOWER_ROWS = 2_000 if TINY else 50_000
+CHAIN_ROWS = 4_000 if TINY else 120_000
+BATCH_SIZE = 8
+ROWS = []
+
+
+# ----------------------------------------------------------------------
+# Workload builders
+# ----------------------------------------------------------------------
+def flower_query(n_leaves: int = 4):
+    centre = ", ".join(f"C{i}" for i in range(n_leaves))
+    leaves = ", ".join(f"L{i}(C{i}, X{i})" for i in range(n_leaves))
+    return parse_query(f"Q() :- Root({centre}), {leaves}")
+
+
+def flower_database(n_leaves: int, rows: int, seed: int, backend: str) -> Database:
+    rng = random.Random(seed)
+    domain = max(rows // 3, 4)
+    specs = {
+        "Root": (
+            tuple(f"C{i}" for i in range(n_leaves)),
+            [tuple(rng.randrange(domain) for _ in range(n_leaves)) for _ in range(rows)],
+        )
+    }
+    for i in range(n_leaves):
+        specs[f"L{i}"] = (
+            ("C", "X"),
+            [(rng.randrange(domain), rng.randrange(domain)) for _ in range(rows)],
+        )
+    return Database(backend=backend).bulk_load(specs)
+
+
+def chain_queries(count: int, n_atoms: int = 4):
+    """``count`` isomorphic chain queries over the same relations."""
+    names = "ABCDEFGHI"
+    queries = []
+    for index in range(count):
+        variables = [f"{v}{index}" for v in names[: n_atoms + 1]]
+        body = ", ".join(
+            f"R{i}({variables[i]}, {variables[i + 1]})" for i in range(n_atoms)
+        )
+        queries.append(parse_query(f"Q{index}() :- {body}"))
+    return queries
+
+
+def chain_database(rows: int, seed: int, n_atoms: int = 4) -> Database:
+    rng = random.Random(seed)
+    domain = max(rows // 2, 4)
+    specs = {
+        f"R{i}": (
+            ("X", "Y"),
+            [(rng.randrange(domain), rng.randrange(domain)) for _ in range(rows)],
+        )
+        for i in range(n_atoms)
+    }
+    return Database(backend="columnar").bulk_load(specs)
+
+
+# ----------------------------------------------------------------------
+# Fusion arm
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", ["set", "columnar"])
+def test_semijoin_fusion(benchmark, backend):
+    query = flower_query()
+    database = flower_database(4, FLOWER_ROWS, seed=3, backend=backend)
+    unfused, _ = eliminate_common_subexpressions(lower_yannakakis(query))
+    fused, fused_chains = fuse_semijoins(unfused)
+    assert fused_chains >= 1
+    # Warm backend indexes so both arms measure the operator work.
+    baseline = run_program(unfused, database)
+    fused_result = run_program(fused, database)
+    assert baseline.answer == fused_result.answer
+    rounds = 2 if TINY else 5
+    unfused_times, fused_times = [], []
+    for _ in range(rounds):  # interleave the arms so drift hits both equally
+        unfused_times.append(run_program(unfused, database).seconds)
+        fused_times.append(run_program(fused, database).seconds)
+    unfused_seconds = min(unfused_times)
+    fused_seconds = min(fused_times)
+
+    def run():
+        return run_program(fused, database)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    speedup = unfused_seconds / max(fused_seconds, 1e-9)
+    ROWS.append(
+        (
+            f"fusion/{backend}",
+            database.size,
+            unfused_seconds * 1e3,
+            fused_seconds * 1e3,
+            speedup,
+            f"{fused_chains} chains fused",
+        )
+    )
+
+
+# ----------------------------------------------------------------------
+# CSE arm (the acceptance metric: >= 2x on an isomorphic ask_many batch)
+# ----------------------------------------------------------------------
+def test_cse_sharing_on_ask_many(benchmark):
+    queries = chain_queries(BATCH_SIZE)
+    timings = {}
+    hit_rate = 0.0
+    for label, cache_size in (("per-query", 0), ("shared", 256)):
+        database = chain_database(CHAIN_ROWS, seed=1)
+        engine = QueryEngine(database, result_cache_size=cache_size)
+        # Warm the backend's lazy indexes so the arms compare operator
+        # execution, not one-off index builds.
+        engine.ask(queries[0], strategy="yannakakis")
+        engine.clear_result_cache()
+        results = engine.ask_many(queries, strategy="yannakakis")
+        assert len({r.answer for r in results}) == 1
+        timings[label] = sum(r.execute_seconds for r in results)
+        if cache_size:
+            stats = engine.result_cache_info()
+            assert stats.hits > 0
+            hit_rate = stats.hit_rate
+
+    def run():
+        database = chain_database(CHAIN_ROWS, seed=1)
+        engine = QueryEngine(database, result_cache_size=256)
+        engine.ask(queries[0], strategy="yannakakis")
+        engine.clear_result_cache()
+        return engine.ask_many(queries, strategy="yannakakis")
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    speedup = timings["per-query"] / max(timings["shared"], 1e-9)
+    if not TINY:
+        assert speedup >= 2.0, f"CSE sharing speedup {speedup:.2f}x below 2x"
+    ROWS.append(
+        (
+            f"cse/ask_many x{BATCH_SIZE}",
+            CHAIN_ROWS,
+            timings["per-query"] * 1e3,
+            timings["shared"] * 1e3,
+            speedup,
+            f"hit rate {hit_rate:.2f}",
+        )
+    )
+
+
+def teardown_module(module):
+    write_table(
+        "ir_fusion",
+        [
+            "workload",
+            "rows",
+            "baseline_ms",
+            "optimized_ms",
+            "speedup",
+            "notes",
+        ],
+        ROWS,
+    )

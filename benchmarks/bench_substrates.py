@@ -9,7 +9,6 @@ and the join algorithms (hash join vs. worst-case optimal join).
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.db import generic_join_boolean, naive_boolean, parse_query, triangle_instance
 from repro.matmul import (

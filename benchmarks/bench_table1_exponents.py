@@ -29,7 +29,6 @@ from repro.width import (
     prior_clique,
     prior_pyramid,
     prior_triangle,
-    subw_pyramid,
 )
 
 from benchmarks._reporting import write_table

@@ -15,8 +15,8 @@ from __future__ import annotations
 
 import sys
 
+from repro.api import QueryEngine
 from repro.constants import OMEGA_BEST_KNOWN, OMEGA_NAIVE
-from repro.core import plan_query
 from repro.db import parse_query, random_database
 from repro.width import (
     fractional_edge_cover_number,
@@ -70,8 +70,16 @@ def main() -> None:
 
     print("=== Plan chosen by the engine on a random instance ===")
     database = random_database(query, tuples_per_relation=500, seed=7, plant_witness=True)
-    planned = plan_query(query, database, omega)
-    print(planned.describe())
+    engine = QueryEngine(database, omega=omega)
+    explanation = engine.explain(query, strategy="omega")
+    print(explanation.describe())
+    print()
+    print("=== Executed (same engine, plan served from the cache) ===")
+    result = engine.ask(query, strategy="omega")
+    print(
+        f"answer={result.answer}  plan from {result.plan_source}  "
+        f"({result.execute_seconds * 1e3:.2f} ms execute)"
+    )
 
 
 if __name__ == "__main__":

@@ -7,9 +7,13 @@ The package is organised by subsystem:
 * :mod:`repro.width` — ρ*, fhtw, submodular width, ω-submodular width;
 * :mod:`repro.matmul` — Strassen, rectangular/boolean MM, cost model;
 * :mod:`repro.db` — relations, conjunctive queries, join algorithms, generators;
-* :mod:`repro.core` — ω-query plans, planner and executor, per-class algorithms;
+* :mod:`repro.core` — ω-query plans, planner, per-class algorithms;
+* :mod:`repro.exec` — the unified physical execution layer: operator IR,
+  per-strategy lowering, rewrite passes (CSE, semijoin fusion, pruning)
+  and the instrumented virtual machine every strategy runs on;
 * :mod:`repro.api` — the public query engine: :class:`QueryEngine` facade,
-  pluggable strategy registry, LRU plan cache, batch execution.
+  pluggable strategy registry, LRU plan+IR cache, batch execution with
+  cross-query intermediate-result sharing.
 
 Answering queries goes through :class:`repro.api.QueryEngine`::
 
@@ -53,7 +57,7 @@ from .width import (
     submodular_width,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "DEFAULT_OMEGA",

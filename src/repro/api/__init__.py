@@ -36,7 +36,8 @@ Typical use::
     print(result.answer, result.cache_hit, result.plan_seconds)
 """
 
-from .cache import CacheStats, PlanCache
+from ..exec.vm import ResultCache, ResultCacheStats
+from .cache import CachedPlanEntry, CacheStats, PlanCache
 from .engine import Explanation, QueryEngine, QueryResult
 from .errors import EngineError, StrategyDisagreement, UnknownStrategyError
 from .strategies import (
@@ -51,12 +52,15 @@ from .strategies import (
 
 __all__ = [
     "CacheStats",
+    "CachedPlanEntry",
     "DEFAULT_REGISTRY",
     "EngineError",
     "Explanation",
     "PlanCache",
     "QueryEngine",
     "QueryResult",
+    "ResultCache",
+    "ResultCacheStats",
     "Strategy",
     "StrategyDisagreement",
     "StrategyOutcome",

@@ -1,4 +1,4 @@
-"""An LRU cache for ω-query plans.
+"""An LRU cache for ω-query plans and their lowered IR programs.
 
 Plans are cached in *canonical shape space*: before insertion the engine
 renames a plan's variables through the query's canonical mapping
@@ -10,6 +10,16 @@ serves every query isomorphic to the one that was planned.  Keys combine
 * the database statistics fingerprint — any mutation of the database bumps
   its version and therefore misses the cache, which is how invalidation
   works without an observer protocol.
+
+Since the unified execution layer landed, the engine stores a
+:class:`CachedPlanEntry` — the plan *plus* its optimized physical-operator
+program (:class:`~repro.exec.ir.Program`) and the atom→relation binding the
+program was lowered against.  On a hit with the same binding the engine
+renames the cached program instead of lowering again; isomorphic queries
+over *different* relation names reuse the plan and re-lower (lowering is
+linear in the plan size).  The cache itself is value-agnostic: ``put``
+stores whatever it is given and ``get`` returns it untouched, so it can
+also hold bare :class:`~repro.core.plan.OmegaQueryPlan` objects.
 """
 
 from __future__ import annotations
@@ -22,6 +32,20 @@ from ..core.plan import OmegaQueryPlan
 
 #: (strategy name, shape signature, omega, database fingerprint)
 PlanCacheKey = Tuple[str, Hashable, float, Hashable]
+
+
+@dataclass(frozen=True)
+class CachedPlanEntry:
+    """What the engine caches per query shape: plan, lowered IR, binding."""
+
+    #: The ω-query plan in canonical variable space.
+    plan: OmegaQueryPlan
+    #: The optimized physical-operator program in canonical variable space
+    #: (``None`` for strategies without a lowering).
+    program: Optional[object] = None
+    #: Which relation each canonical atom scope was lowered against — reuse
+    #: of ``program`` requires the requesting query to bind the same way.
+    binding: Hashable = None
 
 
 @dataclass(frozen=True)
@@ -41,15 +65,17 @@ class CacheStats:
 
 
 class PlanCache:
-    """A bounded mapping from :data:`PlanCacheKey` to canonical plans.
+    """A bounded mapping from :data:`PlanCacheKey` to canonical cache values.
 
-    ``maxsize <= 0`` disables caching entirely (every lookup misses and
-    nothing is stored), which the benchmarks use as the control arm.
+    Values are typically :class:`CachedPlanEntry` objects (plan + lowered
+    program), but any object is stored and returned as-is.  ``maxsize <= 0``
+    disables caching entirely (every lookup misses and nothing is stored),
+    which the benchmarks use as the control arm.
     """
 
     def __init__(self, maxsize: int = 128) -> None:
         self.maxsize = maxsize
-        self._entries: "OrderedDict[PlanCacheKey, OmegaQueryPlan]" = OrderedDict()
+        self._entries: "OrderedDict[PlanCacheKey, object]" = OrderedDict()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
@@ -61,22 +87,22 @@ class PlanCache:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def get(self, key: PlanCacheKey) -> Optional[OmegaQueryPlan]:
+    def get(self, key: PlanCacheKey) -> Optional[object]:
         if not self.enabled:
             self._misses += 1
             return None
-        plan = self._entries.get(key)
-        if plan is None:
+        value = self._entries.get(key)
+        if value is None:
             self._misses += 1
             return None
         self._entries.move_to_end(key)
         self._hits += 1
-        return plan
+        return value
 
-    def put(self, key: PlanCacheKey, plan: OmegaQueryPlan) -> None:
+    def put(self, key: PlanCacheKey, value: object) -> None:
         if not self.enabled:
             return
-        self._entries[key] = plan
+        self._entries[key] = value
         self._entries.move_to_end(key)
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)

@@ -22,9 +22,17 @@ from ..db.query import ConjunctiveQuery
 from ..core.executor import ExecutionResult
 from ..core.plan import OmegaQueryPlan
 from ..core.planner import PlannedQuery
-from .cache import CacheStats, PlanCache, PlanCacheKey
+from ..exec.ir import Program
+from ..exec.optimize import optimize_program
+from ..exec.vm import ResultCache, ResultCacheStats, VirtualMachine
+from .cache import CachedPlanEntry, CacheStats, PlanCache, PlanCacheKey
 from .errors import StrategyDisagreement
-from .strategies import DEFAULT_REGISTRY, Strategy, StrategyRegistry
+from .strategies import (
+    DEFAULT_REGISTRY,
+    Strategy,
+    StrategyOutcome,
+    StrategyRegistry,
+)
 
 
 @dataclass
@@ -54,6 +62,9 @@ class QueryResult:
     plan: Optional[OmegaQueryPlan] = None
     planned: Optional[PlannedQuery] = None
     execution: Optional[ExecutionResult] = None
+    #: The lowered physical-operator program the ask executed (``None``
+    #: only for strategies without a lowering).
+    program: Optional[Program] = None
 
     def describe(self) -> str:
         lines = [
@@ -86,6 +97,8 @@ class Explanation:
     plan: Optional[OmegaQueryPlan] = None
     planned: Optional[PlannedQuery] = None
     widths: Dict[str, float] = field(default_factory=dict)
+    #: The lowered (and optimized) physical-operator DAG the ask would run.
+    program: Optional[Program] = None
 
     def describe(self) -> str:
         lines = [
@@ -102,6 +115,9 @@ class Explanation:
         elif self.plan is not None:
             lines.append("plan (cached):")
             lines.append(self.plan.describe())
+        if self.program is not None:
+            lines.append("operators:")
+            lines.append(self.program.describe())
         return "\n".join(lines)
 
 
@@ -125,6 +141,13 @@ class QueryEngine:
     plan_cache_size:
         Maximum number of cached plans (LRU eviction); ``0`` disables the
         cache.
+    result_cache_size:
+        Maximum number of intermediate operator results the virtual machine
+        may keep across asks (LRU eviction; ``0`` disables).  Keyed by the
+        operators' name-insensitive structural hash plus the database
+        fingerprint, this is what lets :meth:`ask_many` batches of
+        isomorphic queries share identical subplans — the same encoded
+        relation semijoined the same way is computed once.
     backend:
         Optional storage backend name (``"set"``, ``"columnar"``); when
         given, the database's relations are converted in place via
@@ -139,6 +162,7 @@ class QueryEngine:
         omega: float = DEFAULT_OMEGA,
         registry: Optional[StrategyRegistry] = None,
         plan_cache_size: int = 128,
+        result_cache_size: int = 32,
         backend: Optional[str] = None,
     ) -> None:
         if backend is not None:
@@ -147,6 +171,7 @@ class QueryEngine:
         self.omega = omega
         self.registry = registry if registry is not None else DEFAULT_REGISTRY
         self._plan_cache = PlanCache(plan_cache_size)
+        self._result_cache = ResultCache(result_cache_size)
 
     # ------------------------------------------------------------------
     # Strategy resolution
@@ -214,16 +239,31 @@ class QueryEngine:
         plan_seconds = 0.0
         cache_hit = False
         plan_source = "none"
+        program: Optional[Program] = None
         if plan is not None:
             plan_source = "given"
         elif resolved.uses_plans:
-            plan, planned, cache_hit, plan_seconds = self._obtain_plan(
+            plan, planned, cache_hit, plan_seconds, program = self._obtain_plan(
                 strategy_key, resolved, query, omega_value
             )
             plan_source = "cache" if cache_hit else "planner"
 
         execute_start = time.perf_counter()
-        outcome = resolved.execute(query, self.database, omega_value, plan=plan)
+        if program is None:
+            program = self._lower(resolved, query, omega_value, plan)
+        if program is not None:
+            # The unified path: run the lowered program on the shared VM
+            # (per-operator traces, cross-query intermediate-result cache).
+            vm = VirtualMachine(self.database, result_cache=self._result_cache)
+            vm_result = vm.run(program)
+            outcome = StrategyOutcome(
+                answer=vm_result.answer,
+                plan=plan,
+                execution=ExecutionResult.from_vm(vm_result),
+            )
+        else:
+            # Legacy path for custom strategies without a lowering.
+            outcome = resolved.execute(query, self.database, omega_value, plan=plan)
         execute_seconds = time.perf_counter() - execute_start
         if outcome.planned is not None:
             planned = outcome.planned
@@ -239,6 +279,7 @@ class QueryEngine:
             plan=outcome.plan if outcome.plan is not None else plan,
             planned=planned,
             execution=outcome.execution,
+            program=program,
         )
 
     def ask_many(
@@ -335,8 +376,9 @@ class QueryEngine:
         plan: Optional[OmegaQueryPlan] = None
         planned: Optional[PlannedQuery] = None
         cache_hit = False
+        program: Optional[Program] = None
         if resolved.uses_plans:
-            plan, planned, cache_hit, _ = self._obtain_plan(
+            plan, planned, cache_hit, _, program = self._obtain_plan(
                 strategy_key, resolved, query, omega_value
             )
         widths: Dict[str, float] = {}
@@ -353,6 +395,8 @@ class QueryEngine:
             widths["fractional hypertree width"] = fractional_hypertree_width(
                 hypergraph
             ).value
+        if program is None:
+            program = self._lower(resolved, query, omega_value, plan)
         return Explanation(
             query=query,
             strategy=strategy_key,
@@ -363,6 +407,7 @@ class QueryEngine:
             plan=plan,
             planned=planned,
             widths=widths,
+            program=program,
         )
 
     def compare(
@@ -404,6 +449,13 @@ class QueryEngine:
     def clear_plan_cache(self) -> None:
         self._plan_cache.clear()
 
+    def result_cache_info(self) -> ResultCacheStats:
+        """Counters of the VM's cross-query intermediate-result cache."""
+        return self._result_cache.stats()
+
+    def clear_result_cache(self) -> None:
+        self._result_cache.clear()
+
     def _atom_sizes(self, query: ConjunctiveQuery) -> Tuple[Tuple[Tuple[str, ...], int], ...]:
         """Per-atom relation sizes in canonical variable space.
 
@@ -424,16 +476,55 @@ class QueryEngine:
             )
         )
 
+    def _lower(
+        self,
+        strategy: Strategy,
+        query: ConjunctiveQuery,
+        omega: float,
+        plan: Optional[OmegaQueryPlan],
+    ) -> Optional[Program]:
+        """Lower a strategy to an optimized program (``None`` if it cannot)."""
+        program = strategy.lower(query, self.database, omega, plan=plan)
+        if program is None:
+            return None
+        program, _ = optimize_program(program)
+        return program
+
+    def _canonical_binding(
+        self, query: ConjunctiveQuery, mapping: Dict[str, str]
+    ) -> Tuple:
+        """Which relation each canonical atom binds to, column order included.
+
+        A cached program scans concrete relations with a fixed positional
+        column→variable correspondence, so reuse requires the requesting
+        query to bind the same relations with the same *ordered* canonical
+        scopes.  (The shape signature sorts within atoms — two queries can
+        share a signature while wiring a relation's columns differently, so
+        the order must be preserved here or a cached program would answer
+        for the wrong query.)
+        """
+        return tuple(
+            sorted(
+                (tuple(mapping[v] for v in atom.variables), atom.relation)
+                for atom in query.atoms
+            )
+        )
+
     def _obtain_plan(
         self,
         strategy_key: str,
         strategy: Strategy,
         query: ConjunctiveQuery,
         omega: float,
-    ) -> Tuple[OmegaQueryPlan, Optional[PlannedQuery], bool, float]:
-        """Fetch a plan from the cache or build (and cache) a fresh one.
+    ) -> Tuple[OmegaQueryPlan, Optional[PlannedQuery], bool, float, Optional[Program]]:
+        """Fetch a plan (and its lowered program) from the cache, or build both.
 
-        Returns ``(plan, planned-or-None, cache_hit, plan_seconds)``.
+        Returns ``(plan, planned-or-None, cache_hit, plan_seconds,
+        program-or-None)``.  Cache entries hold the plan *and* the
+        optimized IR in canonical variable space; a hit renames them into
+        the query's variables.  If the hit's atom→relation binding differs
+        (isomorphic query over different relations), the plan is reused and
+        the program re-lowered.
         """
         mapping = query.canonical_mapping()
         key: PlanCacheKey = (
@@ -442,15 +533,41 @@ class QueryEngine:
             omega,
             self.database.statistics_fingerprint(),
         )
-        canonical = self._plan_cache.get(key)
-        if canonical is not None:
+        binding = self._canonical_binding(query, mapping)
+        cached = self._plan_cache.get(key)
+        if cached is not None:
             inverse = {c: variable for variable, c in mapping.items()}
-            return canonical.rename(inverse), None, True, 0.0
+            if isinstance(cached, CachedPlanEntry):
+                plan = cached.plan.rename(inverse)
+                program: Optional[Program] = None
+                relower_seconds = 0.0
+                if cached.program is not None and cached.binding == binding:
+                    assert isinstance(cached.program, Program)
+                    program = cached.program.rename(inverse)
+                if program is None:
+                    # Same shape, different atom wiring: the plan is reused
+                    # but the IR must be lowered afresh — report that work
+                    # as planning time rather than hiding it.
+                    relower_start = time.perf_counter()
+                    program = self._lower(strategy, query, omega, plan)
+                    relower_seconds = time.perf_counter() - relower_start
+                return plan, None, True, relower_seconds, program
+            # Back-compat: a bare plan stored directly in the cache.
+            assert isinstance(cached, OmegaQueryPlan)
+            return cached.rename(inverse), None, True, 0.0, None
         plan_start = time.perf_counter()
         planned = strategy.plan(query, self.database, omega)
+        program = self._lower(strategy, query, omega, planned.plan)
         plan_seconds = time.perf_counter() - plan_start
-        self._plan_cache.put(key, planned.plan.rename(mapping))
-        return planned.plan, planned, False, plan_seconds
+        self._plan_cache.put(
+            key,
+            CachedPlanEntry(
+                plan=planned.plan.rename(mapping),
+                program=program.rename(mapping) if program is not None else None,
+                binding=binding,
+            ),
+        )
+        return planned.plan, planned, False, plan_seconds, program
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         stats = self.cache_info()

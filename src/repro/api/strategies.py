@@ -27,11 +27,20 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple, Union, overload
 
 from ..db.database import Database
-from ..db.joins import generic_join_boolean, naive_boolean, yannakakis_boolean
+from ..db.joins import default_variable_order
 from ..db.query import ConjunctiveQuery
 from ..core.executor import ExecutionResult, PlanExecutor
 from ..core.plan import OmegaQueryPlan
 from ..core.planner import PlannedQuery, plan_query
+from ..exec.ir import Program
+from ..exec.lower import (
+    lower_generic_join,
+    lower_naive,
+    lower_plan,
+    lower_yannakakis,
+)
+from ..exec.optimize import optimize_program
+from ..exec.vm import VirtualMachine
 from .errors import UnknownStrategyError
 
 
@@ -70,6 +79,23 @@ class Strategy:
         """Build a plan for the query (plan-based strategies only)."""
         raise NotImplementedError(f"strategy {self.name!r} does not plan")
 
+    def lower(
+        self,
+        query: ConjunctiveQuery,
+        database: Database,
+        omega: float,
+        plan: Optional[OmegaQueryPlan] = None,
+    ) -> Optional[Program]:
+        """Lower the strategy to a physical-operator program, or ``None``.
+
+        Strategies that return a :class:`~repro.exec.ir.Program` execute on
+        the engine's shared virtual machine (one instrumented executor,
+        optimizer passes, cross-query result cache).  The default returns
+        ``None``, which makes the engine fall back to :meth:`execute` —
+        custom strategies keep working unchanged.
+        """
+        return None
+
     def execute(
         self,
         query: ConjunctiveQuery,
@@ -77,7 +103,22 @@ class Strategy:
         omega: float,
         plan: Optional[OmegaQueryPlan] = None,
     ) -> StrategyOutcome:
-        raise NotImplementedError
+        """Answer the query directly (standalone use, without an engine).
+
+        The default implementation lowers (:meth:`lower`) and runs a
+        private VM; strategies that neither lower nor override this raise
+        ``NotImplementedError``.
+        """
+        program = self.lower(query, database, omega, plan=plan)
+        if program is None:
+            raise NotImplementedError
+        program, _ = optimize_program(program)
+        result = VirtualMachine(database).run(program)
+        return StrategyOutcome(
+            answer=result.answer,
+            plan=plan,
+            execution=ExecutionResult.from_vm(result),
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Strategy {self.name!r}>"
@@ -194,8 +235,8 @@ class NaiveStrategy(Strategy):
 
     name = "naive"
 
-    def execute(self, query, database, omega, plan=None):
-        return StrategyOutcome(answer=naive_boolean(query, database))
+    def lower(self, query, database, omega, plan=None):
+        return lower_naive(query)
 
 
 @register_strategy
@@ -204,8 +245,9 @@ class GenericJoinStrategy(Strategy):
 
     name = "generic_join"
 
-    def execute(self, query, database, omega, plan=None):
-        return StrategyOutcome(answer=generic_join_boolean(query, database))
+    def lower(self, query, database, omega, plan=None):
+        order = default_variable_order(query, database)
+        return lower_generic_join(query, order, find_all=False, boolean=True)
 
 
 @register_strategy
@@ -217,8 +259,8 @@ class YannakakisStrategy(Strategy):
     def supports(self, query):
         return query.is_acyclic()
 
-    def execute(self, query, database, omega, plan=None):
-        return StrategyOutcome(answer=yannakakis_boolean(query, database))
+    def lower(self, query, database, omega, plan=None):
+        return lower_yannakakis(query)
 
 
 @register_strategy
@@ -230,6 +272,11 @@ class OmegaStrategy(Strategy):
 
     def plan(self, query, database, omega):
         return plan_query(query, database, omega)
+
+    def lower(self, query, database, omega, plan=None):
+        if plan is None:
+            plan = self.plan(query, database, omega).plan
+        return lower_plan(query, database, plan).program
 
     def execute(self, query, database, omega, plan=None):
         planned: Optional[PlannedQuery] = None

@@ -11,14 +11,10 @@ module doubles as the executable counterpart of that analysis.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
-
-import numpy as np
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
 from ..constants import DEFAULT_OMEGA
-from ..matmul.boolean import boolean_multiply
 
 Edge = Tuple[int, int]
 
@@ -85,10 +81,23 @@ def clique_detect_mm(
     k: int,
     omega: float = DEFAULT_OMEGA,
 ) -> CliqueReport:
-    """Detect a k-clique with the three-way split + Boolean MM strategy."""
+    """Detect a k-clique with the three-way split + Boolean MM strategy.
+
+    The detection is a *lowering*: the pairwise compatible-cliques
+    relations over the three vertex groups form a triangle query whose
+    middle group is eliminated by one Boolean matrix product
+    (``AC ⋉ MM(AB; B; BC)``, the GVEO of Lemma C.8), executed on the shared
+    virtual machine.  A middle clique certified by the product is
+    automatically vertex-disjoint from *both* endpoints at once: ``b∩a = ∅``
+    and ``b∩c = ∅`` (baked into the compatibility relations) already give
+    ``b ∩ (a∪c) = ∅``.
+    """
     import time
 
     del omega  # the detection itself is exponent-agnostic; ω only changes costs
+    from ..exec.lower import lower_clique
+    from ..exec.vm import VirtualMachine
+
     start = time.perf_counter()
     if k < 3:
         raise ValueError("clique detection needs k >= 3")
@@ -107,62 +116,11 @@ def clique_detect_mm(
             (min(a, b), max(a, b)) in edge_set for a in left for b in right
         )
 
-    index_a = {clique: i for i, clique in enumerate(group_a)}
-    index_b = {clique: i for i, clique in enumerate(group_b)}
-    index_c = {clique: i for i, clique in enumerate(group_c)}
-    m1 = np.zeros((len(group_a), len(group_b)), dtype=np.uint8)
-    for a_clique, i in index_a.items():
-        for b_clique, j in index_b.items():
-            if compatible(a_clique, b_clique):
-                m1[i, j] = 1
-    m2 = np.zeros((len(group_b), len(group_c)), dtype=np.uint8)
-    for b_clique, j in index_b.items():
-        for c_clique, l in index_c.items():
-            if compatible(b_clique, c_clique):
-                m2[j, l] = 1
-    shape = (len(group_a), len(group_b), len(group_c))
-    answer = False
-    if all(shape):
-        product = boolean_multiply(m1, m2)
-        for a_clique, i in index_a.items():
-            if answer:
-                break
-            for c_clique, l in index_c.items():
-                if product[i, l] and compatible(a_clique, c_clique):
-                    # There is a B-group clique compatible with both; the
-                    # product certifies its existence, and A-C compatibility
-                    # closes the k-clique...
-                    if _verify_triple(a_clique, c_clique, group_b, index_b, m1, m2, i, l):
-                        answer = True
-                        break
-    report = CliqueReport(
-        answer=answer,
+    program, compat_db = lower_clique(group_a, group_b, group_c, compatible)
+    result = VirtualMachine(compat_db).run(program)
+    return CliqueReport(
+        answer=result.answer,
         group_sizes=(size_a, size_b, size_c),
-        matrix_shape=shape,
+        matrix_shape=(len(group_a), len(group_b), len(group_c)),
         seconds=time.perf_counter() - start,
     )
-    return report
-
-
-def _verify_triple(
-    a_clique: Tuple[int, ...],
-    c_clique: Tuple[int, ...],
-    group_b: List[Tuple[int, ...]],
-    index_b: Dict[Tuple[int, ...], int],
-    m1: np.ndarray,
-    m2: np.ndarray,
-    i: int,
-    l: int,
-) -> bool:
-    """Confirm that some middle clique is compatible with both endpoints.
-
-    The Boolean product alone certifies a shared middle clique, but the
-    middle clique must additionally be vertex-disjoint from both endpoints
-    simultaneously — the product cannot see that, so the (rare) candidate
-    pairs are re-checked explicitly.
-    """
-    taken = set(a_clique) | set(c_clique)
-    for b_clique, j in index_b.items():
-        if m1[i, j] and m2[j, l] and not (set(b_clique) & taken):
-            return True
-    return False

@@ -10,9 +10,8 @@ combinatorial and purely MM-based baselines.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 from ..constants import DEFAULT_OMEGA
 from ..db.database import Database
@@ -20,7 +19,6 @@ from ..db.joins import generic_join_boolean
 from ..db.query import ConjunctiveQuery, parse_query
 from ..db.relation import Relation
 from ..matmul.boolean import boolean_multiply
-from ..matmul.cost import triangle_threshold
 
 FOUR_CYCLE_QUERY: ConjunctiveQuery = parse_query(
     "Q() :- R(X, Y), S(Y, Z), T(Z, W), U(W, X)"
@@ -94,77 +92,40 @@ def four_cycle_adaptive(
     heavy middle.  The same split is applied to ``W`` on the other side of
     the cycle, after which the two X–Z reachability relations are
     intersected.
+
+    The strategy is a *lowering* (:func:`repro.exec.lower.lower_four_cycle`)
+    executed on the shared virtual machine; the report is reconstructed
+    from the per-operator traces.
     """
-    start = time.perf_counter()
-    r, s, t, u = _relations(database)
-    n = max(len(r), len(s), len(t), len(u), 1)
-    delta = threshold if threshold is not None else triangle_threshold(n, omega)
-    report = FourCycleReport(answer=False, threshold=delta)
-    if any(rel.is_empty() for rel in (r, s, t, u)):
-        report.seconds = time.perf_counter() - start
-        return report
+    from ..exec.lower import lower_four_cycle
+    from ..exec.vm import VirtualMachine
 
-    through_y, light_y = _two_paths(r, s, "Y", ("X", "Z"), delta)
-    if through_y.is_empty():
-        report.light_pairs = light_y
-        report.seconds = time.perf_counter() - start
-        return report
-    through_w, light_w = _two_paths(u.project(["X", "W"]).rename({}), t.project(["W", "Z"]), "W", ("X", "Z"), delta)
-    report.light_pairs = light_y + light_w
-    if through_w.is_empty():
-        report.seconds = time.perf_counter() - start
-        return report
-    witness = through_y.intersect(through_w)
-    report.answer = not witness.is_empty()
-    report.found_in = "intersection" if report.answer else "none"
-    report.seconds = time.perf_counter() - start
-    return report
-
-
-def _two_paths(
-    left: Relation, right: Relation, middle: str, endpoints: Tuple[str, str], delta: int
-) -> Tuple[Relation, int]:
-    """All endpoint pairs connected through ``middle``, split by degree.
-
-    Light middle values are expanded by a join; heavy middle values go
-    through a Boolean matrix multiplication.  Returns the pair relation and
-    the number of light candidate pairs inspected.
-    """
-    first, second = endpoints
-    degrees_left = left.degree_map([first], [middle])
-    degrees_right = right.degree_map([second], [middle])
-    middle_values = left.column_values(middle) & right.column_values(middle)
-    heavy = {
-        value
-        for value in middle_values
-        if degrees_left.get((value,), 0) > delta or degrees_right.get((value,), 0) > delta
-    }
-    light = middle_values - heavy
-
-    light_left = left.restrict(middle, light)
-    light_right = right.restrict(middle, light)
-    light_pairs = light_left.join(light_right).project([first, second])
-    inspected = len(light_left) + len(light_right)
-
-    heavy_left = left.restrict(middle, heavy)
-    heavy_right = right.restrict(middle, heavy)
-    if heavy_left.is_empty() or heavy_right.is_empty():
-        return light_pairs, inspected
-    left_matrix, first_index, middle_index = heavy_left.to_matrix([first], [middle])
-    right_matrix, _, second_index = heavy_right.to_matrix(
-        [middle], [second], row_index=middle_index
+    database.validate_against(FOUR_CYCLE_QUERY)
+    program, roles = lower_four_cycle(database, omega, threshold)
+    result = VirtualMachine(database).run(program)
+    ids = program.node_ids()
+    report = FourCycleReport(
+        answer=result.answer, threshold=roles.threshold, seconds=result.seconds
     )
-    product = boolean_multiply(left_matrix, right_matrix)
-    heavy_rows = []
-    inverse_first = {position: key for key, position in first_index.items()}
-    inverse_second = {position: key for key, position in second_index.items()}
-    import numpy as np
-
-    nonzero_rows, nonzero_cols = np.nonzero(product)
-    for i, j in zip(nonzero_rows.tolist(), nonzero_cols.tolist()):
-        heavy_rows.append(inverse_first[i] + inverse_second[j])
-    heavy_pairs = Relation([first, second], heavy_rows)
-    return light_pairs.union(heavy_pairs), inspected
+    report.light_pairs = sum(
+        trace.rows_out
+        for node in roles.light_restricts
+        for trace in [result.trace_for(node, ids)]
+        if trace is not None
+    )
+    shapes = [
+        trace.matrix_shape
+        for node in roles.matmuls
+        for trace in [result.trace_for(node, ids)]
+        if trace is not None and trace.matrix_shape is not None
+    ]
+    if shapes:
+        report.heavy_matrix_shape = max(
+            shapes, key=lambda s: s[0] * max(s[1], 1) * max(s[2], 1)
+        )
+    if report.answer:
+        report.found_in = "intersection"
+    return report
 
 
 def four_cycle_detect(

@@ -11,6 +11,7 @@ caching.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -70,9 +71,21 @@ def answer_boolean_query(
     ``strategy`` may name any registered strategy (``"auto"`` picks
     Yannakakis for acyclic queries and the ω-engine otherwise) and an
     explicit ``plan`` implies the ``"omega"`` strategy.
+
+    .. deprecated:: 1.2
+        Construct a :class:`repro.api.QueryEngine` and call
+        :meth:`~repro.api.QueryEngine.ask` instead; a reused engine caches
+        plans and shares intermediate results across queries, which this
+        one-shot wrapper cannot.
     """
     from ..api.engine import QueryEngine
 
+    warnings.warn(
+        "answer_boolean_query is deprecated; build a repro.api.QueryEngine "
+        "once and call engine.ask(query) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     engine = QueryEngine(database, omega=omega, plan_cache_size=0)
     if plan is not None:
         strategy = "omega"  # the historical contract: a plan implies "omega"

@@ -1,35 +1,29 @@
 """Executing ω-query plans on concrete databases.
 
-The executor realizes the elimination semantics of Section 2.2/Section 7:
-relations are grouped by the variables they mention; eliminating a block
-``X`` either
+Historically this module *was* the execution engine, walking plan steps
+with hand-rolled join/matrix-multiplication loops.  Execution now lives in
+the unified physical-operator layer: :class:`PlanExecutor` lowers the plan
+to an IR program (:func:`repro.exec.lower.lower_plan`), runs it on the
+instrumented virtual machine (:mod:`repro.exec.vm`) — the same executor
+every other strategy uses — and reconstructs the historical per-step
+:class:`StepTrace` records from the VM's per-operator traces.
 
-* joins every relation incident to ``X`` (a for-loop step) and projects
-  ``X`` away, or
-* splits the incident relations into two matrices sharing the dimension
-  ``X`` and multiplies them — once per binding of the group-by variables —
-  producing a relation over ``U \\ X`` (a matrix-multiplication step).
-
-The Boolean answer is the non-emptiness of the final (nullary) relation.
-The executor also records a trace (sizes, methods, matrix shapes) used by
-the adaptive planner and by the benchmarks.
+The elimination semantics (Section 2.2/Section 7) are unchanged: each step
+either joins every relation incident to its block and projects the block
+away (a for-loop step) or realizes the elimination as a grouped Boolean
+matrix product (an MM step); the Boolean answer is the non-emptiness of the
+final (nullary) relation.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
-
-import numpy as np
+from typing import FrozenSet, List, Optional, Tuple
 
 from ..constants import DEFAULT_OMEGA
 from ..db.database import Database
 from ..db.query import ConjunctiveQuery
-from ..db.relation import Relation
-from ..matmul.boolean import boolean_multiply, matrix_from_pairs
-from ..width.mm_expr import MMTerm
-from .plan import OmegaQueryPlan, PlanStep, StepMethod
+from .plan import OmegaQueryPlan, StepMethod
 
 
 @dataclass
@@ -48,17 +42,37 @@ class StepTrace:
 
 @dataclass
 class ExecutionResult:
-    """The Boolean answer plus the per-step trace."""
+    """The Boolean answer plus per-step and per-operator traces."""
 
     answer: bool
     steps: List[StepTrace] = field(default_factory=list)
     seconds: float = 0.0
+    #: Per-operator VM traces (:class:`repro.exec.vm.OpTrace`); populated by
+    #: every execution that goes through the IR path.
+    operators: List = field(default_factory=list)
 
     def total_intermediate_tuples(self) -> int:
-        return sum(step.output_tuples for step in self.steps)
+        """Rows materialized by non-leaf operators (or step outputs, if any)."""
+        if self.steps:
+            return sum(step.output_tuples for step in self.steps)
+        return sum(
+            trace.rows_out
+            for trace in self.operators
+            if trace.kind != "scan" and trace.kernel != "bool"
+        )
+
+    @classmethod
+    def from_vm(cls, result) -> "ExecutionResult":
+        """Wrap a :class:`repro.exec.vm.VMResult` (no per-step view)."""
+        return cls(
+            answer=result.answer,
+            steps=[],
+            seconds=result.seconds,
+            operators=list(result.traces),
+        )
 
     def describe(self) -> str:
-        """A per-step execution trace (method, sizes, matrix shapes)."""
+        """A per-step (or per-operator) execution trace."""
         lines = [f"answer: {self.answer}  ({self.seconds * 1000:.2f} ms)"]
         for trace in self.steps:
             block = "".join(sorted(trace.block))
@@ -72,11 +86,18 @@ class ExecutionResult:
                 f"{trace.input_tuples} -> {trace.output_tuples} tuples "
                 f"[{detail}, {trace.seconds * 1000:.2f} ms]"
             )
+        if not self.steps:
+            lines.extend(f"  {trace.describe()}" for trace in self.operators)
         return "\n".join(lines)
 
 
 class PlanExecutor:
-    """Executes an :class:`OmegaQueryPlan` against a database."""
+    """Executes an :class:`OmegaQueryPlan` against a database.
+
+    A thin shim over the unified executor: the plan is lowered once
+    (:func:`repro.exec.lower.lower_plan`), common subexpressions are
+    merged, and the program runs on :class:`repro.exec.vm.VirtualMachine`.
+    """
 
     def __init__(self, query: ConjunctiveQuery, database: Database) -> None:
         self.query = query
@@ -84,217 +105,59 @@ class PlanExecutor:
 
     # ------------------------------------------------------------------
     def run(self, plan: OmegaQueryPlan, omega: float = DEFAULT_OMEGA) -> ExecutionResult:
-        start = time.perf_counter()
-        relations: List[Relation] = list(
-            self.database.instance_for(self.query).values()
-        )
-        traces: List[StepTrace] = []
-        answer = True
-        for step in plan.steps:
-            step_start = time.perf_counter()
-            incident = [r for r in relations if r.variables & step.block]
-            others = [r for r in relations if not (r.variables & step.block)]
-            if not incident:
-                # Variables mentioned by no remaining relation are
-                # unconstrained; eliminating them is a no-op.
+        del omega  # execution is exponent-agnostic; ω only shapes the plan
+        from ..exec.lower import lower_plan
+        from ..exec.optimize import eliminate_common_subexpressions
+        from ..exec.vm import VirtualMachine
+
+        lowered = lower_plan(self.query, self.database, plan)
+        # CSE only: fusion/pruning would rebuild nodes and detach the
+        # per-step role records (they replace nodes with *unequal* ones).
+        program, _ = eliminate_common_subexpressions(lowered.program)
+        result = VirtualMachine(self.database).run(program)
+        ids = program.node_ids()
+
+        steps: List[StepTrace] = []
+        for role in lowered.steps:
+            if role.produced is None:
                 continue
-            if step.method is StepMethod.FOR_LOOPS:
-                produced = _eliminate_by_join(incident, step.block)
-                shape = None
-                groups = 0
-            else:
-                assert step.mm_term is not None
-                produced, shape, groups = _eliminate_by_matrix_multiplication(
-                    incident, step.mm_term
-                )
-            traces.append(
+            produced_trace = result.trace_for(role.produced, ids)
+            if produced_trace is None:
+                # Short-circuited away (an earlier step already emptied the
+                # pipeline) — mirrors the legacy executor's early break.
+                continue
+            input_tuples = 0
+            for node in role.incident:
+                trace = result.trace_for(node, ids)
+                if trace is not None:
+                    input_tuples += trace.rows_out
+            seconds = 0.0
+            for node in role.created:
+                trace = result.trace_for(node, ids)
+                if trace is not None:
+                    seconds += trace.seconds
+            shape = None
+            groups = 0
+            if role.step.method is StepMethod.MATRIX_MULTIPLICATION:
+                shape = produced_trace.matrix_shape or (0, 0, 0)
+                groups = produced_trace.group_count
+            steps.append(
                 StepTrace(
-                    block=step.block,
-                    method=step.method,
-                    input_relations=len(incident),
-                    input_tuples=sum(len(r) for r in incident),
-                    output_tuples=len(produced),
+                    block=role.step.block,
+                    method=role.step.method,
+                    input_relations=len(role.incident),
+                    input_tuples=input_tuples,
+                    output_tuples=produced_trace.rows_out,
                     matrix_shape=shape,
                     group_count=groups,
-                    seconds=time.perf_counter() - step_start,
+                    seconds=seconds,
                 )
             )
-            if produced.is_empty():
-                answer = False
+            if produced_trace.rows_out == 0:
                 break
-            relations = others + ([produced] if produced.schema else [])
-        else:
-            answer = all(not r.is_empty() for r in relations) if relations else True
         return ExecutionResult(
-            answer=answer, steps=traces, seconds=time.perf_counter() - start
+            answer=result.answer,
+            steps=steps,
+            seconds=result.seconds,
+            operators=list(result.traces),
         )
-
-
-# ----------------------------------------------------------------------
-# Step implementations
-# ----------------------------------------------------------------------
-def _eliminate_by_join(incident: Sequence[Relation], block: FrozenSet[str]) -> Relation:
-    """Join all incident relations and project the block away."""
-    ordered = sorted(incident, key=len)
-    joined = ordered[0]
-    for relation in ordered[1:]:
-        joined = joined.join(relation)
-        if joined.is_empty():
-            break
-    keep = [v for v in joined.schema if v not in block]
-    return joined.project(keep)
-
-
-def _eliminate_by_matrix_multiplication(
-    incident: Sequence[Relation], term: MMTerm
-) -> Tuple[Relation, Tuple[int, int, int], int]:
-    """Eliminate ``term.eliminated`` by a grouped Boolean matrix product.
-
-    The incident relations are split into an A-side (those mentioning a
-    ``first`` variable, plus relations over only eliminated/group-by
-    variables) and a B-side (those mentioning a ``second`` variable); each
-    side is joined into one relation, then for every group-by binding the
-    two sides are multiplied as Boolean matrices over
-    ``first × eliminated`` and ``eliminated × second``.
-    """
-    first, second = term.first, term.second
-    block, group_by = term.eliminated, term.group_by
-    a_side: List[Relation] = []
-    b_side: List[Relation] = []
-    for relation in incident:
-        touches_first = bool(relation.variables & first)
-        touches_second = bool(relation.variables & second)
-        if touches_first and touches_second:
-            raise ValueError(
-                f"relation over {sorted(relation.variables)} spans both matrix "
-                f"dimensions of {term.label()}; the term is not realizable"
-            )
-        if touches_first:
-            a_side.append(relation)
-        elif touches_second:
-            b_side.append(relation)
-        else:
-            # Only eliminated/group-by variables: such a relation may be
-            # placed in both hyperedge families (Definition 4.5 allows the
-            # families to overlap); constraining both sides keeps every
-            # eliminated variable covered on both matrix dimensions.
-            a_side.append(relation)
-            b_side.append(relation)
-    if not a_side or not b_side:
-        raise ValueError(f"cannot realize {term.label()}: one matrix side is empty")
-
-    a_joined = _join_all(a_side)
-    b_joined = _join_all(b_side)
-    if not first <= a_joined.variables or not second <= b_joined.variables:
-        raise ValueError(
-            f"term {term.label()} does not match the incident relations: the outer "
-            "dimensions are not covered by the two matrix sides"
-        )
-    if not block <= a_joined.variables or not block <= b_joined.variables:
-        raise ValueError(
-            f"term {term.label()} does not cover the eliminated block on both "
-            "matrix sides; the term is not realizable on these relations"
-        )
-    block_vars = sorted(block)
-
-    # Group-by variables shared by both sides index the per-group products;
-    # side-specific group-by variables ride along on that side's outer
-    # matrix dimension (they are output variables either way).
-    common_group = sorted(group_by & a_joined.variables & b_joined.variables)
-    a_extra = sorted((group_by & a_joined.variables) - set(common_group))
-    b_extra = sorted((group_by & b_joined.variables) - set(common_group))
-    a_row_vars = sorted(first) + a_extra
-    b_col_vars = sorted(second) + b_extra
-    schema = a_row_vars + b_col_vars + common_group
-
-    backend_kind = incident[0].backend_kind
-    if a_joined.is_empty() or b_joined.is_empty():
-        return Relation(schema, (), backend=backend_kind), (0, 0, 0), 0
-
-    a_groups = _group_rows(a_joined, common_group)
-    b_groups = _group_rows(b_joined, common_group)
-
-    rows_out: List[Tuple] = []
-    max_shape = (0, 0, 0)
-    groups_done = 0
-    for group_key, a_rows in a_groups.items():
-        b_rows = b_groups.get(group_key)
-        if not b_rows:
-            continue
-        groups_done += 1
-        a_matrix, row_index, block_index = _binary_matrix(
-            a_rows, a_joined.schema, a_row_vars, block_vars
-        )
-        b_matrix, _, col_index = _binary_matrix(
-            b_rows, b_joined.schema, block_vars, b_col_vars, row_index=block_index
-        )
-        product = boolean_multiply(a_matrix, b_matrix)
-        max_shape = max(
-            max_shape,
-            (a_matrix.shape[0], a_matrix.shape[1], b_matrix.shape[1]),
-            key=lambda s: s[0] * max(s[1], 1) * max(s[2], 1),
-        )
-        row_values = {position: key for key, position in row_index.items()}
-        col_values = {position: key for key, position in col_index.items()}
-        nonzero_rows, nonzero_cols = np.nonzero(product)
-        for i, j in zip(nonzero_rows.tolist(), nonzero_cols.tolist()):
-            rows_out.append(row_values[i] + col_values[j] + group_key)
-    # Keep the incident relations' storage backend so downstream steps stay
-    # on the vectorized kernels when the database is columnar.
-    produced = Relation(schema, rows_out, backend=backend_kind)
-    return produced, max_shape, groups_done
-
-
-def _join_all(relations: Sequence[Relation]) -> Relation:
-    ordered = sorted(relations, key=len)
-    joined = ordered[0]
-    for relation in ordered[1:]:
-        joined = joined.join(relation)
-        if joined.is_empty():
-            return joined
-    return joined
-
-
-def _group_rows(
-    relation: Relation, group_vars: Sequence[str]
-) -> Dict[Tuple, List[Tuple]]:
-    positions = [relation.schema.index(v) for v in group_vars]
-    groups: Dict[Tuple, List[Tuple]] = {}
-    for row in relation.rows:
-        key = tuple(row[p] for p in positions)
-        groups.setdefault(key, []).append(row)
-    return groups
-
-
-def _binary_matrix(
-    rows: Sequence[Tuple],
-    schema: Sequence[str],
-    row_vars: Sequence[str],
-    col_vars: Sequence[str],
-    row_index: Optional[Dict[Tuple, int]] = None,
-) -> Tuple[np.ndarray, Dict[Tuple, int], Dict[Tuple, int]]:
-    row_positions = [schema.index(v) for v in row_vars]
-    col_positions = [schema.index(v) for v in col_vars]
-    pairs = {
-        (
-            tuple(row[p] for p in row_positions),
-            tuple(row[p] for p in col_positions),
-        )
-        for row in rows
-    }
-    if row_index is None:
-        row_index = {}
-        for row_key, _ in sorted(pairs):
-            if row_key not in row_index:
-                row_index[row_key] = len(row_index)
-    col_index: Dict[Tuple, int] = {}
-    for _, col_key in sorted(pairs):
-        if col_key not in col_index:
-            col_index[col_key] = len(col_index)
-    matrix = matrix_from_pairs(
-        pairs,
-        row_index,
-        col_index,
-        shape=(max(len(row_index), 1), max(len(col_index), 1)),
-    )
-    return matrix, row_index, col_index

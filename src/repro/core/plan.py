@@ -17,9 +17,9 @@ appear in ``EMM``).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import FrozenSet, Optional, Sequence, Tuple
 
 from ..hypergraph.elimination import elimination_sequence
 from ..hypergraph.hypergraph import Hypergraph, VertexSet

@@ -32,7 +32,6 @@ from ..db.backends import RelationStats
 from ..db.database import Database
 from ..db.query import ConjunctiveQuery
 from ..db.relation import Relation
-from ..hypergraph.hypergraph import Hypergraph
 from ..matmul.rectangular import rectangular_cost
 from ..width.mm_expr import MMTerm, enumerate_mm_terms
 from .plan import OmegaQueryPlan, PlanStep, StepMethod

@@ -18,11 +18,8 @@ matrix-multiplication strategy without partitioning).
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
-
-import numpy as np
+from dataclasses import dataclass
+from typing import Optional, Tuple
 
 from ..constants import DEFAULT_OMEGA
 from ..db.database import Database
@@ -30,7 +27,6 @@ from ..db.joins import generic_join_boolean, naive_boolean
 from ..db.query import ConjunctiveQuery, parse_query
 from ..db.relation import Relation
 from ..matmul.boolean import boolean_multiply
-from ..matmul.cost import triangle_threshold
 
 TRIANGLE_QUERY: ConjunctiveQuery = parse_query("Q() :- R(X, Y), S(Y, Z), T(X, Z)")
 
@@ -92,62 +88,39 @@ def triangle_figure1(
 
     ``threshold`` overrides the heavy/light degree threshold
     ``Δ = N^{(ω-1)/(ω+1)}`` (used by the ablation benchmark).
+
+    The algorithm is a *lowering*: :func:`repro.exec.lower.lower_triangle`
+    emits the decomposition/submodularity/MM steps as a physical-operator
+    DAG (light-part joins short-circuit in branch order, the heavy case is
+    one restricted Boolean matrix product) and the shared VM executes it;
+    the report is reconstructed from the per-operator traces.
     """
-    start = time.perf_counter()
-    r, s, t = _triangle_relations(database)
-    n = max(len(r), len(s), len(t), 1)
-    delta = threshold if threshold is not None else triangle_threshold(n, omega)
-    report = TriangleReport(answer=False, threshold=delta)
+    from ..exec.lower import lower_triangle
+    from ..exec.vm import VirtualMachine
 
-    # Decomposition steps: partition each relation by first-variable degree.
-    r_heavy, r_light = r.heavy_light_split(["X"], delta)     # R_h(X), R_l(X, Y)
-    s_heavy, s_light = s.heavy_light_split(["Y"], delta)     # S_h(Y), S_l(Y, Z)
-    t_heavy, t_light = t.heavy_light_split(["Z"], delta)     # T_h(Z), T_l(Z, X)
-
-    # Light cases: a triangle with a light X, Y or Z is found by joining the
-    # light part with the relation over the other two variables.
-    light_candidates = 0
-    for light_part, closing, missing in (
-        (r_light, t, s),   # Q_{ℓ,1}: T(X,Z) ⋈ R_ℓ(X,Y), then check S(Y,Z)
-        (s_light, r, t),   # Q_{ℓ,2}: R(X,Y) ⋈ S_ℓ(Y,Z), then check T(X,Z)
-        (t_light, s, r),   # Q_{ℓ,3}: S(Y,Z) ⋈ T_ℓ(Z,X), then check R(X,Y)
-    ):
-        joined = closing.join(light_part)
-        light_candidates += len(joined)
-        closed = joined.semijoin(missing)
-        if not closed.is_empty():
-            report.answer = True
-            report.light_candidates = light_candidates
-            report.found_in = "light"
-            report.seconds = time.perf_counter() - start
-            return report
-    report.light_candidates = light_candidates
-
-    # Heavy case: all three vertices heavy.  Build M1(X,Y) and M2(Y,Z)
-    # restricted to heavy values and multiply them.  ``restrict`` probes the
-    # backend's per-variable index (vectorized on the columnar backend).
-    heavy_x = r_heavy.column_values("X")
-    heavy_y = s_heavy.column_values("Y")
-    heavy_z = t_heavy.column_values("Z")
-    m1 = r.restrict("X", heavy_x).restrict("Y", heavy_y)
-    m2 = s.restrict("Y", heavy_y).restrict("Z", heavy_z)
-    if not m1.is_empty() and not m2.is_empty():
-        m1_matrix, x_index, y_index = m1.to_matrix(["X"], ["Y"])
-        m2_matrix, _, z_index = m2.to_matrix(["Y"], ["Z"], row_index=y_index)
-        report.heavy_matrix_shape = (
-            m1_matrix.shape[0],
-            m1_matrix.shape[1],
-            m2_matrix.shape[1],
+    database.validate_against(TRIANGLE_QUERY)
+    program, roles = lower_triangle(database, omega, threshold)
+    result = VirtualMachine(database).run(program)
+    ids = program.node_ids()
+    report = TriangleReport(
+        answer=result.answer, threshold=roles.threshold, seconds=result.seconds
+    )
+    report.light_candidates = sum(
+        trace.rows_out
+        for node in roles.light_joins
+        for trace in [result.trace_for(node, ids)]
+        if trace is not None
+    )
+    mm_trace = result.trace_for(roles.heavy_matmul, ids)
+    if mm_trace is not None and mm_trace.matrix_shape is not None:
+        report.heavy_matrix_shape = mm_trace.matrix_shape
+    if result.answer:
+        light_hit = any(
+            trace is not None and trace.rows_out
+            for node in roles.light_checks
+            for trace in [result.trace_for(node, ids)]
         )
-        product = boolean_multiply(m1_matrix, m2_matrix)
-        for x_value, z_value in t.project(["X", "Z"]).rows:
-            i = x_index.get((x_value,))
-            j = z_index.get((z_value,))
-            if i is not None and j is not None and product[i, j]:
-                report.answer = True
-                report.found_in = "heavy"
-                break
-    report.seconds = time.perf_counter() - start
+        report.found_in = "light" if light_hit else "heavy"
     return report
 
 

@@ -28,13 +28,11 @@ re-scanning relations on every candidate order.
 from __future__ import annotations
 
 from typing import (
-    Callable,
     Dict,
     FrozenSet,
     Iterable,
     Iterator,
     List,
-    Mapping,
     Optional,
     Sequence,
     Tuple,
@@ -597,17 +595,18 @@ class ColumnarBackend(RelationBackend):
         ]
         return ColumnarBackend(schema, columns, len(unique_rows))
 
-    def semijoin(
+    def semijoin_mask(
         self,
         self_positions: Sequence[int],
         other: "ColumnarBackend",
         other_positions: Sequence[int],
         negate: bool = False,
-    ) -> Optional["ColumnarBackend"]:
-        """Rows whose key appears (or not) in the other side's key index.
+    ) -> Optional[np.ndarray]:
+        """The Boolean keep-mask of a semijoin, without materializing rows.
 
-        Returns ``None`` when the composite key would overflow, in which
-        case the caller falls back to the generic path.
+        Fused multi-semijoin execution ANDs several of these masks and
+        gathers once.  Returns ``None`` when the composite key would
+        overflow, in which case the caller falls back to the generic path.
         """
         translated = []
         valid: Optional[np.ndarray] = None
@@ -628,7 +627,23 @@ class ColumnarBackend(RelationBackend):
         right_keys = self._composite_keys(translated, self_positions, right_count)
         if right_keys is None:
             return None
-        mask = np.isin(left_keys, right_keys, invert=negate)
+        return np.isin(left_keys, right_keys, invert=negate)
+
+    def semijoin(
+        self,
+        self_positions: Sequence[int],
+        other: "ColumnarBackend",
+        other_positions: Sequence[int],
+        negate: bool = False,
+    ) -> Optional["ColumnarBackend"]:
+        """Rows whose key appears (or not) in the other side's key index.
+
+        Returns ``None`` when the composite key would overflow, in which
+        case the caller falls back to the generic path.
+        """
+        mask = self.semijoin_mask(self_positions, other, other_positions, negate)
+        if mask is None:
+            return None
         return self.take(np.nonzero(mask)[0])
 
     def join(

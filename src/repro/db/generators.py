@@ -18,7 +18,6 @@ from __future__ import annotations
 import random
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..hypergraph.hypergraph import Hypergraph
 from .database import Database
 from .query import ConjunctiveQuery, query_from_hypergraph
 from .relation import Relation

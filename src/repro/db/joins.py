@@ -1,4 +1,4 @@
-"""Join algorithms: naive, hash-based, worst-case optimal, and Yannakakis.
+"""Join algorithms: naive, worst-case optimal, and Yannakakis.
 
 These are the *combinatorial* baselines the paper's framework subsumes:
 
@@ -10,19 +10,20 @@ These are the *combinatorial* baselines the paper's framework subsumes:
 * :func:`yannakakis_boolean` — semijoin reduction along a join tree for
   acyclic queries (linear time).
 
-All functions take a :class:`~repro.db.query.ConjunctiveQuery` and a
-:class:`~repro.db.database.Database` and answer the Boolean question; the
-full-join variants also return the satisfying assignments when asked.
+Since the unified execution layer landed, these functions are *lowerings*:
+each builds a physical-operator program (:mod:`repro.exec.lower`) and runs
+it on the shared virtual machine (:mod:`repro.exec.vm`), which owns the
+row-loop kernels that used to live here.  The public signatures and
+semantics are unchanged.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from .database import Database
 from .query import ConjunctiveQuery
-from .relation import Relation, Row
+from .relation import Relation
 
 
 # ----------------------------------------------------------------------
@@ -30,48 +31,20 @@ from .relation import Relation, Row
 # ----------------------------------------------------------------------
 def naive_join(query: ConjunctiveQuery, database: Database) -> Relation:
     """Fold all atoms left-to-right with binary hash joins (full result)."""
-    relations = database.instance_for(query)
-    atoms = list(query.atoms)
-    result = relations[atoms[0].relation]
-    for atom in atoms[1:]:
-        result = result.join(relations[atom.relation])
-        if result.is_empty():
-            return Relation(sorted(query.variables), ())
-    missing = [v for v in sorted(query.variables) if v not in result.variables]
-    if missing:  # disconnected query: pad with cross products
-        for variable in missing:
-            domain = _variable_domain(query, relations, variable)
-            result = result.cross(Relation([variable], [(value,) for value in domain]))
-    return result.project(sorted(query.variables))
+    from ..exec import lower_naive_join, run_program
+
+    database.validate_against(query)
+    result = run_program(lower_naive_join(query), database)
+    assert result.relation is not None
+    return result.relation
 
 
 def naive_boolean(query: ConjunctiveQuery, database: Database) -> bool:
     """Boolean answer via the naive pairwise join."""
-    return not naive_join(query, database).is_empty()
+    from ..exec import lower_naive, run_program
 
-
-def _variable_domain(
-    query: ConjunctiveQuery, relations: Mapping[str, Relation], variable: str
-) -> FrozenSet:
-    """Intersect the covering atoms' active domains for one variable.
-
-    Reads each backend's cached distinct-value index
-    (:meth:`Relation.column_values`) instead of re-scanning the columns,
-    and intersects smallest-first, so padding a disconnected query costs
-    one cached lookup per atom after the first ask.
-    """
-    domains = [
-        relations[atom.relation].column_values(variable)
-        for atom in query.atoms
-        if variable in atom.variable_set
-    ]
-    if not domains:
-        return frozenset()
-    domains.sort(key=len)
-    result = domains[0]
-    for domain in domains[1:]:
-        result = result & domain
-    return result
+    database.validate_against(query)
+    return run_program(lower_naive(query), database).answer
 
 
 # ----------------------------------------------------------------------
@@ -91,51 +64,19 @@ def generic_join(
     compatible with the current partial assignment.  With ``find_all=False``
     the search stops at the first satisfying assignment (the Boolean case).
     """
-    relations = database.instance_for(query)
+    from ..exec import lower_generic_join, run_program
+
+    database.validate_against(query)
     if variable_order is None:
         variable_order = default_variable_order(query, database)
     else:
         variable_order = list(variable_order)
         if set(variable_order) != set(query.variables):
             raise ValueError("variable_order must cover exactly the query variables")
-
-    results: List[Row] = []
-
-    def extend(assignment: Dict[str, object], depth: int) -> bool:
-        if depth == len(variable_order):
-            results.append(tuple(assignment[v] for v in variable_order))
-            return True
-        variable = variable_order[depth]
-        candidates: Optional[set] = None
-        for atom in query.atoms:
-            if variable not in atom.variable_set:
-                continue
-            relation = relations[atom.relation]
-            bound = {
-                v: assignment[v]
-                for v in atom.variables
-                if v in assignment
-            }
-            matching = relation.select(bound) if bound else relation
-            values = matching.column_values(variable)
-            candidates = set(values) if candidates is None else candidates & values
-            if not candidates:
-                return False
-        if candidates is None:
-            candidates = set()
-        found = False
-        for value in candidates:
-            assignment[variable] = value
-            if extend(assignment, depth + 1):
-                found = True
-                if not find_all:
-                    del assignment[variable]
-                    return True
-            del assignment[variable]
-        return found
-
-    extend({}, 0)
-    return Relation(list(variable_order), results)
+    program = lower_generic_join(query, variable_order, find_all=find_all, boolean=False)
+    result = run_program(program, database)
+    assert result.relation is not None
+    return result.relation
 
 
 def generic_join_boolean(
@@ -151,16 +92,19 @@ def generic_join_boolean(
 def default_variable_order(query: ConjunctiveQuery, database: Database) -> List[str]:
     """A degree-driven heuristic order: most constrained variables first.
 
-    Reads the cached per-relation statistics (``V(A, r)``) rather than
-    re-scanning columns for their distinct values.
+    Reads the cached per-relation statistics (``V(A, r)``) straight off the
+    stored relations — no per-atom renamed relation objects, no domain
+    materialization — so ordering costs a handful of dictionary lookups
+    once the backends' stat caches are warm.
     """
-    relations = database.instance_for(query)
     scores = {}
     for variable in query.variables:
         covering = [a for a in query.atoms if variable in a.variable_set]
-        domain_sizes = [
-            max(1, relations[a.relation].stats.distinct(variable)) for a in covering
-        ]
+        domain_sizes = []
+        for atom in covering:
+            relation = database[atom.relation]
+            column = relation.schema[atom.variables.index(variable)]
+            domain_sizes.append(max(1, relation.stats.distinct(column)))
         scores[variable] = (-len(covering), min(domain_sizes))
     return sorted(query.variables, key=lambda v: scores[v])
 
@@ -204,15 +148,8 @@ def _gyo_join_tree(query: ConjunctiveQuery) -> List[Tuple[str, Optional[str]]]:
 
 def yannakakis_boolean(query: ConjunctiveQuery, database: Database) -> bool:
     """Boolean evaluation of an acyclic query by full semijoin reduction."""
-    order = _gyo_join_tree(query)
-    relations = dict(database.instance_for(query))
-    # Upward pass: children (removed earlier) reduce their parents.
-    for name, parent in order:
-        if relations[name].is_empty():
-            return False
-        if parent is not None:
-            relations[parent] = relations[parent].semijoin(relations[name])
-    # The root is the last removed atom; non-emptiness after reduction of the
-    # whole upward pass answers the Boolean question.
-    root = order[-1][0]
-    return not relations[root].is_empty()
+    from ..exec import lower_yannakakis, optimize_program, run_program
+
+    database.validate_against(query)
+    program, _ = optimize_program(lower_yannakakis(query))
+    return run_program(program, database).answer

@@ -12,12 +12,11 @@ from __future__ import annotations
 import itertools
 import math
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import lru_cache
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from ..hypergraph.hypergraph import Hypergraph
-from .relation import Relation
 
 #: A canonical shape signature: the sorted tuple of atom scopes after the
 #: variables have been renamed to canonical names ``v0, v1, ...``.

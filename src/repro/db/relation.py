@@ -56,12 +56,10 @@ import numpy as np
 
 from ..matmul.boolean import matrix_from_pairs
 from .backends import (
-    BACKENDS,
     ColumnarBackend,
     RelationBackend,
     RelationStats,
     Row,
-    SetBackend,
     Value,
     available_backends,
     resolve_backend,
@@ -366,6 +364,88 @@ class Relation:
             if (tuple(row[p] for p in left_positions) in right_keys) != negate
         ]
         return Relation(self.schema, keep, self.name, backend=self._backend.kind)
+
+    def semijoin_many(self, others: Iterable["Relation"]) -> "Relation":
+        """Reduce by several independent relations in one fused pass.
+
+        Semantically equal to folding :meth:`semijoin` left-to-right (the
+        reducers are independent of the partially reduced result), but
+        executed without per-reducer materializations: the columnar backend
+        ANDs the per-reducer keep-masks and gathers once; the reference
+        backend filters a surviving-row list reducer by reducer and wraps
+        it once at the end.  ``others`` is consumed lazily — as soon as the
+        accumulated reduction is provably empty, remaining reducers (which
+        may be generators evaluating whole subplans) are never pulled.
+        """
+        others = iter(others)
+        if self.is_empty():
+            return self
+        if isinstance(self._backend, ColumnarBackend):
+            mask: Optional[np.ndarray] = None
+            for other in others:
+                shared = [v for v in self.schema if v in other.variables]
+                if not shared:
+                    if other.is_empty():
+                        return Relation(
+                            self.schema, (), self.name, backend=self._backend.kind
+                        )
+                    continue
+                part = None
+                if isinstance(other._backend, ColumnarBackend):
+                    part = self._backend.semijoin_mask(
+                        self._positions(shared), other._backend, other._positions(shared)
+                    )
+                if part is None:
+                    # Mixed backend or composite-key overflow: materialize
+                    # the mask so far, then fold the rest sequentially.
+                    current = self if mask is None else Relation._wrap(
+                        self._backend.take(np.nonzero(mask)[0]), self.name
+                    )
+                    current = current.semijoin(other)
+                    for rest in others:
+                        if current.is_empty():
+                            break
+                        current = current.semijoin(rest)
+                    return current
+                mask = part if mask is None else (mask & part)
+                if not mask.any():
+                    break
+            if mask is None:
+                return self
+            return Relation._wrap(self._backend.take(np.nonzero(mask)[0]), self.name)
+        if self._backend.kind == "set":
+            survivors: Optional[List[Row]] = None
+            for other in others:
+                shared = [v for v in self.schema if v in other.variables]
+                if not shared:
+                    if other.is_empty():
+                        return Relation(
+                            self.schema, (), self.name, backend=self._backend.kind
+                        )
+                    continue
+                positions = self._positions(shared)
+                other_positions = other._positions(shared)
+                keys = {
+                    tuple(row[p] for p in other_positions)
+                    for row in other._backend.iter_rows()
+                }
+                source: Iterable[Row] = (
+                    self._backend.iter_rows() if survivors is None else survivors
+                )
+                survivors = [
+                    row for row in source if tuple(row[p] for p in positions) in keys
+                ]
+                if not survivors:
+                    break
+            if survivors is None:
+                return self
+            return Relation(self.schema, survivors, self.name, backend=self._backend.kind)
+        current = self
+        for other in others:
+            if current.is_empty():
+                break
+            current = current.semijoin(other)
+        return current
 
     def union(self, other: "Relation") -> "Relation":
         if set(self.schema) != set(other.schema):

@@ -1,0 +1,100 @@
+"""The unified physical execution layer: IR → optimize → VM.
+
+Every strategy — naive, GenericJoin, Yannakakis, ω-query plans, and the
+triangle/4-cycle/clique specializations — lowers to one physical-operator
+DAG (:mod:`repro.exec.ir`), is rewritten by the optimizer
+(:mod:`repro.exec.optimize`: CSE, semijoin-chain fusion, dead-operator
+pruning) and executes on one instrumented virtual machine
+(:mod:`repro.exec.vm`) with per-operator traces and a bounded
+intermediate-result cache shared across queries.
+"""
+
+from .ir import (
+    All_,
+    Antijoin,
+    Any_,
+    GroupedMatMul,
+    HeavyPart,
+    Join,
+    LightPart,
+    MatMul,
+    MultiSemijoin,
+    NonEmpty,
+    Operator,
+    Program,
+    Project,
+    Restrict,
+    Scan,
+    Semijoin,
+    Union,
+    Wcoj,
+)
+from .vm import (
+    OpTrace,
+    ResultCache,
+    ResultCacheStats,
+    VirtualMachine,
+    VMResult,
+    run_program,
+)
+from .optimize import (
+    OptimizeStats,
+    eliminate_common_subexpressions,
+    fuse_semijoins,
+    optimize_program,
+    prune_operators,
+)
+from .lower import (
+    LoweredPlan,
+    LoweredStep,
+    lower_clique,
+    lower_four_cycle,
+    lower_generic_join,
+    lower_naive,
+    lower_naive_join,
+    lower_plan,
+    lower_triangle,
+    lower_yannakakis,
+)
+
+__all__ = [
+    "All_",
+    "Antijoin",
+    "Any_",
+    "GroupedMatMul",
+    "HeavyPart",
+    "Join",
+    "LightPart",
+    "LoweredPlan",
+    "LoweredStep",
+    "MatMul",
+    "MultiSemijoin",
+    "NonEmpty",
+    "OpTrace",
+    "Operator",
+    "OptimizeStats",
+    "Program",
+    "Project",
+    "ResultCache",
+    "ResultCacheStats",
+    "Restrict",
+    "Scan",
+    "Semijoin",
+    "Union",
+    "VMResult",
+    "VirtualMachine",
+    "Wcoj",
+    "eliminate_common_subexpressions",
+    "fuse_semijoins",
+    "lower_clique",
+    "lower_four_cycle",
+    "lower_generic_join",
+    "lower_naive",
+    "lower_naive_join",
+    "lower_plan",
+    "lower_triangle",
+    "lower_yannakakis",
+    "optimize_program",
+    "prune_operators",
+    "run_program",
+]

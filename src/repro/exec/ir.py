@@ -1,0 +1,700 @@
+"""The physical-operator IR: a hashable DAG of execution operators.
+
+Every strategy in the library — naive pairwise joins, GenericJoin,
+Yannakakis, and the paper's ω-query plans, plus the triangle/4-cycle/clique
+specializations — *lowers* to this one representation
+(:mod:`repro.exec.lower`) and executes on one instrumented virtual machine
+(:mod:`repro.exec.vm`).  An operator node declares
+
+* its ``children`` (the DAG edges),
+* its ``schema`` — the output column names, inferred at construction, so
+  the whole program is type-checked before anything executes, and
+* its ``skey`` — a *name-insensitive* structural key.
+
+The structural key encodes variable names only through their **positions**
+in the child schemas.  Two nodes with equal ``skey`` therefore compute the
+same relation up to a positional renaming of the output columns — this is
+the invariant behind cross-query sharing: when two isomorphic queries in an
+:meth:`~repro.api.QueryEngine.ask_many` batch semijoin the same relation
+the same way under different variable names, both subplans carry the same
+``skey`` and the second one is served from the VM's bounded
+intermediate-result cache.
+
+Nodes are frozen dataclasses: equality and hashing are structural (and
+name-sensitive, which within-program common-subexpression elimination
+relies on); ``schema``/``skey``/``children`` are derived attributes
+computed once in ``__post_init__``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+Schema = Tuple[str, ...]
+StructuralKey = Tuple
+
+
+def _positions(schema: Schema, variables: Schema, what: str) -> Tuple[int, ...]:
+    try:
+        return tuple(schema.index(v) for v in variables)
+    except ValueError:
+        missing = [v for v in variables if v not in schema]
+        raise ValueError(f"{what}: variables {missing} not in schema {schema}") from None
+
+
+def _shared_pairs(left: Schema, right: Schema) -> Tuple[Tuple[int, int], ...]:
+    """(left position, right position) for every shared variable, in left order."""
+    return tuple(
+        (i, right.index(v)) for i, v in enumerate(left) if v in right
+    )
+
+
+class Operator:
+    """Base class for IR nodes.
+
+    Subclasses are frozen dataclasses; ``__post_init__`` populates the
+    derived attributes below via ``object.__setattr__``.
+    """
+
+    #: Output column names (empty for Boolean-valued operators).
+    schema: Schema
+    #: Child operators, in evaluation order.
+    children: Tuple["Operator", ...]
+    #: Name-insensitive structural key (see module docstring).
+    skey: StructuralKey
+    #: Whether the operator produces a Boolean instead of a relation.
+    boolean: bool = False
+
+    def _derive(
+        self, schema: Schema, children: Tuple["Operator", ...], skey: StructuralKey
+    ) -> None:
+        object.__setattr__(self, "schema", schema)
+        object.__setattr__(self, "children", children)
+        object.__setattr__(self, "skey", skey)
+
+    @property
+    def variables(self) -> frozenset:
+        return frozenset(self.schema)
+
+    def label(self) -> str:  # pragma: no cover - overridden by subclasses
+        return type(self).__name__
+
+    def kind(self) -> str:
+        """A short lower-case operator-kind tag (used in traces and tests)."""
+        return type(self).__name__.lower()
+
+
+def _require_relational(node: Operator, what: str) -> None:
+    if node.boolean:
+        raise ValueError(f"{what} requires a relational input, got {node.kind()}")
+
+
+def _require_boolean(node: Operator, what: str) -> None:
+    if not node.boolean:
+        raise ValueError(f"{what} requires Boolean inputs, got {node.kind()}")
+
+
+# ----------------------------------------------------------------------
+# Leaf
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Scan(Operator):
+    """Read one database relation, columns renamed positionally to ``variables``."""
+
+    relation: str
+    variables_out: Schema
+
+    def __post_init__(self) -> None:
+        if len(set(self.variables_out)) != len(self.variables_out):
+            raise ValueError(f"duplicate scan variables {self.variables_out}")
+        self._derive(
+            schema=tuple(self.variables_out),
+            children=(),
+            skey=("scan", self.relation, len(self.variables_out)),
+        )
+
+    def label(self) -> str:
+        return f"Scan {self.relation}({', '.join(self.schema)})"
+
+
+# ----------------------------------------------------------------------
+# Unary relational operators
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Project(Operator):
+    """Project onto ``variables_out`` (set semantics: duplicates collapse)."""
+
+    child: Operator
+    variables_out: Schema
+
+    def __post_init__(self) -> None:
+        _require_relational(self.child, "Project")
+        positions = _positions(self.child.schema, self.variables_out, "Project")
+        self._derive(
+            schema=tuple(self.variables_out),
+            children=(self.child,),
+            skey=("project", self.child.skey, positions),
+        )
+
+    def label(self) -> str:
+        return f"Project[{', '.join(self.schema) or '()'}]"
+
+
+@dataclass(frozen=True)
+class Restrict(Operator):
+    """Keep rows whose ``variable`` value appears in a column of ``source``.
+
+    The restriction set is *data-dependent*: it is the active domain of
+    ``source_variable`` in the ``source`` operator's output (e.g. the heavy
+    values computed by a :class:`HeavyPart`).
+    """
+
+    child: Operator
+    variable: str
+    source: Operator
+    source_variable: str
+
+    def __post_init__(self) -> None:
+        _require_relational(self.child, "Restrict")
+        _require_relational(self.source, "Restrict source")
+        (position,) = _positions(self.child.schema, (self.variable,), "Restrict")
+        (source_position,) = _positions(
+            self.source.schema, (self.source_variable,), "Restrict source"
+        )
+        self._derive(
+            schema=self.child.schema,
+            children=(self.child, self.source),
+            skey=(
+                "restrict",
+                self.child.skey,
+                position,
+                self.source.skey,
+                source_position,
+            ),
+        )
+
+    def label(self) -> str:
+        return f"Restrict[{self.variable}]"
+
+
+@dataclass(frozen=True)
+class HeavyPart(Operator):
+    """Bindings of ``given`` whose degree into the rest exceeds ``threshold``.
+
+    The database interpretation of the proof-sequence decomposition step
+    (Figure 1): the output is the heavy keys *projected onto* ``given``.
+    """
+
+    child: Operator
+    given: Schema
+    threshold: int
+
+    def __post_init__(self) -> None:
+        _require_relational(self.child, "HeavyPart")
+        positions = _positions(self.child.schema, self.given, "HeavyPart")
+        self._derive(
+            schema=tuple(self.given),
+            children=(self.child,),
+            skey=("heavy", self.child.skey, positions, self.threshold),
+        )
+
+    def label(self) -> str:
+        return f"Heavy[{', '.join(self.given)} > {self.threshold}]"
+
+
+@dataclass(frozen=True)
+class LightPart(Operator):
+    """The full rows whose ``given`` binding is *not* heavy (complement of HeavyPart)."""
+
+    child: Operator
+    given: Schema
+    threshold: int
+
+    def __post_init__(self) -> None:
+        _require_relational(self.child, "LightPart")
+        positions = _positions(self.child.schema, self.given, "LightPart")
+        self._derive(
+            schema=self.child.schema,
+            children=(self.child,),
+            skey=("light", self.child.skey, positions, self.threshold),
+        )
+
+    def label(self) -> str:
+        return f"Light[{', '.join(self.given)} <= {self.threshold}]"
+
+
+# ----------------------------------------------------------------------
+# Binary / n-ary relational operators
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Join(Operator):
+    """Natural join; output schema is left's columns then right's new columns."""
+
+    left: Operator
+    right: Operator
+
+    def __post_init__(self) -> None:
+        _require_relational(self.left, "Join")
+        _require_relational(self.right, "Join")
+        pairs = _shared_pairs(self.left.schema, self.right.schema)
+        extras = tuple(v for v in self.right.schema if v not in self.left.schema)
+        self._derive(
+            schema=self.left.schema + extras,
+            children=(self.left, self.right),
+            skey=("join", self.left.skey, self.right.skey, pairs),
+        )
+
+    def label(self) -> str:
+        return "Join"
+
+
+@dataclass(frozen=True)
+class Semijoin(Operator):
+    """Keep left rows whose shared-variable projection appears in the reducer."""
+
+    child: Operator
+    reducer: Operator
+
+    def __post_init__(self) -> None:
+        _require_relational(self.child, "Semijoin")
+        _require_relational(self.reducer, "Semijoin")
+        pairs = _shared_pairs(self.child.schema, self.reducer.schema)
+        self._derive(
+            schema=self.child.schema,
+            children=(self.child, self.reducer),
+            skey=("semijoin", self.child.skey, self.reducer.skey, pairs),
+        )
+
+    def label(self) -> str:
+        return "Semijoin"
+
+
+@dataclass(frozen=True)
+class Antijoin(Operator):
+    """Keep left rows whose shared-variable projection does NOT appear in the reducer."""
+
+    child: Operator
+    reducer: Operator
+
+    def __post_init__(self) -> None:
+        _require_relational(self.child, "Antijoin")
+        _require_relational(self.reducer, "Antijoin")
+        pairs = _shared_pairs(self.child.schema, self.reducer.schema)
+        self._derive(
+            schema=self.child.schema,
+            children=(self.child, self.reducer),
+            skey=("antijoin", self.child.skey, self.reducer.skey, pairs),
+        )
+
+    def label(self) -> str:
+        return "Antijoin"
+
+
+@dataclass(frozen=True)
+class MultiSemijoin(Operator):
+    """A fused chain of semijoins against independent reducers.
+
+    Produced by the optimizer's semijoin-chain fusion pass
+    (:func:`repro.exec.optimize.fuse_semijoins`): one pass over the target
+    instead of one materialization per reducer.  Semantically identical to
+    folding :class:`Semijoin` left-to-right because the reducers do not
+    depend on the partially reduced target.
+    """
+
+    child: Operator
+    reducers: Tuple[Operator, ...]
+
+    def __post_init__(self) -> None:
+        _require_relational(self.child, "MultiSemijoin")
+        if not self.reducers:
+            raise ValueError("MultiSemijoin needs at least one reducer")
+        for reducer in self.reducers:
+            _require_relational(reducer, "MultiSemijoin")
+        per_reducer = tuple(
+            (reducer.skey, _shared_pairs(self.child.schema, reducer.schema))
+            for reducer in self.reducers
+        )
+        self._derive(
+            schema=self.child.schema,
+            children=(self.child,) + tuple(self.reducers),
+            skey=("multisemijoin", self.child.skey, per_reducer),
+        )
+
+    def label(self) -> str:
+        return f"MultiSemijoin[{len(self.reducers)} reducers]"
+
+
+@dataclass(frozen=True)
+class Union(Operator):
+    """Set union of relations over the same variable set (any column order)."""
+
+    inputs: Tuple[Operator, ...]
+
+    def __post_init__(self) -> None:
+        if not self.inputs:
+            raise ValueError("Union needs at least one input")
+        head = self.inputs[0]
+        _require_relational(head, "Union")
+        aligned = []
+        for node in self.inputs:
+            _require_relational(node, "Union")
+            if set(node.schema) != set(head.schema):
+                raise ValueError(
+                    f"Union over different variable sets: {node.schema} vs {head.schema}"
+                )
+            aligned.append((node.skey, _positions(node.schema, head.schema, "Union")))
+        self._derive(
+            schema=head.schema,
+            children=tuple(self.inputs),
+            skey=("union", tuple(aligned)),
+        )
+
+    def label(self) -> str:
+        return f"Union[{len(self.inputs)}]"
+
+
+# ----------------------------------------------------------------------
+# Matrix-multiplication operators
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MatMul(Operator):
+    """One Boolean matrix product eliminating ``inner_variables``.
+
+    The left operand is encoded over ``row_variables × inner_variables``,
+    the right over ``inner_variables × col_variables``; the nonzero entries
+    of the product decode to the output relation over rows + columns.
+    """
+
+    left: Operator
+    right: Operator
+    row_variables: Schema
+    inner_variables: Schema
+    col_variables: Schema
+
+    def __post_init__(self) -> None:
+        _require_relational(self.left, "MatMul")
+        _require_relational(self.right, "MatMul")
+        row_positions = _positions(self.left.schema, self.row_variables, "MatMul rows")
+        inner_left = _positions(self.left.schema, self.inner_variables, "MatMul inner")
+        inner_right = _positions(self.right.schema, self.inner_variables, "MatMul inner")
+        col_positions = _positions(self.right.schema, self.col_variables, "MatMul cols")
+        self._derive(
+            schema=tuple(self.row_variables) + tuple(self.col_variables),
+            children=(self.left, self.right),
+            skey=(
+                "matmul",
+                self.left.skey,
+                self.right.skey,
+                row_positions,
+                inner_left,
+                inner_right,
+                col_positions,
+            ),
+        )
+
+    def label(self) -> str:
+        return (
+            f"MatMul[{','.join(self.row_variables)} ; "
+            f"{','.join(self.inner_variables)} ; {','.join(self.col_variables)}]"
+        )
+
+
+@dataclass(frozen=True)
+class GroupedMatMul(Operator):
+    """A Boolean matrix product per binding of shared group-by variables.
+
+    Realizes an ω-query-plan MM elimination step ``MM(first; second;
+    block | group_by)``: for each binding of ``group_variables`` (shared by
+    both sides) the two sides are multiplied as matrices over
+    ``row_variables × inner_variables`` and ``inner_variables ×
+    col_variables``; side-specific group-by variables ride along on the
+    outer dimensions (they are baked into row/col variables by lowering).
+    """
+
+    left: Operator
+    right: Operator
+    row_variables: Schema
+    inner_variables: Schema
+    col_variables: Schema
+    group_variables: Schema
+
+    def __post_init__(self) -> None:
+        _require_relational(self.left, "GroupedMatMul")
+        _require_relational(self.right, "GroupedMatMul")
+        row_positions = _positions(self.left.schema, self.row_variables, "GroupedMatMul rows")
+        inner_left = _positions(self.left.schema, self.inner_variables, "GroupedMatMul inner")
+        inner_right = _positions(self.right.schema, self.inner_variables, "GroupedMatMul inner")
+        col_positions = _positions(self.right.schema, self.col_variables, "GroupedMatMul cols")
+        group_left = _positions(self.left.schema, self.group_variables, "GroupedMatMul group")
+        group_right = _positions(self.right.schema, self.group_variables, "GroupedMatMul group")
+        self._derive(
+            schema=(
+                tuple(self.row_variables)
+                + tuple(self.col_variables)
+                + tuple(self.group_variables)
+            ),
+            children=(self.left, self.right),
+            skey=(
+                "grouped_matmul",
+                self.left.skey,
+                self.right.skey,
+                row_positions,
+                inner_left,
+                inner_right,
+                col_positions,
+                group_left,
+                group_right,
+            ),
+        )
+
+    def label(self) -> str:
+        group = ",".join(self.group_variables)
+        return (
+            f"GroupedMatMul[{','.join(self.row_variables)} ; "
+            f"{','.join(self.inner_variables)} ; {','.join(self.col_variables)}"
+            + (f" | {group}]" if group else "]")
+        )
+
+
+# ----------------------------------------------------------------------
+# Worst-case-optimal search
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Wcoj(Operator):
+    """GenericJoin: one nested intersection loop per variable.
+
+    The classic worst-case optimal join is an inherently row-at-a-time
+    backtracking search; it lowers to a single operator whose VM
+    implementation owns the loop (with early termination when
+    ``find_all`` is false).
+    """
+
+    inputs: Tuple[Operator, ...]
+    variable_order: Schema
+    find_all: bool
+
+    def __post_init__(self) -> None:
+        if not self.inputs:
+            raise ValueError("Wcoj needs at least one input")
+        covered: set = set()
+        for node in self.inputs:
+            _require_relational(node, "Wcoj")
+            covered |= set(node.schema)
+        if set(self.variable_order) != covered:
+            raise ValueError(
+                f"Wcoj order {self.variable_order} must cover exactly the "
+                f"input variables {sorted(covered)}"
+            )
+        per_variable = tuple(
+            tuple(
+                (i, node.schema.index(v))
+                for i, node in enumerate(self.inputs)
+                if v in node.schema
+            )
+            for v in self.variable_order
+        )
+        self._derive(
+            schema=tuple(self.variable_order),
+            children=tuple(self.inputs),
+            skey=(
+                "wcoj",
+                tuple(node.skey for node in self.inputs),
+                per_variable,
+                self.find_all,
+            ),
+        )
+
+    def label(self) -> str:
+        mode = "all" if self.find_all else "first"
+        return f"Wcoj[{' -> '.join(self.variable_order)}; {mode}]"
+
+
+# ----------------------------------------------------------------------
+# Boolean-valued operators
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class NonEmpty(Operator):
+    """``True`` iff the child relation has at least one row."""
+
+    child: Operator
+    boolean = True
+
+    def __post_init__(self) -> None:
+        _require_relational(self.child, "NonEmpty")
+        self._derive(schema=(), children=(self.child,), skey=("nonempty", self.child.skey))
+
+    def label(self) -> str:
+        return "NonEmpty"
+
+
+@dataclass(frozen=True)
+class Any_(Operator):
+    """Boolean OR over Boolean children (evaluated left-to-right, short-circuit)."""
+
+    inputs: Tuple[Operator, ...]
+    boolean = True
+
+    def __post_init__(self) -> None:
+        if not self.inputs:
+            raise ValueError("Any needs at least one input")
+        for node in self.inputs:
+            _require_boolean(node, "Any")
+        self._derive(
+            schema=(),
+            children=tuple(self.inputs),
+            skey=("any", tuple(node.skey for node in self.inputs)),
+        )
+
+    def kind(self) -> str:
+        return "any"
+
+    def label(self) -> str:
+        return f"Any[{len(self.inputs)}]"
+
+
+@dataclass(frozen=True)
+class All_(Operator):
+    """Boolean AND over Boolean children (short-circuit); ``All[()]`` is ``True``."""
+
+    inputs: Tuple[Operator, ...]
+    boolean = True
+
+    def __post_init__(self) -> None:
+        for node in self.inputs:
+            _require_boolean(node, "All")
+        self._derive(
+            schema=(),
+            children=tuple(self.inputs),
+            skey=("all", tuple(node.skey for node in self.inputs)),
+        )
+
+    def kind(self) -> str:
+        return "all"
+
+    def label(self) -> str:
+        return f"All[{len(self.inputs)}]"
+
+
+# ----------------------------------------------------------------------
+# Programs
+# ----------------------------------------------------------------------
+@dataclass
+class Program:
+    """A lowered query: one root operator plus the DAG hanging off it."""
+
+    root: Operator
+    #: Human-readable origin tag ("naive", "yannakakis", "omega-plan", ...).
+    source: str = "unknown"
+
+    def nodes(self) -> List[Operator]:
+        """All distinct operators in topological order (children first)."""
+        seen: Dict[Operator, None] = {}
+
+        def visit(node: Operator) -> None:
+            if node in seen:
+                return
+            for child in node.children:
+                visit(child)
+            seen[node] = None
+
+        visit(self.root)
+        return list(seen)
+
+    def node_ids(self) -> Dict[Operator, int]:
+        """A stable 1-based numbering of the DAG nodes (topological order)."""
+        return {node: i + 1 for i, node in enumerate(self.nodes())}
+
+    def describe(self) -> str:
+        """Render the DAG, one numbered operator per line."""
+        ids = self.node_ids()
+        lines = []
+        for node, node_id in ids.items():
+            refs = ", ".join(f"#{ids[child]}" for child in node.children)
+            out = "bool" if node.boolean else f"({', '.join(node.schema)})"
+            suffix = f"({refs}) -> {out}" if refs else f" -> {out}"
+            lines.append(f"#{node_id} {node.label()}{suffix}")
+        return "\n".join(lines)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Program":
+        """The same program over renamed variables (relation names unchanged)."""
+        memo: Dict[Operator, Operator] = {}
+        return Program(rename_operator(self.root, mapping, memo), source=self.source)
+
+    def __len__(self) -> int:
+        return len(self.nodes())
+
+
+def _rename_schema(schema: Schema, mapping: Mapping[str, str]) -> Schema:
+    return tuple(mapping.get(v, v) for v in schema)
+
+
+def rename_operator(
+    node: Operator, mapping: Mapping[str, str], memo: Dict[Operator, Operator]
+) -> Operator:
+    """Rebuild an operator DAG with variables renamed through ``mapping``."""
+    if node in memo:
+        return memo[node]
+    m = mapping
+
+    def r(child: Operator) -> Operator:
+        return rename_operator(child, mapping, memo)
+
+    if isinstance(node, Scan):
+        renamed: Operator = Scan(node.relation, _rename_schema(node.variables_out, m))
+    elif isinstance(node, Project):
+        renamed = Project(r(node.child), _rename_schema(node.variables_out, m))
+    elif isinstance(node, Restrict):
+        renamed = Restrict(
+            r(node.child),
+            m.get(node.variable, node.variable),
+            r(node.source),
+            m.get(node.source_variable, node.source_variable),
+        )
+    elif isinstance(node, HeavyPart):
+        renamed = HeavyPart(r(node.child), _rename_schema(node.given, m), node.threshold)
+    elif isinstance(node, LightPart):
+        renamed = LightPart(r(node.child), _rename_schema(node.given, m), node.threshold)
+    elif isinstance(node, Join):
+        renamed = Join(r(node.left), r(node.right))
+    elif isinstance(node, Semijoin):
+        renamed = Semijoin(r(node.child), r(node.reducer))
+    elif isinstance(node, Antijoin):
+        renamed = Antijoin(r(node.child), r(node.reducer))
+    elif isinstance(node, MultiSemijoin):
+        renamed = MultiSemijoin(r(node.child), tuple(r(x) for x in node.reducers))
+    elif isinstance(node, Union):
+        renamed = Union(tuple(r(x) for x in node.inputs))
+    elif isinstance(node, MatMul):
+        renamed = MatMul(
+            r(node.left),
+            r(node.right),
+            _rename_schema(node.row_variables, m),
+            _rename_schema(node.inner_variables, m),
+            _rename_schema(node.col_variables, m),
+        )
+    elif isinstance(node, GroupedMatMul):
+        renamed = GroupedMatMul(
+            r(node.left),
+            r(node.right),
+            _rename_schema(node.row_variables, m),
+            _rename_schema(node.inner_variables, m),
+            _rename_schema(node.col_variables, m),
+            _rename_schema(node.group_variables, m),
+        )
+    elif isinstance(node, Wcoj):
+        renamed = Wcoj(
+            tuple(r(x) for x in node.inputs),
+            _rename_schema(node.variable_order, m),
+            node.find_all,
+        )
+    elif isinstance(node, NonEmpty):
+        renamed = NonEmpty(r(node.child))
+    elif isinstance(node, Any_):
+        renamed = Any_(tuple(r(x) for x in node.inputs))
+    elif isinstance(node, All_):
+        renamed = All_(tuple(r(x) for x in node.inputs))
+    else:  # pragma: no cover - new operators must be added here
+        raise TypeError(f"rename_operator: unknown operator {type(node).__name__}")
+    memo[node] = renamed
+    return renamed

@@ -1,0 +1,469 @@
+"""Lowering every strategy to the physical-operator IR.
+
+Each function turns one *logical* way of answering a Boolean conjunctive
+query into a :class:`~repro.exec.ir.Program`:
+
+* :func:`lower_naive` / :func:`lower_naive_join` — fold the atoms with
+  binary joins (the classical baseline);
+* :func:`lower_generic_join` — a single :class:`~repro.exec.ir.Wcoj`
+  operator holding the worst-case-optimal search;
+* :func:`lower_yannakakis` — the GYO join tree becomes an upward semijoin
+  program (which the optimizer then fuses);
+* :func:`lower_plan` — an :class:`~repro.core.plan.OmegaQueryPlan`'s
+  elimination steps become Join/Project or GroupedMatMul nodes, with the
+  side-splitting and realizability checks done *statically* from the
+  operator schemas;
+* :func:`lower_triangle` / :func:`lower_four_cycle` / :func:`lower_clique`
+  — the per-query-class algorithms (Figure 1 degree partitioning, the
+  adaptive 4-cycle split, Nešetřil–Poljak clique detection) expressed as
+  IR DAGs rather than standalone engines.
+
+Lowerings that mirror an instrumented report (triangle, 4-cycle, ω-plans)
+also return *role* records pointing at the operators whose traces
+reconstruct the legacy diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.plan import OmegaQueryPlan, PlanStep, StepMethod
+from ..db.database import Database
+from ..db.query import ConjunctiveQuery
+from ..matmul.cost import triangle_threshold
+from .ir import (
+    All_,
+    Antijoin,
+    Any_,
+    GroupedMatMul,
+    HeavyPart,
+    Join,
+    LightPart,
+    MatMul,
+    NonEmpty,
+    Operator,
+    Program,
+    Project,
+    Restrict,
+    Scan,
+    Semijoin,
+    Union,
+    Wcoj,
+)
+
+
+def scan_atoms(query: ConjunctiveQuery) -> List[Scan]:
+    """One Scan per query atom, columns renamed to the atom's variables."""
+    return [Scan(atom.relation, tuple(atom.variables)) for atom in query.atoms]
+
+
+def _project(node: Operator, variables: Sequence[str]) -> Operator:
+    """A Project node, skipped when it would be the identity."""
+    variables = tuple(variables)
+    if variables == node.schema:
+        return node
+    return Project(node, variables)
+
+
+def _static_size(node: Operator, database: Database) -> float:
+    """A rough static cardinality used to order join folds smallest-first."""
+    if isinstance(node, Scan):
+        return float(len(database[node.relation]))
+    if isinstance(node, (Project, Semijoin, Restrict, LightPart)):
+        return _static_size(node.children[0], database)
+    return float("inf")
+
+
+def _fold_joins(nodes: Sequence[Operator], database: Optional[Database]) -> Operator:
+    """Left-fold Join nodes, smallest estimated input first when stats exist."""
+    ordered = list(nodes)
+    if database is not None:
+        ordered.sort(key=lambda n: _static_size(n, database))
+    result = ordered[0]
+    for node in ordered[1:]:
+        result = Join(result, node)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Naive pairwise join
+# ----------------------------------------------------------------------
+def lower_naive(query: ConjunctiveQuery) -> Program:
+    """Boolean naive strategy: non-emptiness of the left-to-right join fold."""
+    scans = scan_atoms(query)
+    joined = scans[0]
+    for scan in scans[1:]:
+        joined = Join(joined, scan)
+    return Program(NonEmpty(joined), source="naive")
+
+
+def lower_naive_join(query: ConjunctiveQuery) -> Program:
+    """Full naive join: the fold projected onto the sorted query variables."""
+    scans = scan_atoms(query)
+    joined = scans[0]
+    for scan in scans[1:]:
+        joined = Join(joined, scan)
+    return Program(_project(joined, sorted(query.variables)), source="naive-join")
+
+
+# ----------------------------------------------------------------------
+# GenericJoin
+# ----------------------------------------------------------------------
+def lower_generic_join(
+    query: ConjunctiveQuery,
+    variable_order: Sequence[str],
+    find_all: bool = False,
+    boolean: bool = True,
+) -> Program:
+    """GenericJoin as a single Wcoj operator over the atom scans."""
+    wcoj = Wcoj(tuple(scan_atoms(query)), tuple(variable_order), find_all)
+    root: Operator = NonEmpty(wcoj) if boolean else wcoj
+    return Program(root, source="generic-join")
+
+
+# ----------------------------------------------------------------------
+# Yannakakis
+# ----------------------------------------------------------------------
+def lower_yannakakis(query: ConjunctiveQuery) -> Program:
+    """The GYO join tree as an upward semijoin-reduction program.
+
+    Raises ``ValueError`` when the query is cyclic.  Emptiness anywhere in
+    the tree propagates to the root through the semijoins (a reducer with
+    no shared variables empties its target when it is itself empty), so
+    non-emptiness of the reduced root answers the Boolean question.
+    """
+    from ..db.joins import _gyo_join_tree
+
+    order = _gyo_join_tree(query)
+    nodes: Dict[str, Operator] = {
+        atom.relation: scan for atom, scan in zip(query.atoms, scan_atoms(query))
+    }
+    for name, parent in order:
+        if parent is not None:
+            nodes[parent] = Semijoin(nodes[parent], nodes[name])
+    root_name = order[-1][0]
+    return Program(NonEmpty(nodes[root_name]), source="yannakakis")
+
+
+# ----------------------------------------------------------------------
+# ω-query plans
+# ----------------------------------------------------------------------
+@dataclass
+class LoweredStep:
+    """One plan step and the operators that realize it."""
+
+    step: PlanStep
+    incident: Tuple[Operator, ...]
+    produced: Optional[Operator]
+    #: Operators created for this step (joins, the projection / MM node).
+    created: Tuple[Operator, ...] = ()
+
+
+def _collect_created(
+    produced: Operator, incident: Sequence[Operator]
+) -> Tuple[Operator, ...]:
+    """The operators of a step's subtree, excluding the pre-existing inputs."""
+    stop = set(incident)
+    seen: set = set()
+    created: List[Operator] = []
+
+    def visit(node: Operator) -> None:
+        if node in stop or node in seen:
+            return
+        seen.add(node)
+        for child in node.children:
+            visit(child)
+        created.append(node)
+
+    visit(produced)
+    return tuple(created)
+
+
+@dataclass
+class LoweredPlan:
+    """A lowered ω-query plan: the program plus per-step role records."""
+
+    program: Program
+    steps: List[LoweredStep] = field(default_factory=list)
+
+
+def lower_plan(
+    query: ConjunctiveQuery, database: Optional[Database], plan: OmegaQueryPlan
+) -> LoweredPlan:
+    """Lower an ω-query plan's elimination steps to the IR.
+
+    Mirrors the elimination semantics of the legacy executor: each step
+    joins (or matrix-multiplies) the relations incident to its block and
+    projects the block away; the Boolean answer is the conjunction of
+    non-emptiness over every nullary intermediate and every leftover
+    relation.  Side-splitting for MM steps and the realizability checks
+    happen here, statically, from the operator schemas.
+    """
+    nodes: List[Operator] = list(scan_atoms(query))
+    steps: List[LoweredStep] = []
+    checks: List[Operator] = []
+    for step in plan.steps:
+        block = step.block
+        incident = [n for n in nodes if n.variables & block]
+        others = [n for n in nodes if not (n.variables & block)]
+        if not incident:
+            # Variables mentioned by no remaining relation are unconstrained.
+            steps.append(LoweredStep(step=step, incident=(), produced=None))
+            continue
+        if step.method is StepMethod.FOR_LOOPS:
+            joined = _fold_joins(incident, database)
+            keep = [v for v in joined.schema if v not in block]
+            produced = _project(joined, keep)
+        else:
+            assert step.mm_term is not None
+            produced = _lower_mm_step(incident, step, database)
+        steps.append(
+            LoweredStep(
+                step=step,
+                incident=tuple(incident),
+                produced=produced,
+                created=_collect_created(produced, incident),
+            )
+        )
+        if produced.schema:
+            nodes = others + [produced]
+        else:
+            nodes = others
+            checks.append(NonEmpty(produced))
+    checks.extend(NonEmpty(n) for n in nodes)
+    root: Operator = checks[0] if len(checks) == 1 else All_(tuple(checks))
+    return LoweredPlan(program=Program(root, source="omega-plan"), steps=steps)
+
+
+def _lower_mm_step(
+    incident: Sequence[Operator], step: PlanStep, database: Optional[Database]
+) -> Operator:
+    """Split the incident operators into matrix sides and emit a GroupedMatMul."""
+    term = step.mm_term
+    assert term is not None
+    first, second = term.first, term.second
+    block, group_by = term.eliminated, term.group_by
+    a_side: List[Operator] = []
+    b_side: List[Operator] = []
+    for node in incident:
+        touches_first = bool(node.variables & first)
+        touches_second = bool(node.variables & second)
+        if touches_first and touches_second:
+            raise ValueError(
+                f"relation over {sorted(node.variables)} spans both matrix "
+                f"dimensions of {term.label()}; the term is not realizable"
+            )
+        if touches_first:
+            a_side.append(node)
+        elif touches_second:
+            b_side.append(node)
+        else:
+            # Only eliminated/group-by variables: constrain both sides
+            # (Definition 4.5 allows the hyperedge families to overlap).
+            a_side.append(node)
+            b_side.append(node)
+    if not a_side or not b_side:
+        raise ValueError(f"cannot realize {term.label()}: one matrix side is empty")
+    a_joined = _fold_joins(a_side, database)
+    b_joined = _fold_joins(b_side, database)
+    if not first <= a_joined.variables or not second <= b_joined.variables:
+        raise ValueError(
+            f"term {term.label()} does not match the incident relations: the outer "
+            "dimensions are not covered by the two matrix sides"
+        )
+    if not block <= a_joined.variables or not block <= b_joined.variables:
+        raise ValueError(
+            f"term {term.label()} does not cover the eliminated block on both "
+            "matrix sides; the term is not realizable on these relations"
+        )
+    common_group = sorted(group_by & a_joined.variables & b_joined.variables)
+    a_extra = sorted((group_by & a_joined.variables) - set(common_group))
+    b_extra = sorted((group_by & b_joined.variables) - set(common_group))
+    return GroupedMatMul(
+        a_joined,
+        b_joined,
+        row_variables=tuple(sorted(first) + a_extra),
+        inner_variables=tuple(sorted(block)),
+        col_variables=tuple(sorted(second) + b_extra),
+        group_variables=tuple(common_group),
+    )
+
+
+# ----------------------------------------------------------------------
+# Triangle (Figure 1)
+# ----------------------------------------------------------------------
+@dataclass
+class TriangleRoles:
+    """Operators whose traces reconstruct the Figure-1 report."""
+
+    threshold: int
+    light_joins: Tuple[Operator, ...]
+    light_checks: Tuple[Operator, ...]
+    heavy_matmul: Operator
+    heavy_check: Operator
+
+
+def lower_triangle(
+    database: Database,
+    omega: float,
+    threshold: Optional[int] = None,
+) -> Tuple[Program, TriangleRoles]:
+    """Figure 1 as an IR DAG: three light join branches plus the heavy MM."""
+    r = Scan("R", ("X", "Y"))
+    s = Scan("S", ("Y", "Z"))
+    t = Scan("T", ("X", "Z"))
+    n = max(len(database["R"]), len(database["S"]), len(database["T"]), 1)
+    delta = threshold if threshold is not None else triangle_threshold(n, omega)
+
+    light_joins = []
+    light_checks = []
+    for light_source, given, closing, missing in (
+        (r, ("X",), t, s),  # Q_{ℓ,1}: T(X,Z) ⋈ R_ℓ(X,Y), then check S(Y,Z)
+        (s, ("Y",), r, t),  # Q_{ℓ,2}: R(X,Y) ⋈ S_ℓ(Y,Z), then check T(X,Z)
+        (t, ("Z",), s, r),  # Q_{ℓ,3}: S(Y,Z) ⋈ T_ℓ(Z,X), then check R(X,Y)
+    ):
+        light = LightPart(light_source, given, delta)
+        joined = Join(closing, light)
+        light_joins.append(joined)
+        light_checks.append(NonEmpty(Semijoin(joined, missing)))
+
+    heavy_x = HeavyPart(r, ("X",), delta)
+    heavy_y = HeavyPart(s, ("Y",), delta)
+    heavy_z = HeavyPart(t, ("Z",), delta)
+    m1 = Restrict(Restrict(r, "X", heavy_x, "X"), "Y", heavy_y, "Y")
+    m2 = Restrict(Restrict(s, "Y", heavy_y, "Y"), "Z", heavy_z, "Z")
+    mm = MatMul(m1, m2, ("X",), ("Y",), ("Z",))
+    heavy_check = NonEmpty(Semijoin(_project(t, ("X", "Z")), mm))
+
+    root = Any_(tuple(light_checks) + (heavy_check,))
+    roles = TriangleRoles(
+        threshold=delta,
+        light_joins=tuple(light_joins),
+        light_checks=tuple(light_checks),
+        heavy_matmul=mm,
+        heavy_check=heavy_check,
+    )
+    return Program(root, source="triangle-figure1"), roles
+
+
+# ----------------------------------------------------------------------
+# 4-cycle (adaptive degree split)
+# ----------------------------------------------------------------------
+@dataclass
+class FourCycleRoles:
+    """Operators whose traces reconstruct the adaptive 4-cycle report."""
+
+    threshold: int
+    light_restricts: Tuple[Operator, ...]
+    matmuls: Tuple[Operator, ...]
+
+
+def _lower_two_paths(
+    left: Operator,
+    right: Operator,
+    middle: str,
+    endpoints: Tuple[str, str],
+    delta: int,
+) -> Tuple[Operator, Tuple[Operator, ...], Operator]:
+    """All endpoint pairs connected through ``middle``, split by degree.
+
+    Returns ``(pairs, light restrict nodes, matmul node)``: light middle
+    values expand through a join, heavy middle values through a Boolean
+    matrix multiplication; the union is the 2-path reachability relation.
+    """
+    first, second = endpoints
+    middle_values = Semijoin(_project(left, (middle,)), _project(right, (middle,)))
+    heavy_union = Union(
+        (HeavyPart(left, (middle,), delta), HeavyPart(right, (middle,), delta))
+    )
+    heavy = Semijoin(middle_values, heavy_union)
+    light = Antijoin(middle_values, heavy_union)
+
+    light_left = Restrict(left, middle, light, middle)
+    light_right = Restrict(right, middle, light, middle)
+    light_pairs = _project(Join(light_left, light_right), (first, second))
+
+    heavy_left = Restrict(left, middle, heavy, middle)
+    heavy_right = Restrict(right, middle, heavy, middle)
+    matmul = MatMul(heavy_left, heavy_right, (first,), (middle,), (second,))
+    pairs = Union((light_pairs, matmul))
+    return pairs, (light_left, light_right), matmul
+
+
+def lower_four_cycle(
+    database: Database,
+    omega: float,
+    threshold: Optional[int] = None,
+) -> Tuple[Program, FourCycleRoles]:
+    """The adaptive 4-cycle strategy (Lemma C.9) as an IR DAG."""
+    r = Scan("R", ("X", "Y"))
+    s = Scan("S", ("Y", "Z"))
+    t = Scan("T", ("Z", "W"))
+    u = Scan("U", ("W", "X"))
+    n = max(len(database["R"]), len(database["S"]), len(database["T"]), len(database["U"]), 1)
+    delta = threshold if threshold is not None else triangle_threshold(n, omega)
+
+    through_y, light_y, mm_y = _lower_two_paths(r, s, "Y", ("X", "Z"), delta)
+    through_w, light_w, mm_w = _lower_two_paths(
+        _project(u, ("X", "W")), _project(t, ("W", "Z")), "W", ("X", "Z"), delta
+    )
+    witness = Semijoin(through_y, through_w)
+    roles = FourCycleRoles(
+        threshold=delta,
+        light_restricts=light_y + light_w,
+        matmuls=(mm_y, mm_w),
+    )
+    return Program(NonEmpty(witness), source="four-cycle-adaptive"), roles
+
+
+# ----------------------------------------------------------------------
+# k-clique (Nešetřil–Poljak)
+# ----------------------------------------------------------------------
+def lower_clique(
+    group_a: Sequence[Tuple[int, ...]],
+    group_b: Sequence[Tuple[int, ...]],
+    group_c: Sequence[Tuple[int, ...]],
+    compatible,
+) -> Tuple[Program, Database]:
+    """The three-way clique split as a triangle over compatible-clique relations.
+
+    The groups (cliques of sizes ⌈k/3⌉, ⌈(k-1)/3⌉, ⌊k/3⌋) are enumerated by
+    the caller; this builds the pairwise compatibility relations ``AB``,
+    ``BC``, ``AC`` over group indices and lowers the detection to
+    ``NonEmpty(AC ⋉ MatMul(AB; B; BC))`` — exactly the GVEO σ = (A, B, C)
+    with MM term ``MM(B; C; A)`` of Lemma C.8.
+    """
+    from ..db.relation import Relation
+
+    index_a = {clique: i for i, clique in enumerate(group_a)}
+    index_b = {clique: i for i, clique in enumerate(group_b)}
+    index_c = {clique: i for i, clique in enumerate(group_c)}
+    ab = [
+        (i, j)
+        for a_clique, i in index_a.items()
+        for b_clique, j in index_b.items()
+        if compatible(a_clique, b_clique)
+    ]
+    bc = [
+        (j, k)
+        for b_clique, j in index_b.items()
+        for c_clique, k in index_c.items()
+        if compatible(b_clique, c_clique)
+    ]
+    ac = [
+        (i, k)
+        for a_clique, i in index_a.items()
+        for c_clique, k in index_c.items()
+        if compatible(a_clique, c_clique)
+    ]
+    compat_db = Database(
+        {
+            "AB": Relation(("A", "B"), ab),
+            "BC": Relation(("B", "C"), bc),
+            "AC": Relation(("A", "C"), ac),
+        }
+    )
+    mm = MatMul(Scan("AB", ("A", "B")), Scan("BC", ("B", "C")), ("A",), ("B",), ("C",))
+    root = NonEmpty(Semijoin(Scan("AC", ("A", "C")), mm))
+    return Program(root, source="clique-mm"), compat_db

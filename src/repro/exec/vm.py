@@ -1,0 +1,683 @@
+"""The instrumented virtual machine executing physical-operator programs.
+
+One executor for every strategy: the VM walks a lowered
+:class:`~repro.exec.ir.Program` bottom-up, evaluates each operator against
+the database through the pluggable :class:`~repro.db.relation.Relation`
+kernels, and records a per-operator trace (rows in/out, the storage-backend
+kernel used, wall-clock seconds, cache provenance) that feeds
+:meth:`repro.api.QueryEngine.explain` and the benchmarks.
+
+Evaluation is lazy where emptiness already decides the result: a join whose
+left side is empty never evaluates its right side, ``Any``/``All``
+short-circuit, and a ``NonEmpty`` root stops as soon as the answer is
+known.  Row-at-a-time fallbacks that used to live in ``db/joins.py`` and
+``core/executor.py`` (the GenericJoin backtracking search, the grouped
+Boolean-matrix elimination) are operator implementations here.
+
+Cross-query sharing
+-------------------
+The VM consults an optional bounded :class:`ResultCache` keyed by
+``(operator structural key, database statistics fingerprint)``.  Because
+structural keys are name-insensitive (see :mod:`repro.exec.ir`), isomorphic
+queries in an :meth:`~repro.api.QueryEngine.ask_many` batch share every
+common subplan: the cached relation is renamed — an O(1) schema swap — into
+the requesting operator's columns.  Any database mutation bumps the
+fingerprint, so stale entries are never served.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union as TUnion
+
+import numpy as np
+
+from ..db.database import Database
+from ..db.relation import Relation, Row
+from ..matmul.boolean import boolean_multiply, matrix_from_pairs
+from .ir import (
+    All_,
+    Antijoin,
+    Any_,
+    GroupedMatMul,
+    HeavyPart,
+    Join,
+    LightPart,
+    MatMul,
+    MultiSemijoin,
+    NonEmpty,
+    Operator,
+    Program,
+    Project,
+    Restrict,
+    Scan,
+    Semijoin,
+    Union,
+    Wcoj,
+)
+
+Payload = TUnion[Relation, bool]
+
+
+@dataclass
+class OpTrace:
+    """Diagnostics for one executed operator."""
+
+    op_id: int
+    kind: str
+    label: str
+    schema: Tuple[str, ...]
+    rows_in: int
+    rows_out: int
+    #: Which kernel family served the operator: a storage-backend name
+    #: ("set", "columnar") for relational operators, "bool" for the
+    #: Boolean combinators.
+    kernel: str
+    seconds: float
+    cache_hit: bool = False
+    matrix_shape: Optional[Tuple[int, int, int]] = None
+    group_count: int = 0
+
+    def describe(self) -> str:
+        flags = " [cached]" if self.cache_hit else ""
+        extra = (
+            f" shape={self.matrix_shape} groups={self.group_count}"
+            if self.matrix_shape is not None
+            else ""
+        )
+        return (
+            f"#{self.op_id} {self.label}: {self.rows_in} -> {self.rows_out} rows "
+            f"({self.kernel}, {self.seconds * 1000:.2f} ms){extra}{flags}"
+        )
+
+
+@dataclass
+class VMResult:
+    """What one program run produced: the answer plus full instrumentation."""
+
+    answer: bool
+    relation: Optional[Relation]
+    traces: List[OpTrace] = field(default_factory=list)
+    seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def trace_for(self, node: Operator, ids: Dict[Operator, int]) -> Optional[OpTrace]:
+        """The trace of one operator (``None`` if it was short-circuited away)."""
+        node_id = ids.get(node)
+        if node_id is None:
+            return None
+        for trace in self.traces:
+            if trace.op_id == node_id:
+                return trace
+        return None
+
+    def describe(self) -> str:
+        lines = [f"answer: {self.answer}  ({self.seconds * 1000:.2f} ms)"]
+        lines.extend(f"  {trace.describe()}" for trace in self.traces)
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ResultCacheStats:
+    """Effectiveness counters of the intermediate-result cache."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    maxsize: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ResultCache:
+    """A bounded LRU of operator results shared across VM runs.
+
+    Keys are ``(structural key, database fingerprint)``; values are the
+    operator's declared schema plus its payload (a relation or a Boolean).
+    ``maxsize <= 0`` disables the cache.  Memory is bounded two ways: a
+    relation wider than ``max_entry_rows`` is never stored (the entry
+    *count* alone would not bound a near-cross-product), and the LRU also
+    evicts until the *sum* of retained rows fits ``max_total_rows``.
+    """
+
+    def __init__(
+        self,
+        maxsize: int = 32,
+        max_entry_rows: int = 1_000_000,
+        max_total_rows: int = 4_000_000,
+    ) -> None:
+        self.maxsize = maxsize
+        self.max_entry_rows = max_entry_rows
+        self.max_total_rows = max_total_rows
+        self._entries: "OrderedDict[Hashable, Tuple[Tuple[str, ...], Payload]]" = (
+            OrderedDict()
+        )
+        self._total_rows = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.maxsize > 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable) -> Optional[Tuple[Tuple[str, ...], Payload]]:
+        if not self.enabled:
+            return None
+        entry = self._entries.get(key)
+        if entry is None:
+            self._misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self._hits += 1
+        return entry
+
+    @staticmethod
+    def _payload_rows(payload: Payload) -> int:
+        return len(payload) if isinstance(payload, Relation) else 0
+
+    def put(self, key: Hashable, schema: Tuple[str, ...], payload: Payload) -> None:
+        if not self.enabled:
+            return
+        rows = self._payload_rows(payload)
+        if rows > self.max_entry_rows:
+            return
+        if key in self._entries:
+            self._total_rows -= self._payload_rows(self._entries[key][1])
+        self._entries[key] = (schema, payload)
+        self._entries.move_to_end(key)
+        self._total_rows += rows
+        while self._entries and (
+            len(self._entries) > self.maxsize or self._total_rows > self.max_total_rows
+        ):
+            _, (_, evicted) = self._entries.popitem(last=False)
+            self._total_rows -= self._payload_rows(evicted)
+            self._evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._total_rows = 0
+
+    def stats(self) -> ResultCacheStats:
+        return ResultCacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            size=len(self._entries),
+            maxsize=self.maxsize,
+        )
+
+
+class VirtualMachine:
+    """Executes operator programs against one database."""
+
+    def __init__(
+        self,
+        database: Database,
+        result_cache: Optional[ResultCache] = None,
+    ) -> None:
+        self.database = database
+        self.result_cache = result_cache
+
+    # ------------------------------------------------------------------
+    def run(self, program: Program) -> VMResult:
+        start = time.perf_counter()
+        ids = program.node_ids()
+        fingerprint = self.database.statistics_fingerprint()
+        state = _RunState(self, ids, fingerprint)
+        payload = state.eval(program.root)
+        if isinstance(payload, bool):
+            answer, relation = payload, None
+        else:
+            answer, relation = not payload.is_empty(), payload
+        return VMResult(
+            answer=answer,
+            relation=relation,
+            traces=state.traces,
+            seconds=time.perf_counter() - start,
+            cache_hits=state.cache_hits,
+            cache_misses=state.cache_misses,
+        )
+
+
+class _RunState:
+    """Per-run evaluation state: memo table, traces, cache counters."""
+
+    def __init__(
+        self,
+        vm: VirtualMachine,
+        ids: Dict[Operator, int],
+        fingerprint: Hashable,
+    ) -> None:
+        self.vm = vm
+        self.ids = ids
+        self.fingerprint = fingerprint
+        self.memo: Dict[Operator, Payload] = {}
+        self.split_memo: Dict[Operator, Tuple[Relation, Relation]] = {}
+        self.traces: List[OpTrace] = []
+        self.cache_hits = 0
+        self.cache_misses = 0
+        #: Child-time accounting so traces carry *exclusive* per-operator
+        #: seconds (the sum over all traces approximates the run total).
+        self._spans: List[float] = [0.0]
+
+    # ------------------------------------------------------------------
+    def eval(self, node: Operator) -> Payload:
+        if node in self.memo:
+            return self.memo[node]
+        cache = self.vm.result_cache
+        cache_key = None
+        if cache is not None and cache.enabled and not isinstance(node, Scan):
+            cache_key = (node.skey, self.fingerprint)
+            hit = cache.get(cache_key)
+            if hit is not None:
+                stored_schema, payload = hit
+                if isinstance(payload, Relation):
+                    payload = payload.rename(dict(zip(stored_schema, node.schema)))
+                self.memo[node] = payload
+                self.cache_hits += 1
+                self._trace(node, payload, rows_in=0, seconds=0.0, cache_hit=True)
+                return payload
+            self.cache_misses += 1
+        start = time.perf_counter()
+        self._spans.append(0.0)
+        payload, rows_in, extra = self._eval_op(node)
+        span = time.perf_counter() - start
+        child_seconds = self._spans.pop()
+        self._spans[-1] += span
+        self.memo[node] = payload
+        if cache_key is not None:
+            cache.put(cache_key, node.schema, payload)
+        self._trace(
+            node,
+            payload,
+            rows_in=rows_in,
+            seconds=max(span - child_seconds, 0.0),
+            **extra,
+        )
+        return payload
+
+    def _relation(self, node: Operator) -> Relation:
+        payload = self.eval(node)
+        assert isinstance(payload, Relation)
+        return payload
+
+    def _trace(
+        self,
+        node: Operator,
+        payload: Payload,
+        rows_in: int,
+        seconds: float,
+        cache_hit: bool = False,
+        matrix_shape: Optional[Tuple[int, int, int]] = None,
+        group_count: int = 0,
+    ) -> None:
+        if isinstance(payload, bool):
+            rows_out = int(payload)
+            kernel = "bool"
+        else:
+            rows_out = len(payload)
+            kernel = payload.backend_kind
+        self.traces.append(
+            OpTrace(
+                op_id=self.ids.get(node, 0),
+                kind=node.kind(),
+                label=node.label(),
+                schema=node.schema,
+                rows_in=rows_in,
+                rows_out=rows_out,
+                kernel=kernel,
+                seconds=seconds,
+                cache_hit=cache_hit,
+                matrix_shape=matrix_shape,
+                group_count=group_count,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Operator implementations
+    # ------------------------------------------------------------------
+    def _eval_op(self, node: Operator) -> Tuple[Payload, int, dict]:
+        extra: dict = {}
+        if isinstance(node, Scan):
+            relation = self.vm.database[node.relation]
+            if len(relation.schema) != len(node.schema):
+                raise ValueError(
+                    f"scan of {node.relation!r} expects arity {len(node.schema)} "
+                    f"but the relation has arity {len(relation.schema)}"
+                )
+            renamed = relation.rename(dict(zip(relation.schema, node.schema)))
+            return renamed.with_name(node.relation), len(relation), extra
+
+        if isinstance(node, Project):
+            child = self._relation(node.child)
+            if not node.schema:
+                # Nullary projection: one empty tuple iff the child is nonempty.
+                return (
+                    Relation((), [()] if not child.is_empty() else []),
+                    len(child),
+                    extra,
+                )
+            return child.project(list(node.schema)), len(child), extra
+
+        if isinstance(node, Restrict):
+            child = self._relation(node.child)
+            if child.is_empty():
+                return child, 0, extra
+            source = self._relation(node.source)
+            values = source.column_values(node.source_variable)
+            return child.restrict(node.variable, values), len(child) + len(source), extra
+
+        if isinstance(node, (HeavyPart, LightPart)):
+            heavy, light = self._heavy_light(node)
+            child_len = len(self._relation(node.child))
+            return (heavy if isinstance(node, HeavyPart) else light), child_len, extra
+
+        if isinstance(node, Join):
+            left = self._relation(node.left)
+            if left.is_empty():
+                return Relation(node.schema, (), backend=left.backend_kind), 0, extra
+            right = self._relation(node.right)
+            return left.join(right), len(left) + len(right), extra
+
+        if isinstance(node, Semijoin):
+            child = self._relation(node.child)
+            if child.is_empty():
+                return child, 0, extra
+            reducer = self._relation(node.reducer)
+            return child.semijoin(reducer), len(child) + len(reducer), extra
+
+        if isinstance(node, Antijoin):
+            child = self._relation(node.child)
+            if child.is_empty():
+                return child, 0, extra
+            reducer = self._relation(node.reducer)
+            return child.antijoin(reducer), len(child) + len(reducer), extra
+
+        if isinstance(node, MultiSemijoin):
+            return self._multi_semijoin(node)
+
+        if isinstance(node, Union):
+            inputs = [self._relation(x) for x in node.inputs]
+            rows_in = sum(len(r) for r in inputs)
+            result = inputs[0]
+            for other in inputs[1:]:
+                result = result.union(other)
+            return result, rows_in, extra
+
+        if isinstance(node, MatMul):
+            return self._matmul(node)
+
+        if isinstance(node, GroupedMatMul):
+            return self._grouped_matmul(node)
+
+        if isinstance(node, Wcoj):
+            inputs = [self._relation(x) for x in node.inputs]
+            rows_in = sum(len(r) for r in inputs)
+            rows = _wcoj_search(inputs, node.variable_order, node.find_all)
+            backend = inputs[0].backend_kind if inputs else None
+            return Relation(node.variable_order, rows, backend=backend), rows_in, extra
+
+        if isinstance(node, NonEmpty):
+            child = self._relation(node.child)
+            return not child.is_empty(), len(child), extra
+
+        if isinstance(node, Any_):
+            count = 0
+            for branch in node.inputs:
+                count += 1
+                if self.eval(branch):
+                    return True, count, extra
+            return False, count, extra
+
+        if isinstance(node, All_):
+            count = 0
+            for branch in node.inputs:
+                count += 1
+                if not self.eval(branch):
+                    return False, count, extra
+            return True, count, extra
+
+        raise TypeError(f"VM: unknown operator {type(node).__name__}")
+
+    # ------------------------------------------------------------------
+    def _heavy_light(self, node: TUnion[HeavyPart, LightPart]) -> Tuple[Relation, Relation]:
+        """Both halves of a degree split, computed once per (child, given, Δ)."""
+        twin_key = (
+            HeavyPart(node.child, node.given, node.threshold)
+            if isinstance(node, LightPart)
+            else node
+        )
+        if twin_key not in self.split_memo:
+            child = self._relation(node.child)
+            self.split_memo[twin_key] = child.heavy_light_split(
+                list(node.given), node.threshold
+            )
+        return self.split_memo[twin_key]
+
+    def _multi_semijoin(self, node: MultiSemijoin) -> Tuple[Payload, int, dict]:
+        child = self._relation(node.child)
+        if child.is_empty():
+            return child, 0, {}
+        # Reducer subtrees are evaluated lazily: if an early reducer proves
+        # the target empty, the remaining subplans are never computed (the
+        # short-circuit the unfused chain had).
+        consumed = [0]
+
+        def reducers():
+            for reducer_node in node.reducers:
+                reducer = self._relation(reducer_node)
+                consumed[0] += len(reducer)
+                yield reducer
+
+        result = child.semijoin_many(reducers())
+        return result, len(child) + consumed[0], {}
+
+    def _matmul(self, node: MatMul) -> Tuple[Payload, int, dict]:
+        left = self._relation(node.left)
+        if left.is_empty():
+            return (
+                Relation(node.schema, (), backend=left.backend_kind),
+                0,
+                {"matrix_shape": (0, 0, 0)},
+            )
+        right = self._relation(node.right)
+        rows_in = len(left) + len(right)
+        if right.is_empty():
+            return (
+                Relation(node.schema, (), backend=left.backend_kind),
+                rows_in,
+                {"matrix_shape": (0, 0, 0)},
+            )
+        left_matrix, row_index, inner_index = left.to_matrix(
+            list(node.row_variables), list(node.inner_variables)
+        )
+        right_matrix, _, col_index = right.to_matrix(
+            list(node.inner_variables), list(node.col_variables), row_index=inner_index
+        )
+        product = boolean_multiply(left_matrix, right_matrix)
+        shape = (left_matrix.shape[0], left_matrix.shape[1], right_matrix.shape[1])
+        decoded = Relation.from_matrix(
+            product,
+            node.row_variables,
+            node.col_variables,
+            row_index,
+            col_index,
+            backend=left.backend_kind,
+        )
+        return decoded, rows_in, {"matrix_shape": shape, "group_count": 1}
+
+    def _grouped_matmul(self, node: GroupedMatMul) -> Tuple[Payload, int, dict]:
+        left = self._relation(node.left)
+        if left.is_empty():
+            return (
+                Relation(node.schema, (), backend=left.backend_kind),
+                0,
+                {"matrix_shape": (0, 0, 0)},
+            )
+        right = self._relation(node.right)
+        rows_in = len(left) + len(right)
+        if right.is_empty():
+            return (
+                Relation(node.schema, (), backend=left.backend_kind),
+                rows_in,
+                {"matrix_shape": (0, 0, 0)},
+            )
+        relation, shape, groups = _grouped_boolean_product(
+            left,
+            right,
+            list(node.row_variables),
+            list(node.inner_variables),
+            list(node.col_variables),
+            list(node.group_variables),
+            backend=left.backend_kind,
+            out_schema=node.schema,
+        )
+        return relation, rows_in, {"matrix_shape": shape, "group_count": groups}
+
+
+# ----------------------------------------------------------------------
+# Row-loop kernels (moved from db/joins.py and core/executor.py)
+# ----------------------------------------------------------------------
+def _wcoj_search(
+    relations: Sequence[Relation], variable_order: Sequence[str], find_all: bool
+) -> List[Row]:
+    """The GenericJoin backtracking search over pre-bound atom relations."""
+    results: List[Row] = []
+
+    def extend(assignment: Dict[str, object], depth: int) -> bool:
+        if depth == len(variable_order):
+            results.append(tuple(assignment[v] for v in variable_order))
+            return True
+        variable = variable_order[depth]
+        candidates: Optional[set] = None
+        for relation in relations:
+            if variable not in relation.variables:
+                continue
+            bound = {v: assignment[v] for v in relation.schema if v in assignment}
+            matching = relation.select(bound) if bound else relation
+            values = matching.column_values(variable)
+            candidates = set(values) if candidates is None else candidates & values
+            if not candidates:
+                return False
+        if candidates is None:
+            candidates = set()
+        found = False
+        for value in candidates:
+            assignment[variable] = value
+            if extend(assignment, depth + 1):
+                found = True
+                if not find_all:
+                    del assignment[variable]
+                    return True
+            del assignment[variable]
+        return found
+
+    extend({}, 0)
+    return results
+
+
+def _group_rows(
+    relation: Relation, group_vars: Sequence[str]
+) -> Dict[Tuple, List[Tuple]]:
+    positions = [relation.schema.index(v) for v in group_vars]
+    groups: Dict[Tuple, List[Tuple]] = {}
+    for row in relation.rows:
+        key = tuple(row[p] for p in positions)
+        groups.setdefault(key, []).append(row)
+    return groups
+
+
+def _binary_matrix(
+    rows: Sequence[Tuple],
+    schema: Sequence[str],
+    row_vars: Sequence[str],
+    col_vars: Sequence[str],
+    row_index: Optional[Dict[Tuple, int]] = None,
+) -> Tuple[np.ndarray, Dict[Tuple, int], Dict[Tuple, int]]:
+    row_positions = [schema.index(v) for v in row_vars]
+    col_positions = [schema.index(v) for v in col_vars]
+    pairs = {
+        (
+            tuple(row[p] for p in row_positions),
+            tuple(row[p] for p in col_positions),
+        )
+        for row in rows
+    }
+    if row_index is None:
+        row_index = {}
+        for row_key, _ in sorted(pairs):
+            if row_key not in row_index:
+                row_index[row_key] = len(row_index)
+    col_index: Dict[Tuple, int] = {}
+    for _, col_key in sorted(pairs):
+        if col_key not in col_index:
+            col_index[col_key] = len(col_index)
+    matrix = matrix_from_pairs(
+        pairs,
+        row_index,
+        col_index,
+        shape=(max(len(row_index), 1), max(len(col_index), 1)),
+    )
+    return matrix, row_index, col_index
+
+
+def _grouped_boolean_product(
+    left: Relation,
+    right: Relation,
+    row_vars: List[str],
+    inner_vars: List[str],
+    col_vars: List[str],
+    group_vars: List[str],
+    backend: Optional[str],
+    out_schema: Sequence[str],
+) -> Tuple[Relation, Tuple[int, int, int], int]:
+    """Per-group Boolean matrix products (the MM elimination kernel)."""
+    left_groups = _group_rows(left, group_vars)
+    right_groups = _group_rows(right, group_vars)
+    rows_out: List[Tuple] = []
+    max_shape = (0, 0, 0)
+    groups_done = 0
+    for group_key, left_rows in left_groups.items():
+        right_rows = right_groups.get(group_key)
+        if not right_rows:
+            continue
+        groups_done += 1
+        left_matrix, row_index, inner_index = _binary_matrix(
+            left_rows, left.schema, row_vars, inner_vars
+        )
+        right_matrix, _, col_index = _binary_matrix(
+            right_rows, right.schema, inner_vars, col_vars, row_index=inner_index
+        )
+        product = boolean_multiply(left_matrix, right_matrix)
+        max_shape = max(
+            max_shape,
+            (left_matrix.shape[0], left_matrix.shape[1], right_matrix.shape[1]),
+            key=lambda s: s[0] * max(s[1], 1) * max(s[2], 1),
+        )
+        row_values = {position: key for key, position in row_index.items()}
+        col_values = {position: key for key, position in col_index.items()}
+        nonzero_rows, nonzero_cols = np.nonzero(product)
+        for i, j in zip(nonzero_rows.tolist(), nonzero_cols.tolist()):
+            rows_out.append(row_values[i] + col_values[j] + group_key)
+    produced = Relation(tuple(out_schema), rows_out, backend=backend)
+    return produced, max_shape, groups_done
+
+
+def run_program(
+    program: Program,
+    database: Database,
+    result_cache: Optional[ResultCache] = None,
+) -> VMResult:
+    """Convenience wrapper: execute one program on one database."""
+    return VirtualMachine(database, result_cache=result_cache).run(program)

@@ -17,10 +17,10 @@ from __future__ import annotations
 import itertools
 import math
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
 from ..hypergraph.hypergraph import Hypergraph
-from .setfunction import SetFunction, Vertex, VertexSet, as_set, powerset
+from .setfunction import SetFunction, Vertex, VertexSet, powerset
 
 DEFAULT_TOLERANCE = 1e-9
 

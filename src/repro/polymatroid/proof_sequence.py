@@ -19,7 +19,7 @@ Figure-1 sequence.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Tuple
 
 from ..constants import gamma as gamma_of
 from .setfunction import SetFunction, Vertex, VertexSet, as_set

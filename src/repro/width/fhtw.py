@@ -10,7 +10,7 @@ enumeration (``subw <= fhtw <= ρ*``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..hypergraph.hypergraph import Hypergraph, VertexSet
 from ..hypergraph.tree_decomposition import enumerate_bag_families

@@ -29,7 +29,7 @@ witness polymatroid attaining it (up to LP tolerance) is returned.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..hypergraph.hypergraph import Hypergraph

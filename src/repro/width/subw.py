@@ -12,7 +12,7 @@ cannot rule out.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from ..hypergraph.hypergraph import Hypergraph, VertexSet
 from ..hypergraph.tree_decomposition import enumerate_bag_families

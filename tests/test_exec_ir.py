@@ -1,0 +1,342 @@
+"""Tests for the unified physical-operator layer: IR, lowering, optimizer, VM."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import QueryEngine
+from repro.constants import OMEGA_BEST_KNOWN
+from repro.db import (
+    Database,
+    Relation,
+    naive_boolean,
+    parse_query,
+    random_database,
+    triangle_instance,
+)
+from repro.exec import (
+    Join,
+    NonEmpty,
+    Project,
+    Scan,
+    Semijoin,
+    Wcoj,
+    eliminate_common_subexpressions,
+    fuse_semijoins,
+    lower_naive,
+    lower_plan,
+    lower_yannakakis,
+    optimize_program,
+    prune_operators,
+    run_program,
+)
+from repro.exec.ir import Program
+
+OMEGA = OMEGA_BEST_KNOWN
+TRIANGLE = parse_query("Q() :- R(X, Y), S(Y, Z), T(X, Z)")
+CHAIN = parse_query("Q() :- R(A, B), S(B, C), T(C, D)")
+
+
+def chain_database(seed: int = 0, rows: int = 40) -> Database:
+    return random_database(CHAIN, rows, domain_size=10, seed=seed, plant_witness=True)
+
+
+class TestIRConstruction:
+    def test_schema_inference(self):
+        r = Scan("R", ("X", "Y"))
+        s = Scan("S", ("Y", "Z"))
+        join = Join(r, s)
+        assert join.schema == ("X", "Y", "Z")
+        assert Project(join, ("X", "Z")).schema == ("X", "Z")
+        assert Semijoin(r, s).schema == ("X", "Y")
+        assert NonEmpty(r).boolean and NonEmpty(r).schema == ()
+
+    def test_unknown_variable_rejected(self):
+        r = Scan("R", ("X", "Y"))
+        with pytest.raises(ValueError, match="not in schema"):
+            Project(r, ("Q",))
+
+    def test_wcoj_order_must_cover_variables(self):
+        r = Scan("R", ("X", "Y"))
+        with pytest.raises(ValueError, match="cover exactly"):
+            Wcoj((r,), ("X",), False)
+
+    def test_structural_key_is_name_insensitive(self):
+        a = Semijoin(Scan("R", ("X", "Y")), Scan("S", ("Y", "Z")))
+        b = Semijoin(Scan("R", ("P", "Q")), Scan("S", ("Q", "V")))
+        assert a != b  # equality stays name-sensitive
+        assert a.skey == b.skey  # structure is identical up to renaming
+        # Different shared-variable positions -> different structure.
+        c = Semijoin(Scan("R", ("P", "Q")), Scan("S", ("P", "V")))
+        assert a.skey != c.skey
+
+    def test_program_describe_names_every_operator(self):
+        program = lower_naive(TRIANGLE)
+        text = program.describe()
+        for node in program.nodes():
+            assert node.label() in text
+        assert text.count("#") >= len(program.nodes())
+
+    def test_rename_roundtrip(self):
+        program = lower_yannakakis(CHAIN)
+        mapping = {"A": "v0", "B": "v1", "C": "v2", "D": "v3"}
+        renamed = program.rename(mapping)
+        back = renamed.rename({v: k for k, v in mapping.items()})
+        assert back.root == program.root
+        assert renamed.root.skey == program.root.skey
+
+
+class TestLoweringEquivalence:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("backend", ["set", "columnar"])
+    def test_all_strategies_agree_on_ir_path(self, seed, backend):
+        db = random_database(
+            TRIANGLE, 30, domain_size=8, seed=seed, plant_witness=(seed % 2 == 0),
+            backend=backend,
+        )
+        engine = QueryEngine(db, omega=OMEGA)
+        answers = {
+            strategy: engine.ask(TRIANGLE, strategy=strategy).answer
+            for strategy in ("naive", "generic_join", "omega")
+        }
+        assert len(set(answers.values())) == 1
+
+    def test_every_builtin_strategy_lowers(self):
+        db = chain_database()
+        engine = QueryEngine(db, omega=OMEGA)
+        for strategy in ("naive", "generic_join", "yannakakis", "omega"):
+            result = engine.ask(CHAIN, strategy=strategy)
+            assert result.program is not None, strategy
+            assert result.execution is not None
+            assert result.execution.operators, strategy
+
+    def test_lowered_plan_matches_legacy_answer(self):
+        from repro.core import plan_query
+
+        db = triangle_instance(60, domain_size=14, seed=3, plant_triangle=True)
+        plan = plan_query(TRIANGLE, db, OMEGA).plan
+        lowered = lower_plan(TRIANGLE, db, plan)
+        result = run_program(lowered.program, db)
+        assert result.answer == naive_boolean(TRIANGLE, db)
+        assert len(lowered.steps) == len(plan.steps)
+
+
+class TestOptimizer:
+    def test_fusion_builds_multisemijoin(self):
+        # Three leaves keep the centre as the GYO parent of two ears, so
+        # its reductions chain on the *target* side and are fusable.
+        flower = parse_query(
+            "Q() :- Root(C0, C1, C2), L0(C0, X0), L1(C1, X1), L2(C2, X2)"
+        )
+        program, _ = eliminate_common_subexpressions(lower_yannakakis(flower))
+        fused, count = fuse_semijoins(program)
+        assert count >= 1
+        kinds = [node.kind() for node in fused.nodes()]
+        assert "multisemijoin" in kinds
+        db = random_database(flower, 30, domain_size=6, seed=1, plant_witness=True)
+        assert run_program(fused, db).answer == run_program(program, db).answer
+
+    def test_fusion_preserves_answers_randomized(self):
+        flower = parse_query("Q() :- Root(C0, C1, C2), L0(C0, X), L1(C1, Y), L2(C2, Z)")
+        for seed in range(6):
+            db = random_database(
+                flower, 25, domain_size=5, seed=seed, plant_witness=(seed % 2 == 0)
+            )
+            raw = lower_yannakakis(flower)
+            optimized, stats = optimize_program(raw)
+            assert run_program(raw, db).answer == run_program(optimized, db).answer
+            assert stats.nodes_after <= stats.nodes_before
+
+    def test_cse_merges_duplicate_subtrees(self):
+        r = Scan("R", ("X", "Y"))
+        duplicated = Join(Semijoin(r, Scan("S", ("Y",))), Semijoin(r, Scan("S", ("Y",))))
+        program, merged = eliminate_common_subexpressions(Program(duplicated))
+        assert merged >= 1
+
+    def test_prune_drops_identity_projection(self):
+        r = Scan("R", ("X", "Y"))
+        program = Program(NonEmpty(Project(r, ("X", "Y"))))
+        pruned, dropped = prune_operators(program)
+        assert dropped == 1
+        assert all(node.kind() != "project" for node in pruned.nodes())
+
+
+class TestVM:
+    def test_operator_traces_cover_rows_and_kernel(self):
+        db = chain_database()
+        result = run_program(lower_naive(CHAIN), db)
+        assert result.answer == naive_boolean(CHAIN, db)
+        assert result.traces
+        kinds = {trace.kind for trace in result.traces}
+        assert "scan" in kinds and "join" in kinds and "nonempty" in kinds
+        for trace in result.traces:
+            assert trace.rows_out >= 0
+            assert trace.kernel in ("set", "columnar", "bool")
+
+    def test_trace_seconds_sum_to_total(self):
+        db = chain_database()
+        result = run_program(lower_naive(CHAIN), db)
+        assert 0.0 < sum(t.seconds for t in result.traces) <= result.seconds
+
+    def test_empty_scan_short_circuits_join(self):
+        db = Database(
+            {
+                "R": Relation(("X", "Y"), []),
+                "S": Relation(("Y", "Z"), [(1, 2)]),
+                "T": Relation(("X", "Z"), [(1, 2)]),
+            }
+        )
+        result = run_program(lower_naive(TRIANGLE), db)
+        assert not result.answer
+        evaluated = {trace.label for trace in result.traces}
+        assert "Scan S(Y, Z)" not in evaluated  # right side never touched
+
+    def test_semijoin_many_matches_sequential_fold(self):
+        import random
+
+        rng = random.Random(7)
+        for backend in ("set", "columnar"):
+            target = Relation(
+                ("A", "B"),
+                [(rng.randrange(8), rng.randrange(8)) for _ in range(40)],
+                backend=backend,
+            )
+            reducers = [
+                Relation(
+                    ("A",), [(rng.randrange(8),) for _ in range(6)], backend=backend
+                ),
+                Relation(
+                    ("B",), [(rng.randrange(8),) for _ in range(6)], backend=backend
+                ),
+            ]
+            fused = target.semijoin_many(reducers)
+            sequential = target.semijoin(reducers[0]).semijoin(reducers[1])
+            assert fused.rows == sequential.rows
+
+
+class TestEngineResultCache:
+    def test_repeated_ask_hits_result_cache(self):
+        db = chain_database()
+        engine = QueryEngine(db, omega=OMEGA)
+        first = engine.ask(CHAIN, strategy="yannakakis")
+        second = engine.ask(CHAIN, strategy="yannakakis")
+        assert first.answer == second.answer
+        assert engine.result_cache_info().hits > 0
+
+    def test_isomorphic_batch_shares_subplans(self):
+        db = chain_database()
+        renamed = parse_query("Q2() :- R(P, Q), S(Q, V), T(V, W)")
+        engine = QueryEngine(db, omega=OMEGA)
+        results = engine.ask_many([CHAIN, renamed], strategy="yannakakis")
+        assert len({r.answer for r in results}) == 1
+        stats = engine.result_cache_info()
+        assert stats.hits > 0  # the renamed member reused cached results
+
+    def test_mutation_invalidates_result_cache(self):
+        db = chain_database()
+        engine = QueryEngine(db, omega=OMEGA)
+        engine.ask(CHAIN, strategy="yannakakis")
+        hits_before = engine.result_cache_info().hits
+        # Empty one relation: the answer must flip to False, cached results
+        # keyed by the old fingerprint must not be served.
+        db["R"] = Relation(("X", "Y"), [])
+        result = engine.ask(CHAIN, strategy="yannakakis")
+        assert result.answer is False
+        assert engine.result_cache_info().hits == hits_before
+
+    def test_result_cache_disabled(self):
+        db = chain_database()
+        engine = QueryEngine(db, omega=OMEGA, result_cache_size=0)
+        engine.ask(CHAIN, strategy="yannakakis")
+        engine.ask(CHAIN, strategy="yannakakis")
+        stats = engine.result_cache_info()
+        assert stats.hits == 0 and stats.size == 0
+
+
+class TestExplainRendersDag:
+    def test_explain_names_every_operator(self):
+        db = triangle_instance(60, domain_size=14, seed=2, plant_triangle=True)
+        engine = QueryEngine(db, omega=OMEGA)
+        explanation = engine.explain(TRIANGLE, strategy="omega")
+        assert explanation.program is not None
+        text = explanation.describe()
+        assert "operators:" in text
+        for node in explanation.program.nodes():
+            assert node.label() in text
+
+    def test_explain_renders_dag_for_non_planning_strategies(self):
+        db = chain_database()
+        engine = QueryEngine(db, omega=OMEGA)
+        explanation = engine.explain(CHAIN, strategy="yannakakis")
+        assert explanation.program is not None
+        assert "Scan" in explanation.describe()
+
+    def test_per_step_traces_sum_to_execute_time(self):
+        db = triangle_instance(80, domain_size=18, seed=5, plant_triangle=True)
+        engine = QueryEngine(db, omega=OMEGA)
+        result = engine.ask(TRIANGLE, strategy="omega")
+        execution = result.execution
+        assert execution is not None and execution.operators
+        operator_seconds = sum(t.seconds for t in execution.operators)
+        assert 0.0 < operator_seconds <= execution.seconds
+        assert execution.seconds <= result.execute_seconds + 1e-9
+
+    def test_cache_provenance_survives_ir_cached_plans(self):
+        db = triangle_instance(60, domain_size=14, seed=4, plant_triangle=True)
+        engine = QueryEngine(db, omega=OMEGA)
+        first = engine.explain(TRIANGLE, strategy="omega")
+        assert not first.cache_hit and first.program is not None
+        second = engine.explain(TRIANGLE, strategy="omega")
+        assert second.cache_hit  # the plan (and its IR) came from the cache
+        assert second.program is not None
+        assert second.program.root.skey == first.program.root.skey
+        # The ask after an explain reuses the cached IR and reports it.
+        result = engine.ask(TRIANGLE, strategy="omega")
+        assert result.cache_hit and result.plan_source == "cache"
+        assert result.program is not None
+
+    def test_shape_signature_collision_does_not_share_programs(self):
+        # These two queries share a shape signature (scopes are sorted
+        # within atoms) and bind the same relations, but wire F's and G's
+        # columns differently — the cached IR of one must not answer the
+        # other.  Regression test for the order-sensitive binding check.
+        q1 = parse_query("Q() :- E(X, Y), F(Y, X), G(X, Y)")
+        q2 = parse_query("Q() :- E(X, Y), F(X, Y), G(Y, X)")
+        db = Database(
+            {
+                "E": Relation(("A", "B"), [(1, 2)]),
+                "F": Relation(("A", "B"), [(1, 2)]),
+                "G": Relation(("A", "B"), [(2, 1)]),
+            }
+        )
+        assert q1.shape_signature() == q2.shape_signature()
+        engine = QueryEngine(db, omega=OMEGA)
+        first = engine.ask(q1, strategy="omega")
+        second = engine.ask(q2, strategy="omega")
+        assert first.answer == naive_boolean(q1, db)
+        assert second.answer == naive_boolean(q2, db)
+        assert second.answer is True and first.answer is False
+
+    def test_isomorphic_query_over_other_relations_relowers(self):
+        db = triangle_instance(60, domain_size=14, seed=6, plant_triangle=True)
+        both = Database(
+            dict(list(db.items()) + [("A", db["R"]), ("B", db["S"]), ("C", db["T"])])
+        )
+        renamed = parse_query("Q() :- A(U, V), B(V, W), C(U, W)")
+        engine = QueryEngine(both, omega=OMEGA)
+        engine.ask(TRIANGLE, strategy="omega")
+        result = engine.ask(renamed, strategy="omega")
+        assert result.cache_hit  # the plan is shared ...
+        assert result.program is not None
+        scans = {n.relation for n in result.program.nodes() if n.kind() == "scan"}
+        assert scans == {"A", "B", "C"}  # ... but the IR scans *its* relations
+
+
+class TestLegacyWrapperDeprecation:
+    def test_answer_boolean_query_warns(self):
+        from repro.core import answer_boolean_query
+
+        db = triangle_instance(30, domain_size=10, seed=0, plant_triangle=True)
+        with pytest.warns(DeprecationWarning, match="QueryEngine"):
+            report = answer_boolean_query(TRIANGLE, db, strategy="naive")
+        assert report.answer is True

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import math
 
 import pytest
 from hypothesis import given, strategies as st
@@ -19,7 +18,6 @@ from repro.polymatroid import (
     is_modular,
     is_monotone,
     is_polymatroid,
-    is_submodular,
     k_clique_witness,
     modular,
     normalize_to_edge_domination,

@@ -28,7 +28,6 @@ from repro.polymatroid.proof_sequence import (
     Composition,
     Decomposition,
     Monotonicity,
-    ProofSequence,
     Submodularity,
 )
 from tests.conftest import random_entropic_polymatroid

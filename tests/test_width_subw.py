@@ -10,7 +10,6 @@ from repro.hypergraph import (
     four_clique,
     four_cycle,
     path,
-    pyramid,
     star,
     three_pyramid,
     triangle,
