@@ -1,0 +1,168 @@
+"""Diff freshly emitted ``BENCH_*.json`` artefacts against a baseline.
+
+CI runs the bench-smoke suite (``REPRO_BENCH_TINY=1``), then invokes::
+
+    python benchmarks/check_regressions.py \
+        --baseline benchmarks/results/ci-baseline \
+        --current benchmarks/results --threshold 0.25
+
+For every benchmark present in both directories the script compares
+
+* the ``metrics`` dictionary, and
+* numeric cells of ``rows`` (matched on their non-numeric key cells),
+
+using the column/metric name to decide direction: ``*_ms`` / ``*_s`` /
+``*seconds*`` values regress when they grow, ``*speedup*`` / ``*ops*``
+values regress when they shrink.  Relative changes beyond the threshold
+print GitHub ``::warning::`` annotations.  The script always exits 0
+(``--strict`` flips failures on) — perf on shared CI runners is noisy, so
+regressions warn rather than gate.  Baselines with different parameters
+(e.g. a full-size local record against a tiny CI run) are skipped with a
+notice instead of producing meaningless ratios.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Substrings of metric/column names that mark higher values as worse.
+HIGHER_IS_WORSE = ("_ms", "_s", "seconds", "_ns")
+#: Substrings that mark lower values as worse — matched FIRST, so rate
+#: names like ``asks_per_s`` don't fall into the time-suffix bucket.
+LOWER_IS_WORSE = ("speedup", "ops", "hit_rate", "throughput", "per_s")
+
+
+def direction(name: str) -> Optional[int]:
+    """+1 when growth is a regression, -1 when shrinkage is, None to skip."""
+    lowered = name.lower()
+    if any(tag in lowered for tag in LOWER_IS_WORSE):
+        return -1
+    if any(tag in lowered for tag in HIGHER_IS_WORSE) or lowered.endswith("ms"):
+        return +1
+    return None
+
+
+def load(path: pathlib.Path) -> Optional[dict]:
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"::warning::unreadable benchmark artefact {path}: {error}")
+        return None
+
+
+def row_keys(rows: List[List[object]]) -> List[Tuple[object, ...]]:
+    """Stable identities for a benchmark's rows.
+
+    A row is identified by its *string* cells (workload labels) plus an
+    occurrence index among rows sharing them — NOT by numeric cells:
+    integer measurement columns (cache hit counts, row counts) change
+    when behaviour regresses, and keying on them would silently unmatch
+    exactly the rows that need comparing.  Benchmarks emit their sweeps
+    in deterministic order, so the occurrence index is stable.
+    """
+    seen: Dict[Tuple[str, ...], int] = {}
+    keys: List[Tuple[object, ...]] = []
+    for row in rows:
+        label = tuple(str(cell) for cell in row if isinstance(cell, str))
+        occurrence = seen.get(label, 0)
+        seen[label] = occurrence + 1
+        keys.append(label + (occurrence,))
+    return keys
+
+
+def compare_values(
+    name: str, label: str, baseline: float, current: float, threshold: float
+) -> Optional[str]:
+    sense = direction(label)
+    if sense is None or not isinstance(baseline, (int, float)) or baseline == 0:
+        return None
+    if not isinstance(current, (int, float)):
+        return None
+    change = (current - baseline) / abs(baseline)
+    if sense * change > threshold:
+        verb = "slower" if sense > 0 else "worse"
+        return (
+            f"{name}: {label} {verb} than baseline by "
+            f"{abs(change) * 100:.0f}% ({baseline:.4g} -> {current:.4g})"
+        )
+    return None
+
+
+def compare_documents(
+    name: str, baseline: dict, current: dict, threshold: float
+) -> Iterable[str]:
+    if baseline.get("params") != current.get("params"):
+        print(
+            f"::notice::{name}: baseline parameters differ from this run "
+            "(different size class?) — comparison skipped"
+        )
+        return
+    for metric, base_value in (baseline.get("metrics") or {}).items():
+        warning = compare_values(
+            name, metric, base_value, (current.get("metrics") or {}).get(metric),
+            threshold,
+        )
+        if warning:
+            yield warning
+    columns = baseline.get("columns") or []
+    if columns != (current.get("columns") or []):
+        return
+    current_rows_list = current.get("rows") or []
+    current_rows: Dict[Tuple[object, ...], List[object]] = dict(
+        zip(row_keys(current_rows_list), current_rows_list)
+    )
+    baseline_rows = baseline.get("rows") or []
+    for key, base_row in zip(row_keys(baseline_rows), baseline_rows):
+        match = current_rows.get(key)
+        if match is None:
+            continue
+        label = " / ".join(str(part) for part in key)
+        for column, base_cell, current_cell in zip(columns, base_row, match):
+            warning = compare_values(
+                f"{name} [{label}]", column, base_cell, current_cell, threshold
+            )
+            if warning:
+                yield warning
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", type=pathlib.Path, required=True)
+    parser.add_argument("--current", type=pathlib.Path, required=True)
+    parser.add_argument("--threshold", type=float, default=0.25)
+    parser.add_argument(
+        "--strict", action="store_true", help="exit nonzero when regressions found"
+    )
+    args = parser.parse_args(argv)
+
+    warnings: List[str] = []
+    compared = 0
+    for current_path in sorted(args.current.glob("BENCH_*.json")):
+        baseline_path = args.baseline / current_path.name
+        if not baseline_path.exists():
+            print(f"::notice::{current_path.name}: no committed baseline — skipped")
+            continue
+        baseline = load(baseline_path)
+        current = load(current_path)
+        if baseline is None or current is None:
+            continue
+        compared += 1
+        warnings.extend(
+            compare_documents(current_path.stem, baseline, current, args.threshold)
+        )
+    for warning in warnings:
+        print(f"::warning::{warning}")
+    print(
+        f"check_regressions: compared {compared} benchmark(s), "
+        f"{len(warnings)} regression warning(s) at threshold "
+        f"{args.threshold * 100:.0f}%"
+    )
+    return 1 if (warnings and args.strict) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

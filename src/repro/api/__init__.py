@@ -38,7 +38,13 @@ Typical use::
 
 from ..exec.vm import ResultCache, ResultCacheStats
 from .cache import CachedPlanEntry, CacheStats, PlanCache
-from .engine import Explanation, QueryEngine, QueryResult
+from .engine import (
+    PARALLELISM_ENV,
+    Explanation,
+    QueryEngine,
+    QueryResult,
+    default_parallelism,
+)
 from .errors import EngineError, StrategyDisagreement, UnknownStrategyError
 from .strategies import (
     DEFAULT_REGISTRY,
@@ -56,11 +62,13 @@ __all__ = [
     "DEFAULT_REGISTRY",
     "EngineError",
     "Explanation",
+    "PARALLELISM_ENV",
     "PlanCache",
     "QueryEngine",
     "QueryResult",
     "ResultCache",
     "ResultCacheStats",
+    "default_parallelism",
     "Strategy",
     "StrategyDisagreement",
     "StrategyOutcome",

@@ -24,6 +24,7 @@ also hold bare :class:`~repro.core.plan.OmegaQueryPlan` objects.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Hashable, Optional, Tuple
@@ -76,6 +77,10 @@ class PlanCache:
     def __init__(self, maxsize: int = 128) -> None:
         self.maxsize = maxsize
         self._entries: "OrderedDict[PlanCacheKey, object]" = OrderedDict()
+        # ``ask_many`` shards batches across worker threads; all cache
+        # operations are serialized on this lock so concurrent shards
+        # share one consistent LRU.
+        self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
@@ -85,38 +90,43 @@ class PlanCache:
         return self.maxsize > 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def get(self, key: PlanCacheKey) -> Optional[object]:
-        if not self.enabled:
-            self._misses += 1
-            return None
-        value = self._entries.get(key)
-        if value is None:
-            self._misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self._hits += 1
-        return value
+        with self._lock:
+            if not self.enabled:
+                self._misses += 1
+                return None
+            value = self._entries.get(key)
+            if value is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
 
     def put(self, key: PlanCacheKey, value: object) -> None:
-        if not self.enabled:
-            return
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-            self._evictions += 1
+        with self._lock:
+            if not self.enabled:
+                return
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self._evictions += 1
 
     def clear(self) -> None:
         """Drop all entries (counters are preserved)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def stats(self) -> CacheStats:
-        return CacheStats(
-            hits=self._hits,
-            misses=self._misses,
-            evictions=self._evictions,
-            size=len(self._entries),
-            maxsize=self.maxsize,
-        )
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                maxsize=self.maxsize,
+            )

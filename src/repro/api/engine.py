@@ -12,6 +12,7 @@ across isomorphic group members even with the cache disabled.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
@@ -22,9 +23,10 @@ from ..db.query import ConjunctiveQuery
 from ..core.executor import ExecutionResult
 from ..core.plan import OmegaQueryPlan
 from ..core.planner import PlannedQuery
+from ..exec.dispatch import KernelDispatcher
 from ..exec.ir import Program
 from ..exec.optimize import optimize_program
-from ..exec.vm import ResultCache, ResultCacheStats, VirtualMachine
+from ..exec.vm import ResultCache, ResultCacheStats, VirtualMachine, WorkerPool
 from .cache import CachedPlanEntry, CacheStats, PlanCache, PlanCacheKey
 from .errors import StrategyDisagreement
 from .strategies import (
@@ -33,6 +35,20 @@ from .strategies import (
     StrategyOutcome,
     StrategyRegistry,
 )
+
+#: Environment knob for the default engine worker count (``1`` = fully
+#: sequential execution, the historical behaviour).
+PARALLELISM_ENV = "REPRO_PARALLELISM"
+
+
+def default_parallelism() -> int:
+    """The worker count from ``REPRO_PARALLELISM`` (1 when unset/invalid)."""
+    raw = os.environ.get(PARALLELISM_ENV, "").strip()
+    try:
+        value = int(raw)
+    except ValueError:
+        return 1
+    return max(value, 1)
 
 
 @dataclass
@@ -153,6 +169,22 @@ class QueryEngine:
         given, the database's relations are converted in place via
         :meth:`Database.convert_backend` so every strategy runs on that
         representation.  ``None`` leaves the database untouched.
+    parallelism:
+        Worker count for query execution.  ``1`` keeps the classic
+        sequential executor; ``>= 2`` runs lowered programs on the
+        parallel morsel-driven VM (independent operators scheduled
+        concurrently, large probe sides chunked) and shards
+        :meth:`ask_many` batches across the worker pool.  Defaults to the
+        ``REPRO_PARALLELISM`` environment variable, else ``1``.  Engines
+        with ``parallelism > 1`` own a thread pool — release it with
+        :meth:`close` or use the engine as a context manager (threads are
+        also reaped at interpreter exit, so leaking it is benign in
+        scripts).
+    dispatcher:
+        Optional :class:`~repro.exec.dispatch.KernelDispatcher` overriding
+        the adaptive kernel-choice policy (morsel size, mixed-backend
+        conversion threshold, Strassen-vs-BLAS overhead factor).  By
+        default the engine builds one parameterised by its ω.
     """
 
     def __init__(
@@ -164,6 +196,8 @@ class QueryEngine:
         plan_cache_size: int = 128,
         result_cache_size: int = 32,
         backend: Optional[str] = None,
+        parallelism: Optional[int] = None,
+        dispatcher: Optional[KernelDispatcher] = None,
     ) -> None:
         if backend is not None:
             database.convert_backend(backend)
@@ -172,6 +206,34 @@ class QueryEngine:
         self.registry = registry if registry is not None else DEFAULT_REGISTRY
         self._plan_cache = PlanCache(plan_cache_size)
         self._result_cache = ResultCache(result_cache_size)
+        resolved_parallelism = (
+            default_parallelism() if parallelism is None else parallelism
+        )
+        if resolved_parallelism < 1:
+            raise ValueError("parallelism must be at least 1")
+        self.parallelism = resolved_parallelism
+        self.dispatcher = (
+            dispatcher if dispatcher is not None else KernelDispatcher(omega=omega)
+        )
+        self._pool: Optional[WorkerPool] = (
+            WorkerPool(self.parallelism) if self.parallelism > 1 else None
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the engine's worker pool (no-op when sequential)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+            self.parallelism = 1
+
+    def __enter__(self) -> "QueryEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Strategy resolution
@@ -223,6 +285,23 @@ class QueryEngine:
         plan: Optional[OmegaQueryPlan] = None,
     ) -> QueryResult:
         """Answer one Boolean query, reusing a cached plan when possible."""
+        return self._ask(query, strategy, omega=omega, plan=plan)
+
+    def _ask(
+        self,
+        query: ConjunctiveQuery,
+        strategy: str = "auto",
+        *,
+        omega: Optional[float] = None,
+        plan: Optional[OmegaQueryPlan] = None,
+        dag_scheduling: bool = True,
+    ) -> QueryResult:
+        """:meth:`ask`, with scheduler control for :meth:`ask_many` shards.
+
+        Batch shards already occupy the pool's DAG executor, so they run
+        their VMs without DAG scheduling (morsel-level parallelism stays
+        on) — nesting both would let shards starve each other.
+        """
         start = time.perf_counter()
         omega_value = self.omega if omega is None else omega
         self.database.validate_against(query)
@@ -253,8 +332,16 @@ class QueryEngine:
             program = self._lower(resolved, query, omega_value, plan)
         if program is not None:
             # The unified path: run the lowered program on the shared VM
-            # (per-operator traces, cross-query intermediate-result cache).
-            vm = VirtualMachine(self.database, result_cache=self._result_cache)
+            # (per-operator traces, cross-query intermediate-result cache,
+            # parallel scheduling + morsels when the engine has workers).
+            vm = VirtualMachine(
+                self.database,
+                result_cache=self._result_cache,
+                dispatcher=self.dispatcher,
+                parallelism=self.parallelism,
+                pool=self._pool,
+                dag_scheduling=dag_scheduling,
+            )
             vm_result = vm.run(program)
             outcome = StrategyOutcome(
                 answer=vm_result.answer,
@@ -297,6 +384,12 @@ class QueryEngine:
         members report ``plan_source == "cache"``); with the cache disabled
         the representative's plan is renamed into each member's variables
         (``plan_source == "batch"``).  Results come back in input order.
+
+        With ``parallelism > 1`` the batch is *sharded* across the worker
+        pool: group representatives (which plan and warm the caches) run
+        concurrently first, then the remaining members fan out.  Shard VMs
+        keep morsel-level parallelism but skip DAG scheduling — the shards
+        themselves occupy the DAG executor.
         """
         query_list = list(queries)
         results: List[Optional[QueryResult]] = [None] * len(query_list)
@@ -315,42 +408,86 @@ class QueryEngine:
                 groups.setdefault(key, []).append(position)
             else:
                 singletons.append(position)
-        for position in singletons:
-            results[position] = self.ask(
-                query_list[position], strategy, omega=omega
-            )
-        for members in groups.values():
-            representative = members[0]
-            rep_query = query_list[representative]
-            rep_result = self.ask(rep_query, strategy, omega=omega)
-            results[representative] = rep_result
-            if len(members) == 1:
-                continue
-            shared_canonical: Optional[OmegaQueryPlan] = None
-            if not self._plan_cache.enabled and rep_result.plan is not None:
-                shared_canonical = rep_result.plan.rename(
-                    rep_query.canonical_mapping()
+        def member_result(
+            position: int, shared_canonical: Optional[OmegaQueryPlan]
+        ) -> QueryResult:
+            member_query = query_list[position]
+            if shared_canonical is None:
+                # The LRU cache carries the plan to the other members.
+                return self._ask(
+                    member_query,
+                    strategy,
+                    omega=omega,
+                    dag_scheduling=self._pool is None,
                 )
-            for position in members[1:]:
-                member_query = query_list[position]
-                if shared_canonical is None:
-                    # The LRU cache carries the plan to the other members.
-                    results[position] = self.ask(
-                        member_query, strategy, omega=omega
-                    )
-                else:
-                    inverse = {
-                        canonical: variable
-                        for variable, canonical in member_query.canonical_mapping().items()
-                    }
-                    result = self.ask(
-                        member_query,
-                        strategy,
-                        omega=omega,
-                        plan=shared_canonical.rename(inverse),
-                    )
-                    result.plan_source = "batch"
-                    results[position] = result
+            inverse = {
+                canonical: variable
+                for variable, canonical in member_query.canonical_mapping().items()
+            }
+            result = self._ask(
+                member_query,
+                strategy,
+                omega=omega,
+                plan=shared_canonical.rename(inverse),
+                dag_scheduling=self._pool is None,
+            )
+            result.plan_source = "batch"
+            return result
+
+        def shared_plan(members: List[int]) -> Optional[OmegaQueryPlan]:
+            rep_result = results[members[0]]
+            assert rep_result is not None
+            if not self._plan_cache.enabled and rep_result.plan is not None:
+                return rep_result.plan.rename(
+                    query_list[members[0]].canonical_mapping()
+                )
+            return None
+
+        if self._pool is None:
+            for position in singletons:
+                results[position] = self.ask(
+                    query_list[position], strategy, omega=omega
+                )
+            for members in groups.values():
+                results[members[0]] = self.ask(
+                    query_list[members[0]], strategy, omega=omega
+                )
+                shared_canonical = shared_plan(members)
+                for position in members[1:]:
+                    results[position] = member_result(position, shared_canonical)
+        else:
+            # Phase 1: singletons and group representatives in parallel.
+            def shard(position: int) -> Tuple[int, QueryResult]:
+                return position, self._ask(
+                    query_list[position], strategy, omega=omega, dag_scheduling=False
+                )
+
+            phase_one = singletons + [members[0] for members in groups.values()]
+            futures = [self._pool.submit_node(shard, p) for p in phase_one]
+            for future in futures:
+                position, result = future.result()
+                results[position] = result
+            # Phase 2: the remaining group members fan out, reusing the
+            # representatives' plans (via the cache, or renamed directly).
+            def member_shard(
+                position: int, shared_canonical: Optional[OmegaQueryPlan]
+            ) -> Tuple[int, QueryResult]:
+                return position, member_result(position, shared_canonical)
+
+            phase_two: List[Tuple[int, Optional[OmegaQueryPlan]]] = []
+            for members in groups.values():
+                if len(members) == 1:
+                    continue
+                shared_canonical = shared_plan(members)
+                phase_two.extend(
+                    (position, shared_canonical) for position in members[1:]
+                )
+            futures = [
+                self._pool.submit_node(member_shard, p, sc) for p, sc in phase_two
+            ]
+            for future in futures:
+                position, result = future.result()
+                results[position] = result
         assert all(result is not None for result in results)
         return [result for result in results if result is not None]
 
@@ -574,5 +711,6 @@ class QueryEngine:
         return (
             f"QueryEngine({self.database!r}, omega={self.omega}, "
             f"strategies={self.registry.names()}, "
-            f"cache={stats.size}/{stats.maxsize})"
+            f"cache={stats.size}/{stats.maxsize}, "
+            f"parallelism={self.parallelism})"
         )

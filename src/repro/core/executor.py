@@ -50,6 +50,9 @@ class ExecutionResult:
     #: Per-operator VM traces (:class:`repro.exec.vm.OpTrace`); populated by
     #: every execution that goes through the IR path.
     operators: List = field(default_factory=list)
+    #: Worker count the VM scheduled the run with (1 = sequential); the
+    #: per-operator traces carry the ``worker``/``morsel_count`` details.
+    parallelism: int = 1
 
     def total_intermediate_tuples(self) -> int:
         """Rows materialized by non-leaf operators (or step outputs, if any)."""
@@ -69,11 +72,14 @@ class ExecutionResult:
             steps=[],
             seconds=result.seconds,
             operators=list(result.traces),
+            parallelism=getattr(result, "parallelism", 1),
         )
 
     def describe(self) -> str:
         """A per-step (or per-operator) execution trace."""
         lines = [f"answer: {self.answer}  ({self.seconds * 1000:.2f} ms)"]
+        if self.parallelism > 1:
+            lines[0] += f"  [workers={self.parallelism}]"
         for trace in self.steps:
             block = "".join(sorted(trace.block))
             detail = (

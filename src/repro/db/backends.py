@@ -36,6 +36,7 @@ from typing import (
     Optional,
     Sequence,
     Tuple,
+    Union as TUnion,
 )
 
 import numpy as np
@@ -45,6 +46,37 @@ Row = Tuple[Value, ...]
 
 #: Composite int64 keys fall back to generic paths past this stride product.
 _COMPOSITE_LIMIT = 1 << 62
+
+#: Per-backend cap on cached probe structures / translation tables of one
+#: family.  Backends of database-resident relations live for the process;
+#: without a bound, every distinct probing partner would leave an entry
+#: behind forever (the distinct/degree statistics caches are fine — their
+#: key space is the relation's own columns, which is small and fixed).
+_FAMILY_CACHE_LIMIT = 16
+
+
+def _bounded_cache_put(cache: dict, key: tuple, value: object, limit: int) -> None:
+    """Insert into a backend cache, evicting oldest same-family entries.
+
+    The family is ``key[0]`` (e.g. ``"sjprobe"``); plain dicts preserve
+    insertion order, so the first matching key is the oldest.
+
+    Thread contract (shared with every lazy backend cache): individual
+    ``dict`` operations and ``list(dict)`` snapshots are atomic under the
+    GIL, so concurrent VM workers may at worst duplicate work or briefly
+    over-retain — never corrupt.  The eviction scan therefore iterates a
+    snapshot, and deletions tolerate a racing evictor via ``pop(...,
+    None)``; a Python-level comprehension over the live dict would raise
+    ``dictionary changed size during iteration`` instead.
+    """
+    cache[key] = value
+    family = key[0]
+    snapshot = list(cache)  # atomic under the GIL
+    family_keys = [
+        k for k in snapshot if isinstance(k, tuple) and k and k[0] == family
+    ]
+    for stale in family_keys[: max(len(family_keys) - limit, 0)]:
+        cache.pop(stale, None)
 
 #: NumPy dtype kinds that round-trip safely through ``np.unique().tolist()``.
 _FAST_KINDS = "biufU"
@@ -180,6 +212,32 @@ class RelationBackend:
                 f"variable {variable!r} not in schema {self.schema}"
             ) from None
 
+    # -- kernel-side memoization ----------------------------------------
+    def cache_get(self, key: tuple) -> Optional[object]:
+        """Read an entry from this backend's shared memo cache."""
+        cache = getattr(self, "_cache", None)
+        return None if cache is None else cache.get(key)
+
+    def cache_put(
+        self, key: tuple, value: object, family_limit: Optional[int] = None
+    ) -> None:
+        """Store a kernel-side memo entry on this backend's shared cache.
+
+        The extension point for executor-level memoization (e.g. the
+        VM's grouped-MM row groupings): entries live with the backend —
+        shared by renames, surviving across probes — and the eviction
+        policy stays in this module: ``family_limit`` bounds how many
+        entries of the key's family (``key[0]``) are retained (see
+        :func:`_bounded_cache_put` for the thread contract).
+        """
+        cache = getattr(self, "_cache", None)
+        if cache is None:
+            return
+        if family_limit is None:
+            cache[key] = value
+        else:
+            _bounded_cache_put(cache, key, value, family_limit)
+
     # -- statistics -----------------------------------------------------
     def stats(self) -> RelationStats:
         return RelationStats(self)
@@ -293,33 +351,98 @@ class SetBackend(RelationBackend):
 # ----------------------------------------------------------------------
 # ColumnarBackend: dictionary-encoded NumPy columns
 # ----------------------------------------------------------------------
-class _Column:
-    """One dictionary-encoded column: ``int64`` codes + code → value table.
+class _Dictionary:
+    """One shared encoding dictionary: the code → value array plus caches.
 
-    ``values`` (an object ndarray) decodes codes vectorized; the value →
-    code hash index and the distinct-code set are built lazily and cached.
-    Columns are immutable and freely shared between backends, so operator
-    outputs reuse the input dictionaries without re-encoding.
+    Every column derived from the same encoding (renames, row subsets,
+    morsel slices, operator outputs) points at the *same* dictionary
+    object, so the lazily built value → code hash index and the
+    cross-dictionary translation tables are built once and visible to all
+    of them — including columns created before the index existed.
     """
 
-    __slots__ = ("codes", "values", "_index", "_distinct_codes")
+    __slots__ = ("values", "_index", "_xlate")
 
     def __init__(
-        self,
-        codes: np.ndarray,
-        values: np.ndarray,
-        index: Optional[Dict[Value, int]] = None,
+        self, values: np.ndarray, index: Optional[Dict[Value, int]] = None
     ) -> None:
-        self.codes = codes
         self.values = values
         self._index = index
-        self._distinct_codes: Optional[np.ndarray] = None
+        #: id(other dictionary) → (table, other dictionary).  The entry
+        #: pins the other dictionary so its id stays valid; dictionaries
+        #: of live relations reference each other for as long as both
+        #: exist, which is exactly the lifetime the cache is useful for.
+        self._xlate: Dict[int, Tuple[np.ndarray, "_Dictionary"]] = {}
 
     @property
     def index(self) -> Dict[Value, int]:
         if self._index is None:
             self._index = {value: code for code, value in enumerate(self.values)}
         return self._index
+
+    def translate_from(self, other: "_Dictionary") -> np.ndarray:
+        """A table mapping the other dictionary's codes into this one.
+
+        Values unknown here map to ``-1``.  Cached per dictionary *pair*,
+        so repeated probes between the same two relations (Yannakakis
+        passes, ``ask_many`` batches, morsel chunks) build it once.
+        """
+        if other is self:
+            table = np.arange(len(self.values), dtype=np.int64)
+            return table
+        entry = self._xlate.get(id(other))
+        if entry is None or entry[1] is not other:
+            own_index = self.index
+            table = np.fromiter(
+                (own_index.get(value, -1) for value in other.values),
+                dtype=np.int64,
+                count=len(other.values),
+            )
+            entry = (table, other)
+            self._xlate[id(other)] = entry
+            # Bound the table count: a process-long dictionary (stored
+            # relation) probed by many distinct partners must not pin
+            # them all forever.  Evict over a snapshot with pop(...,
+            # None) — concurrent workers may race this loop (see
+            # _bounded_cache_put's thread contract).
+            overflow = len(self._xlate) - _FAMILY_CACHE_LIMIT
+            if overflow > 0:
+                for stale in list(self._xlate)[:overflow]:
+                    self._xlate.pop(stale, None)
+        return entry[0]
+
+
+class _Column:
+    """One dictionary-encoded column: ``int64`` codes + a shared dictionary.
+
+    ``values`` (an object ndarray) decodes codes vectorized; the value →
+    code hash index lives on the shared :class:`_Dictionary` and the
+    distinct-code set is built lazily per column.  Columns are immutable
+    and freely shared between backends, so operator outputs reuse the
+    input dictionaries without re-encoding.
+    """
+
+    __slots__ = ("codes", "dictionary", "_distinct_codes")
+
+    def __init__(
+        self,
+        codes: np.ndarray,
+        dictionary: TUnion[np.ndarray, _Dictionary],
+        index: Optional[Dict[Value, int]] = None,
+    ) -> None:
+        self.codes = codes
+        if not isinstance(dictionary, _Dictionary):
+            dictionary = _Dictionary(dictionary, index)
+        self.dictionary = dictionary
+        self._distinct_codes: Optional[np.ndarray] = None
+
+    @property
+    def values(self) -> np.ndarray:
+        return self.dictionary.values
+
+    @property
+    def index(self) -> Dict[Value, int]:
+        return self.dictionary.index
 
     @property
     def distinct_codes(self) -> np.ndarray:
@@ -328,10 +451,10 @@ class _Column:
         return self._distinct_codes
 
     def take(self, row_indices: np.ndarray) -> "_Column":
-        return _Column(self.codes[row_indices], self.values, self._index)
+        return _Column(self.codes[row_indices], self.dictionary)
 
     def with_codes(self, codes: np.ndarray) -> "_Column":
-        return _Column(codes, self.values, self._index)
+        return _Column(codes, self.dictionary)
 
     def decode(self) -> np.ndarray:
         """The column as an object array of original values."""
@@ -474,6 +597,61 @@ class ColumnarBackend(RelationBackend):
             len(row_indices),
         )
 
+    def slice_rows(self, start: int, stop: int) -> "ColumnarBackend":
+        """Rows ``[start, stop)`` as a new backend over code-array *views*.
+
+        The morsel entry point: no codes are copied, and the dictionaries
+        (with their lazily-built value→code indexes) stay shared with the
+        parent, so chunks probe through the parent's caches.
+        """
+        start = max(start, 0)
+        stop = min(stop, self._n)
+        count = max(stop - start, 0)
+        if not self._columns:
+            return ColumnarBackend(self.schema, (), min(count, self._n))
+        columns = [
+            column.with_codes(column.codes[start:stop]) for column in self._columns
+        ]
+        return ColumnarBackend(self.schema, columns, count)
+
+    @classmethod
+    def concat(
+        cls, parts: Sequence["ColumnarBackend"], dedup: bool = False
+    ) -> Optional["ColumnarBackend"]:
+        """Recombine morsel results into one backend.
+
+        All parts must share the same schema *and* the same per-column
+        dictionaries (true for outputs of chunks sliced off one parent);
+        otherwise ``None`` is returned and the caller recombines through
+        the generic row path.  With ``dedup`` the concatenated rows are
+        deduplicated (Project / GroupedMatMul chunks may overlap); without
+        it the parts are trusted to be disjoint (Join/Semijoin chunks).
+        """
+        if not parts:
+            raise ValueError("concat needs at least one part")
+        base = parts[0]
+        if any(part.schema != base.schema for part in parts[1:]):
+            return None
+        if len(parts) == 1:
+            return base
+        if not base.schema:
+            return cls(base.schema, (), 1 if any(len(p) for p in parts) else 0)
+        columns: List[_Column] = []
+        for position in range(len(base.schema)):
+            dictionary = base._columns[position].dictionary
+            if any(
+                part._columns[position].dictionary is not dictionary
+                for part in parts[1:]
+            ):
+                return None
+            codes = np.concatenate(
+                [part._columns[position].codes for part in parts]
+            )
+            columns.append(_Column(codes, dictionary))
+        if dedup:
+            return cls._from_encoded(base.schema, columns)
+        return cls(base.schema, columns, len(columns[0].codes))
+
     # -- statistics -----------------------------------------------------
     def distinct_count(self, position: int) -> int:
         return len(self._columns[position].distinct_codes)
@@ -541,20 +719,44 @@ class ColumnarBackend(RelationBackend):
         """The other backend's column codes re-expressed in this dictionary.
 
         Values unknown to this side's dictionary map to ``-1``; the lookup
-        table is built over the (small) dictionaries, not the rows.
+        table is built over the (small) dictionaries, not the rows, and
+        cached per dictionary pair (see :meth:`_Dictionary.translate_from`).
         """
-        own_index = self._columns[position].index
-        other_values = other._columns[other_position].values
-        table = np.fromiter(
-            (own_index.get(value, -1) for value in other_values),
-            dtype=np.int64,
-            count=len(other_values),
-        )
-        return table[other._columns[other_position].codes]
+        own = self._columns[position]
+        other_column = other._columns[other_position]
+        if own.dictionary is other_column.dictionary:
+            return other_column.codes
+        table = own.dictionary.translate_from(other_column.dictionary)
+        return table[other_column.codes]
 
     def lookup_code(self, position: int, value: Value) -> Optional[int]:
         """The dictionary code of one value (the per-variable hash index)."""
         return self._columns[position].index.get(value)
+
+    def sorted_composite_keys(
+        self, positions: Tuple[int, ...]
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """``(sorted keys, argsort order)`` of one column-set, cached.
+
+        The composite-key sort order of a relation's columns is what every
+        join and semijoin probe against; it only depends on (relation,
+        column-set), so it is computed once and kept in the backend cache
+        alongside the distinct/degree indexes — renames share it, and
+        repeated probes (Yannakakis passes, ``ask_many`` batches, morsel
+        chunks) reuse it instead of re-sorting the build side every time.
+        ``None`` (also cached) marks a composite-key overflow.
+        """
+        key = ("sortkeys", tuple(positions))
+        if key in self._cache:
+            return self._cache[key]
+        keys = self._composite_keys(self._codes(positions), positions, self._n)
+        if keys is None:
+            entry: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        else:
+            order = np.argsort(keys, kind="stable")
+            entry = (keys[order], order)
+        self._cache[key] = entry
+        return entry
 
     # -- operators ------------------------------------------------------
     def select_equals(self, items: Sequence[Tuple[int, Value]]) -> "ColumnarBackend":
@@ -595,19 +797,72 @@ class ColumnarBackend(RelationBackend):
         ]
         return ColumnarBackend(schema, columns, len(unique_rows))
 
-    def semijoin_mask(
+    def _probe_keys(
         self,
         self_positions: Sequence[int],
         other: "ColumnarBackend",
         other_positions: Sequence[int],
-        negate: bool = False,
     ) -> Optional[np.ndarray]:
-        """The Boolean keep-mask of a semijoin, without materializing rows.
+        """This side's rows as composite keys in the *other* side's key space.
 
-        Fused multi-semijoin execution ANDs several of these masks and
-        gathers once.  Returns ``None`` when the composite key would
-        overflow, in which case the caller falls back to the generic path.
+        Rows carrying a value unknown to the other side's dictionaries get
+        the sentinel key ``-1`` (valid keys are always non-negative), so
+        they match nothing when probed.  ``None`` on composite overflow.
         """
+        translated = []
+        valid: Optional[np.ndarray] = None
+        for sp, op in zip(self_positions, other_positions):
+            codes = other.translate_codes(op, self, sp)
+            ok = codes >= 0
+            valid = ok if valid is None else (valid & ok)
+            translated.append(codes)
+        keys = other._composite_keys(translated, other_positions, self._n)
+        if keys is None:
+            return None
+        if valid is not None and not valid.all():
+            # Mixing a -1 component into a composite key can collide with
+            # a genuine key, so invalid rows are stamped out wholesale.
+            keys[~valid] = -1
+        return keys
+
+    def _key_space(self, positions: Sequence[int]) -> Optional[int]:
+        """Size of the composite key space of ``positions`` (None past cap)."""
+        total = 1
+        for position in positions:
+            total *= max(len(self._columns[position].values), 1)
+            if total > _COMPOSITE_LIMIT:
+                return None
+        return total
+
+    def _semijoin_probe(
+        self,
+        self_positions: Sequence[int],
+        other: "ColumnarBackend",
+        other_positions: Sequence[int],
+    ) -> Optional[Tuple[str, np.ndarray]]:
+        """The reducer's key set, prepared for probing from this side.
+
+        Returns ``("table", dense Boolean lookup table over this side's
+        composite code space)`` when the space is small enough, else
+        ``("keys", the reducer's translated composite keys)`` for an
+        ``isin`` probe; ``None`` on composite overflow.  The structure is
+        cached on the *reducer's* backend keyed by the probing side's
+        dictionaries, so every chunk of a morsel fan-out — and every later
+        probe from a relation sharing those dictionaries (Yannakakis
+        passes, ``ask_many`` batches) — reuses one build.
+        """
+        dictionaries = tuple(self._columns[p].dictionary for p in self_positions)
+        key = (
+            "sjprobe",
+            tuple(other_positions),
+            tuple(id(dictionary) for dictionary in dictionaries),
+        )
+        # The entry pins the probing dictionaries, so their ids cannot be
+        # reused by other live objects: a key match implies the same
+        # dictionaries, no further validation needed.
+        cached = other._cache.get(key)
+        if cached is not None:
+            return cached[0], cached[1]
         translated = []
         valid: Optional[np.ndarray] = None
         for sp, op in zip(self_positions, other_positions):
@@ -618,16 +873,60 @@ class ColumnarBackend(RelationBackend):
         if valid is not None and not valid.all():
             keep = np.nonzero(valid)[0]
             translated = [codes[keep] for codes in translated]
+        right_count = len(translated[0]) if translated else len(other)
+        right_keys = self._composite_keys(translated, self_positions, right_count)
+        if right_keys is None:
+            return None
+        space = self._key_space(self_positions)
+        # Probe-side-size-independent decision, so morsel chunks and the
+        # unsplit run take the same deterministic path.
+        if space is not None and space <= min(
+            max(8 * max(right_count, 1), 1 << 16), 1 << 26
+        ):
+            table = np.zeros(space, dtype=bool)
+            table[right_keys] = True
+            entry: Tuple[str, np.ndarray] = ("table", table)
+        else:
+            entry = ("keys", right_keys)
+        # The stored tuple carries the probing dictionaries purely to pin
+        # them (keeping the key's ids valid); bounded per backend so a
+        # process-long reducer can't accumulate probe tables forever.
+        _bounded_cache_put(
+            other._cache, key, (entry[0], entry[1], dictionaries), _FAMILY_CACHE_LIMIT
+        )
+        return entry
+
+    def semijoin_mask(
+        self,
+        self_positions: Sequence[int],
+        other: "ColumnarBackend",
+        other_positions: Sequence[int],
+        negate: bool = False,
+    ) -> Optional[np.ndarray]:
+        """The Boolean keep-mask of a semijoin, without materializing rows.
+
+        The reducer's codes are translated into this side's key space
+        (cached per dictionary pair) and probed through a cached dense
+        lookup table over the code space when it is small enough, else
+        ``isin`` (see :meth:`_semijoin_probe`).  Fused multi-semijoin
+        execution ANDs several of these masks and gathers once.  Returns
+        ``None`` when the composite key would overflow, in which case the
+        caller falls back to the generic path.
+        """
         left_keys = self._composite_keys(
             self._codes(self_positions), self_positions, self._n
         )
         if left_keys is None:
             return None
-        right_count = len(translated[0]) if translated else len(other)
-        right_keys = self._composite_keys(translated, self_positions, right_count)
-        if right_keys is None:
+        probe = self._semijoin_probe(self_positions, other, other_positions)
+        if probe is None:
             return None
-        return np.isin(left_keys, right_keys, invert=negate)
+        kind, data = probe
+        if kind == "table":
+            membership = data[left_keys]
+        else:
+            membership = np.isin(left_keys, data)
+        return ~membership if negate else membership
 
     def semijoin(
         self,
@@ -654,32 +953,21 @@ class ColumnarBackend(RelationBackend):
         other_extra_positions: Sequence[int],
         schema: Tuple[str, ...],
     ) -> Optional["ColumnarBackend"]:
-        """Natural join via sort + ``searchsorted`` on composite code keys."""
-        translated = []
-        valid: Optional[np.ndarray] = None
-        for sp, op in zip(self_positions, other_positions):
-            codes = self.translate_codes(sp, other, op)
-            ok = codes >= 0
-            valid = ok if valid is None else (valid & ok)
-            translated.append(codes)
-        if valid is not None and not valid.all():
-            right_rows = np.nonzero(valid)[0]
-            translated = [codes[right_rows] for codes in translated]
-        else:
-            right_rows = np.arange(len(other), dtype=np.int64)
-        left_keys = self._composite_keys(
-            self._codes(self_positions), self_positions, self._n
-        )
+        """Natural join probing the build side's cached composite-key sort.
+
+        The probe (``self``) side's keys are translated into the build
+        (``other``) side's key space and looked up with ``searchsorted``
+        against :meth:`sorted_composite_keys` — the sort order is computed
+        once per (relation, column-set) and reused across probes.
+        """
+        sorted_entry = other.sorted_composite_keys(tuple(other_positions))
+        if sorted_entry is None:
+            return None
+        sorted_keys, order = sorted_entry
+        left_keys = self._probe_keys(self_positions, other, other_positions)
         if left_keys is None:
             return None
-        right_keys = self._composite_keys(
-            translated, self_positions, len(right_rows)
-        )
-        if right_keys is None:
-            return None
 
-        order = np.argsort(right_keys, kind="stable")
-        sorted_keys = right_keys[order]
         starts = np.searchsorted(sorted_keys, left_keys, side="left")
         ends = np.searchsorted(sorted_keys, left_keys, side="right")
         counts = ends - starts
@@ -688,7 +976,7 @@ class ColumnarBackend(RelationBackend):
         if total:
             offsets = np.cumsum(counts) - counts
             within = np.arange(total, dtype=np.int64) - np.repeat(offsets, counts)
-            right_out = right_rows[order[np.repeat(starts, counts) + within]]
+            right_out = order[np.repeat(starts, counts) + within]
         else:
             right_out = np.empty(0, dtype=np.int64)
         columns = [column.take(left_out) for column in self._columns]
@@ -715,14 +1003,16 @@ class ColumnarBackend(RelationBackend):
                     index[value] = mapped
                     extension.append(value)
                 table[code] = mapped
+            codes = np.concatenate([own.codes, table[other_column.codes]])
             if extension:
                 values = np.empty(len(index), dtype=object)
                 values[: len(own.values)] = own.values
                 values[len(own.values):] = extension
+                columns.append(_Column(codes, values, index))
             else:
-                values = own.values
-            codes = np.concatenate([own.codes, table[other_column.codes]])
-            columns.append(_Column(codes, values, index))
+                # No new values: keep sharing the existing dictionary (and
+                # its caches) instead of minting an identical one.
+                columns.append(_Column(codes, own.dictionary))
         if not columns:
             return ColumnarBackend(self.schema, (), 1 if (self._n or len(other)) else 0)
         return ColumnarBackend._from_encoded(self.schema, columns)

@@ -18,6 +18,7 @@ from .ir import (
     Join,
     LightPart,
     MatMul,
+    MorselSpec,
     MultiSemijoin,
     NonEmpty,
     Operator,
@@ -29,12 +30,18 @@ from .ir import (
     Union,
     Wcoj,
 )
+from .dispatch import (
+    DEFAULT_MORSEL_SIZE,
+    DispatchStats,
+    KernelDispatcher,
+)
 from .vm import (
     OpTrace,
     ResultCache,
     ResultCacheStats,
     VirtualMachine,
     VMResult,
+    WorkerPool,
     run_program,
 )
 from .optimize import (
@@ -61,13 +68,17 @@ __all__ = [
     "All_",
     "Antijoin",
     "Any_",
+    "DEFAULT_MORSEL_SIZE",
+    "DispatchStats",
     "GroupedMatMul",
     "HeavyPart",
     "Join",
+    "KernelDispatcher",
     "LightPart",
     "LoweredPlan",
     "LoweredStep",
     "MatMul",
+    "MorselSpec",
     "MultiSemijoin",
     "NonEmpty",
     "OpTrace",
@@ -84,6 +95,7 @@ __all__ = [
     "VMResult",
     "VirtualMachine",
     "Wcoj",
+    "WorkerPool",
     "eliminate_common_subexpressions",
     "fuse_semijoins",
     "lower_clique",

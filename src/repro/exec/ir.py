@@ -29,10 +29,26 @@ computed once in ``__post_init__``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 Schema = Tuple[str, ...]
 StructuralKey = Tuple
+
+
+@dataclass(frozen=True)
+class MorselSpec:
+    """How an operator may be split into data-parallel morsels.
+
+    ``child`` is the index (into ``children``) of the *probe side* whose
+    rows can be partitioned into contiguous chunks, each executed against
+    the unchanged remaining operands and recombined.  When ``dedup`` is
+    true the chunk outputs may overlap (e.g. projections of different rows
+    collapsing to the same tuple) and recombination must deduplicate;
+    otherwise the chunk outputs are disjoint and concatenation suffices.
+    """
+
+    child: int
+    dedup: bool
 
 
 def _positions(schema: Schema, variables: Schema, what: str) -> Tuple[int, ...]:
@@ -65,6 +81,13 @@ class Operator:
     skey: StructuralKey
     #: Whether the operator produces a Boolean instead of a relation.
     boolean: bool = False
+    #: Index into ``children`` of the operand whose *emptiness* alone
+    #: already decides an empty output (``None`` when no child has that
+    #: power).  This is the metadata behind the VM's lazy short-circuits:
+    #: the sequential executor skips the remaining children, and the
+    #: parallel scheduler completes the operator early and cancels the
+    #: now-doomed sibling subtrees.
+    empty_short_circuit: Optional[int] = None
 
     def _derive(
         self, schema: Schema, children: Tuple["Operator", ...], skey: StructuralKey
@@ -83,6 +106,15 @@ class Operator:
     def kind(self) -> str:
         """A short lower-case operator-kind tag (used in traces and tests)."""
         return type(self).__name__.lower()
+
+    def morsel_spec(self) -> Optional[MorselSpec]:
+        """How (if at all) this operator partitions into parallel morsels.
+
+        ``None`` means the operator must execute as one unit.  Overridden
+        by the data-parallel operators (Join, Semijoin/MultiSemijoin,
+        Antijoin, deduplicating Project, GroupedMatMul).
+        """
+        return None
 
 
 def _require_relational(node: Operator, what: str) -> None:
@@ -140,6 +172,12 @@ class Project(Operator):
     def label(self) -> str:
         return f"Project[{', '.join(self.schema) or '()'}]"
 
+    def morsel_spec(self) -> Optional[MorselSpec]:
+        # Chunks of the child may project onto the same tuple, so the
+        # recombination deduplicates.  Nullary projections reduce to an
+        # emptiness test and are not worth partitioning.
+        return MorselSpec(child=0, dedup=True) if self.schema else None
+
 
 @dataclass(frozen=True)
 class Restrict(Operator):
@@ -154,6 +192,7 @@ class Restrict(Operator):
     variable: str
     source: Operator
     source_variable: str
+    empty_short_circuit = 0
 
     def __post_init__(self) -> None:
         _require_relational(self.child, "Restrict")
@@ -233,6 +272,7 @@ class Join(Operator):
 
     left: Operator
     right: Operator
+    empty_short_circuit = 0
 
     def __post_init__(self) -> None:
         _require_relational(self.left, "Join")
@@ -248,6 +288,11 @@ class Join(Operator):
     def label(self) -> str:
         return "Join"
 
+    def morsel_spec(self) -> Optional[MorselSpec]:
+        # Probe-side rows are distinct and the chunks partition them, so
+        # the per-chunk join outputs are disjoint: concatenate.
+        return MorselSpec(child=0, dedup=False)
+
 
 @dataclass(frozen=True)
 class Semijoin(Operator):
@@ -255,6 +300,7 @@ class Semijoin(Operator):
 
     child: Operator
     reducer: Operator
+    empty_short_circuit = 0
 
     def __post_init__(self) -> None:
         _require_relational(self.child, "Semijoin")
@@ -269,6 +315,9 @@ class Semijoin(Operator):
     def label(self) -> str:
         return "Semijoin"
 
+    def morsel_spec(self) -> Optional[MorselSpec]:
+        return MorselSpec(child=0, dedup=False)
+
 
 @dataclass(frozen=True)
 class Antijoin(Operator):
@@ -276,6 +325,7 @@ class Antijoin(Operator):
 
     child: Operator
     reducer: Operator
+    empty_short_circuit = 0
 
     def __post_init__(self) -> None:
         _require_relational(self.child, "Antijoin")
@@ -289,6 +339,9 @@ class Antijoin(Operator):
 
     def label(self) -> str:
         return "Antijoin"
+
+    def morsel_spec(self) -> Optional[MorselSpec]:
+        return MorselSpec(child=0, dedup=False)
 
 
 @dataclass(frozen=True)
@@ -304,6 +357,7 @@ class MultiSemijoin(Operator):
 
     child: Operator
     reducers: Tuple[Operator, ...]
+    empty_short_circuit = 0
 
     def __post_init__(self) -> None:
         _require_relational(self.child, "MultiSemijoin")
@@ -323,6 +377,9 @@ class MultiSemijoin(Operator):
 
     def label(self) -> str:
         return f"MultiSemijoin[{len(self.reducers)} reducers]"
+
+    def morsel_spec(self) -> Optional[MorselSpec]:
+        return MorselSpec(child=0, dedup=False)
 
 
 @dataclass(frozen=True)
@@ -371,6 +428,7 @@ class MatMul(Operator):
     row_variables: Schema
     inner_variables: Schema
     col_variables: Schema
+    empty_short_circuit = 0
 
     def __post_init__(self) -> None:
         _require_relational(self.left, "MatMul")
@@ -418,6 +476,7 @@ class GroupedMatMul(Operator):
     inner_variables: Schema
     col_variables: Schema
     group_variables: Schema
+    empty_short_circuit = 0
 
     def __post_init__(self) -> None:
         _require_relational(self.left, "GroupedMatMul")
@@ -455,6 +514,12 @@ class GroupedMatMul(Operator):
             f"{','.join(self.inner_variables)} ; {','.join(self.col_variables)}"
             + (f" | {group}]" if group else "]")
         )
+
+    def morsel_spec(self) -> Optional[MorselSpec]:
+        # A group's left rows may be split across chunks; the same output
+        # (row, col, group) triple can then be produced by several chunks,
+        # so recombination deduplicates.
+        return MorselSpec(child=0, dedup=True)
 
 
 # ----------------------------------------------------------------------

@@ -81,6 +81,25 @@ def boolean_multiply_strassen(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return boolean_multiply(a, b, kernel=strassen_multiply)
 
 
+#: Named multiplication kernels selectable by the adaptive dispatcher
+#: (``None`` means the BLAS-backed ``@`` default of ``counting_multiply``).
+MM_KERNELS: Dict[str, Optional[Callable[[np.ndarray, np.ndarray], np.ndarray]]] = {
+    "blas": None,
+    "strassen": strassen_multiply,
+}
+
+
+def resolve_mm_kernel(
+    name: str,
+) -> Optional[Callable[[np.ndarray, np.ndarray], np.ndarray]]:
+    """Map a kernel name from :data:`MM_KERNELS` to its callable."""
+    try:
+        return MM_KERNELS[name]
+    except KeyError:
+        known = ", ".join(sorted(MM_KERNELS))
+        raise ValueError(f"unknown MM kernel {name!r}; known kernels: {known}") from None
+
+
 def has_any_product_entry(a: np.ndarray, b: np.ndarray) -> bool:
     """Whether the Boolean product has at least one ``True`` entry.
 

@@ -1,0 +1,463 @@
+"""Parallel morsel-driven VM: differential, determinism and morsel tests.
+
+The contract under test: a parallel run is *observationally identical* to
+a sequential one — same answer, same relation, same per-operator trace
+row-counts — regardless of worker count, morsel boundaries, speculation
+or cancellation.  Plus unit coverage for the pieces that make it so: the
+statistics-driven kernel dispatcher, the chunk kernels, the cached
+composite-key sort order, and the engine plumbing.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.api import QueryEngine, default_parallelism
+from repro.api.strategies import DEFAULT_REGISTRY
+from repro.constants import DEFAULT_OMEGA
+from repro.db import Database, parse_query, triangle_instance
+from repro.db.backends import ColumnarBackend
+from repro.db.relation import Relation
+from repro.exec import (
+    KernelDispatcher,
+    WorkerPool,
+    fuse_semijoins,
+    lower_naive,
+    lower_yannakakis,
+    optimize_program,
+    run_program,
+)
+from repro.exec.optimize import morsel_partitionable
+from repro.matmul.cost import preferred_mm_kernel
+
+CHAIN = parse_query("Q() :- R0(A,B), R1(B,C), R2(C,D), R3(D,E)")
+TRIANGLE = parse_query("Q() :- R(X, Y), S(Y, Z), T(X, Z)")
+
+#: Morsel sizes small enough that test-sized relations split into chunks.
+SMALL_DISPATCHER = dict(morsel_size=64, min_partition_rows=128)
+
+
+def small_dispatcher() -> KernelDispatcher:
+    return KernelDispatcher(**SMALL_DISPATCHER)
+
+
+def chain_database(rows: int, seed: int, backend: str) -> Database:
+    rng = random.Random(seed)
+    domain = max(rows // 3, 4)
+    specs = {
+        f"R{i}": (
+            ("X", "Y"),
+            [(rng.randrange(domain), rng.randrange(domain)) for _ in range(rows)],
+        )
+        for i in range(4)
+    }
+    return Database(backend=backend).bulk_load(specs)
+
+
+def trace_signature(result):
+    """The deterministic part of a VM result's traces."""
+    return sorted(
+        (t.op_id, t.kind, t.label, t.rows_in, t.rows_out, t.kernel)
+        for t in result.traces
+    )
+
+
+def lowered(strategy_name: str, query, database):
+    strategy = DEFAULT_REGISTRY.get(strategy_name)
+    program = strategy.lower(query, database, DEFAULT_OMEGA)
+    assert program is not None
+    program, _ = optimize_program(program)
+    return program
+
+
+# ----------------------------------------------------------------------
+# Differential: parallel == sequential for all strategies × backends
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", ["set", "columnar"])
+@pytest.mark.parametrize(
+    "strategy", ["naive", "generic_join", "yannakakis", "omega"]
+)
+def test_parallel_matches_sequential_chain(strategy, backend):
+    database = chain_database(600, seed=11, backend=backend)
+    program = lowered(strategy, CHAIN, database)
+    sequential = run_program(program, database)
+    parallel = run_program(
+        program, database, parallelism=4, dispatcher=small_dispatcher()
+    )
+    assert parallel.answer == sequential.answer
+    assert parallel.relation == sequential.relation
+    assert trace_signature(parallel) == trace_signature(sequential)
+    assert parallel.parallelism == 4
+
+
+@pytest.mark.parametrize("backend", ["set", "columnar"])
+@pytest.mark.parametrize("strategy", ["naive", "generic_join", "omega"])
+def test_parallel_matches_sequential_triangle(strategy, backend):
+    database = triangle_instance(400, domain_size=40, seed=5)
+    database.convert_backend(backend)
+    program = lowered(strategy, TRIANGLE, database)
+    sequential = run_program(program, database)
+    parallel = run_program(
+        program, database, parallelism=3, dispatcher=small_dispatcher()
+    )
+    assert parallel.answer == sequential.answer
+    assert trace_signature(parallel) == trace_signature(sequential)
+
+
+def test_parallel_empty_short_circuit_matches_sequential():
+    """A doomed join: the right subtree is speculative, never traced."""
+    database = chain_database(300, seed=3, backend="columnar")
+    database["R0"] = Relation(("X", "Y"), (), backend="columnar")
+    program = lowered("naive", CHAIN, database)
+    sequential = run_program(program, database)
+    parallel = run_program(
+        program, database, parallelism=4, dispatcher=small_dispatcher()
+    )
+    assert sequential.answer is False and parallel.answer is False
+    assert trace_signature(parallel) == trace_signature(sequential)
+    # Whatever the lazy semantics skipped is excluded from the traces;
+    # speculative/cancelled counters are timing-dependent (in-flight
+    # speculative work is simply not awaited), so only the deterministic
+    # part is asserted.
+    total_nodes = len(program.nodes())
+    assert len(parallel.traces) < total_nodes
+    assert parallel.speculative_ops + parallel.cancelled_ops >= 0
+
+
+def test_speculative_failure_does_not_poison_the_run():
+    """Errors on subtrees the lazy semantics skips must not fail the ask."""
+    from repro.exec import Join, NonEmpty, Program, Scan
+
+    database = Database()
+    database["R0"] = Relation(("X", "Y"), (), backend="columnar")
+    # The right scan targets a missing relation: sequential laziness never
+    # evaluates it (left side is empty), so parallel must not either way.
+    program = Program(
+        NonEmpty(Join(Scan("R0", ("X", "Y")), Scan("Missing", ("Y", "Z")))),
+        source="test",
+    )
+    sequential = run_program(program, database)
+    assert sequential.answer is False
+    for _ in range(5):
+        parallel = run_program(program, database, parallelism=4)
+        assert parallel.answer is False
+        assert trace_signature(parallel) == trace_signature(sequential)
+    # ...but when the failing subtree IS needed, the failure propagates
+    # exactly as it would sequentially.
+    database["R0"] = Relation(("X", "Y"), [(1, 2)], backend="columnar")
+    with pytest.raises(KeyError):
+        run_program(program, database)
+    with pytest.raises(KeyError):
+        run_program(program, database, parallelism=4)
+
+
+# ----------------------------------------------------------------------
+# Determinism: repeated parallel runs are identical
+# ----------------------------------------------------------------------
+def test_parallel_runs_are_deterministic():
+    database = chain_database(500, seed=23, backend="columnar")
+    program = lowered("yannakakis", CHAIN, database)
+    dispatcher = small_dispatcher()
+    reference = None
+    for _ in range(5):
+        result = run_program(program, database, parallelism=4, dispatcher=dispatcher)
+        observation = (
+            result.answer,
+            None if result.relation is None else result.relation.rows,
+            [
+                (t.op_id, t.kind, t.label, t.rows_in, t.rows_out, t.kernel,
+                 t.cache_hit, t.morsel_count)
+                for t in result.traces
+            ],
+        )
+        if reference is None:
+            reference = observation
+        else:
+            assert observation == reference
+
+
+# ----------------------------------------------------------------------
+# Morsel boundaries: sizes exactly at / ± 1 of the chunk size
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("rows", [127, 128, 129, 255, 256, 257])
+def test_morsel_boundary_sizes(rows):
+    """Relations at the split threshold and chunk multiples stay correct."""
+    dispatcher = KernelDispatcher(morsel_size=128, min_partition_rows=128)
+    specs = {
+        f"R{i}": (
+            # First column j ∈ [0, rows) makes the row count *exact*; the
+            # second column stays inside [0, rows) so the chain connects.
+            ("X", "Y"),
+            [(j, (j * 13 + 5 * i) % rows) for j in range(rows)],
+        )
+        for i in range(4)
+    }
+    database = Database(backend="columnar").bulk_load(specs)
+    assert all(len(database[f"R{i}"]) == rows for i in range(4))
+    program = lowered("yannakakis", CHAIN, database)
+    sequential = run_program(program, database)
+    parallel = run_program(program, database, parallelism=4, dispatcher=dispatcher)
+    assert parallel.answer == sequential.answer
+    assert trace_signature(parallel) == trace_signature(sequential)
+    morselized = [t for t in parallel.traces if t.morsel_count]
+    if rows > 128:
+        assert morselized, "expected at least one morsel-split operator"
+
+
+def test_split_and_concat_round_trip():
+    relation = Relation.from_columns(
+        ("X", "Y"), [list(range(100)), [v % 7 for v in range(100)]],
+        backend="columnar",
+    )
+    parts = relation.split_morsels(30)
+    assert parts is not None
+    assert [len(p) for p in parts] == [30, 30, 30, 10]
+    rebuilt = Relation.concat_morsels(parts)
+    assert rebuilt == relation
+    projected = Relation.concat_morsels(
+        [p.project(["Y"]) for p in parts], dedup=True
+    )
+    assert projected == relation.project(["Y"])
+    # The set backend refuses to split (row loops hold the GIL anyway).
+    assert relation.with_backend("set").split_morsels(30) is None
+
+
+# ----------------------------------------------------------------------
+# The adaptive dispatcher
+# ----------------------------------------------------------------------
+def test_dispatcher_morsel_decisions():
+    dispatcher = KernelDispatcher(morsel_size=100)
+    big = Relation.from_columns(
+        ("X",), [list(range(1000))], backend="columnar"
+    )
+    small = Relation.from_columns(("X",), [list(range(50))], backend="columnar")
+    assert dispatcher.morsel_count(big, workers=1) == 1  # no workers, no split
+    assert dispatcher.morsel_count(small, workers=4) == 1  # too small
+    assert dispatcher.morsel_count(big, workers=4) == 10
+    assert dispatcher.morsel_count(big.with_backend("set"), workers=4) == 1
+
+
+def test_dispatcher_join_morsels_respect_degree_bound():
+    dispatcher = KernelDispatcher(
+        morsel_size=100, min_partition_rows=100, max_morsel_output=10_000
+    )
+    probe = Relation.from_columns(
+        ("X", "Y"), [list(range(1000)), [0] * 1000], backend="columnar"
+    )
+    # Build side with fan-out 500 from the shared variable.
+    build = Relation.from_columns(
+        ("Y", "Z"), [[0] * 500, list(range(500))], backend="columnar"
+    )
+    capped = dispatcher.join_morsel_count(probe, build, ("Y",), ("Z",), workers=4)
+    uncapped = KernelDispatcher(
+        morsel_size=100, min_partition_rows=100
+    ).join_morsel_count(probe, build, ("Y",), ("Z",), workers=4)
+    # Expected chunk output 100 × 500 = 50k > 10k cap → narrower chunks
+    # (1000 rows / (10k ÷ 500 fan-out) = 50 of them).
+    assert capped == 50 > uncapped == 10
+
+
+def test_dispatcher_resolves_mixed_backends_by_size():
+    dispatcher = KernelDispatcher(convert_threshold=100)
+    columnar = Relation.from_columns(
+        ("X", "Y"), [list(range(200)), list(range(200))], backend="columnar"
+    )
+    tiny_set = Relation(("Y", "Z"), [(1, 2), (3, 4)], backend="set")
+    left, right = dispatcher.resolve_operands(columnar, tiny_set)
+    assert left.backend_kind == right.backend_kind == "columnar"
+    # Below the threshold nothing is converted.
+    small_columnar = Relation.from_columns(
+        ("X", "Y"), [[1, 2], [3, 4]], backend="columnar"
+    )
+    left, right = dispatcher.resolve_operands(small_columnar, tiny_set)
+    assert (left.backend_kind, right.backend_kind) == ("columnar", "set")
+    # Same-backend pairs pass through untouched.
+    assert dispatcher.resolve_operands(tiny_set, tiny_set) == (tiny_set, tiny_set)
+
+
+def test_mm_kernel_choice_follows_cost_model():
+    # Tiny products never justify the recursion overhead.
+    assert preferred_mm_kernel(8, 8, 8) == "blas"
+    # With the overhead handicap waived, large squares flip to Strassen.
+    assert preferred_mm_kernel(4096, 4096, 4096, omega=2.0, overhead_factor=1.0) == (
+        "strassen"
+    )
+    dispatcher = KernelDispatcher(strassen_overhead=1.0, omega=2.0)
+    assert dispatcher.mm_kernel(4096, 4096, 4096) is not None  # strassen callable
+    assert dispatcher.stats.mm_strassen == 1
+    assert KernelDispatcher().mm_kernel(8, 8, 8) is None  # BLAS default
+
+
+# ----------------------------------------------------------------------
+# The cached composite-key sort order (micro-fix)
+# ----------------------------------------------------------------------
+def test_sorted_composite_keys_cached_and_shared_across_renames():
+    backend = ColumnarBackend.from_columns(
+        ("X", "Y"), [[3, 1, 2, 1], [0, 1, 0, 1]]
+    )
+    first = backend.sorted_composite_keys((0, 1))
+    assert first is not None
+    again = backend.sorted_composite_keys((0, 1))
+    assert again is first  # cached, not recomputed
+    renamed = backend.rename(("A", "B"))
+    assert renamed.sorted_composite_keys((0, 1)) is first  # shared cache
+
+
+def test_translation_table_cached_per_dictionary_pair():
+    left = ColumnarBackend.from_columns(("X",), [[1, 2, 3, 4]])
+    right = ColumnarBackend.from_columns(("X",), [[3, 4, 5]])
+    table_one = left._columns[0].dictionary.translate_from(
+        right._columns[0].dictionary
+    )
+    table_two = left._columns[0].dictionary.translate_from(
+        right._columns[0].dictionary
+    )
+    assert table_one is table_two
+    # Derived relations (projections, chunks) share the dictionary, so
+    # they hit the same cached table.
+    sliced = right.slice_rows(0, 2)
+    assert (
+        left._columns[0].dictionary.translate_from(sliced._columns[0].dictionary)
+        is table_one
+    )
+
+
+def test_lazy_index_shared_with_derived_columns():
+    backend = ColumnarBackend.from_columns(("X",), [list(range(10))])
+    derived = backend.take(__import__("numpy").arange(5))
+    # Building the index through the derived column makes it visible to
+    # the parent (one dictionary, one index).
+    assert derived._columns[0].index is backend._columns[0].index
+
+
+# ----------------------------------------------------------------------
+# Optimizer: fusion stays morsel-safe
+# ----------------------------------------------------------------------
+def test_fused_programs_stay_morsel_partitionable():
+    # A flower (one wide centre, three leaves) lowers to a semijoin chain
+    # against the centre, which is what fusion collapses.
+    flower = parse_query(
+        "Q() :- Root(C0, C1, C2), L0(C0, X0), L1(C1, X1), L2(C2, X2)"
+    )
+    rng = random.Random(2)
+    specs = {
+        "Root": (
+            ("A", "B", "C"),
+            [tuple(rng.randrange(30) for _ in range(3)) for _ in range(200)],
+        )
+    }
+    for i in range(3):
+        specs[f"L{i}"] = (
+            ("C", "X"),
+            [(rng.randrange(30), rng.randrange(30)) for _ in range(200)],
+        )
+    database = Database(backend="columnar").bulk_load(specs)
+    unfused = lower_yannakakis(flower)
+    fused, fused_count = fuse_semijoins(unfused)
+    assert fused_count >= 1
+    specs = morsel_partitionable(fused)
+    multis = [node for node in specs if node.kind() == "multisemijoin"]
+    assert multis, "fusion should produce partitionable MultiSemijoin nodes"
+    assert all(spec.child == 0 for spec in specs.values())
+    sequential = run_program(fused, database)
+    parallel = run_program(
+        fused, database, parallelism=2,
+        dispatcher=KernelDispatcher(morsel_size=16, min_partition_rows=16),
+    )
+    assert parallel.answer == sequential.answer
+    assert trace_signature(parallel) == trace_signature(sequential)
+
+
+def test_empty_short_circuit_metadata():
+    program = lower_naive(CHAIN)
+    joins = [n for n in program.nodes() if n.kind() == "join"]
+    assert joins and all(n.empty_short_circuit == 0 for n in joins)
+    scans = [n for n in program.nodes() if n.kind() == "scan"]
+    assert all(n.empty_short_circuit is None for n in scans)
+
+
+# ----------------------------------------------------------------------
+# Engine plumbing
+# ----------------------------------------------------------------------
+def test_engine_parallelism_env(monkeypatch):
+    monkeypatch.setenv("REPRO_PARALLELISM", "3")
+    assert default_parallelism() == 3
+    database = chain_database(50, seed=1, backend="columnar")
+    with QueryEngine(database) as engine:
+        assert engine.parallelism == 3
+    monkeypatch.setenv("REPRO_PARALLELISM", "not-a-number")
+    assert default_parallelism() == 1
+
+
+def test_engine_parallel_ask_matches_sequential():
+    database = chain_database(400, seed=9, backend="columnar")
+    sequential_engine = QueryEngine(database)
+    expected = sequential_engine.ask(CHAIN, strategy="yannakakis")
+    with QueryEngine(
+        database, parallelism=4, dispatcher=small_dispatcher()
+    ) as engine:
+        result = engine.ask(CHAIN, strategy="yannakakis")
+        assert result.answer == expected.answer
+        assert result.execution is not None
+        assert result.execution.parallelism == 4
+        trace_rows = sorted(
+            (t.op_id, t.rows_in, t.rows_out) for t in result.execution.operators
+        )
+        expected_rows = sorted(
+            (t.op_id, t.rows_in, t.rows_out) for t in expected.execution.operators
+        )
+        assert trace_rows == expected_rows
+
+
+def test_engine_ask_many_sharded_matches_sequential():
+    def queries():
+        names = "ABCDE"
+        out = []
+        for index in range(6):
+            vs = [f"{v}{index}" for v in names]
+            body = ", ".join(f"R{i}({vs[i]}, {vs[i+1]})" for i in range(4))
+            out.append(parse_query(f"Q{index}() :- {body}"))
+        return out
+
+    database = chain_database(300, seed=4, backend="columnar")
+    expected = [
+        r.answer for r in QueryEngine(database).ask_many(queries(), "yannakakis")
+    ]
+    with QueryEngine(database, parallelism=4) as engine:
+        results = engine.ask_many(queries(), strategy="yannakakis")
+        assert [r.answer for r in results] == expected
+        assert [r.query.name for r in results] == [q.name for q in queries()]
+    # Sharding with the plan cache disabled exercises the renamed-plan path.
+    with QueryEngine(database, parallelism=4, plan_cache_size=0) as engine:
+        results = engine.ask_many(queries(), strategy="omega")
+        assert [r.answer for r in results] == [
+            r.answer
+            for r in QueryEngine(database, plan_cache_size=0).ask_many(
+                queries(), "omega"
+            )
+        ]
+        assert {r.plan_source for r in results[1:]} == {"batch"}
+
+
+def test_engine_close_is_idempotent_and_sequentializes():
+    database = chain_database(50, seed=6, backend="columnar")
+    engine = QueryEngine(database, parallelism=2)
+    engine.close()
+    engine.close()
+    assert engine.parallelism == 1
+    assert engine.ask(CHAIN, strategy="yannakakis").answer in (True, False)
+
+
+def test_worker_pool_executes_on_both_executors():
+    with WorkerPool(2) as pool:
+        assert pool.submit_node(lambda: 1 + 1).result() == 2
+        assert pool.submit_kernel(lambda: "ok").result() == "ok"
+
+
+def test_run_program_parallelism_validation():
+    database = chain_database(20, seed=8, backend="columnar")
+    program = lowered("naive", CHAIN, database)
+    with pytest.raises(ValueError):
+        run_program(program, database, parallelism=0)
