@@ -1,0 +1,123 @@
+"""Output-verb throughput: exists vs count vs select(limit) per backend.
+
+The output-aware API serves three verbs from one engine; this benchmark
+pins their relative cost on an acyclic chain (Yannakakis full reducer +
+enumeration) and a cyclic clique/triangle shape (exists via the ω/MM
+decision engine, count/select via the exhaustive WCOJ search), on both
+storage backends.  ``exists`` should stay the cheapest verb (decision
+only), ``count`` should beat ``select`` (no output materialization — the
+columnar backend counts unique code rows with one ``np.unique``), and
+``select`` with a small limit pays enumeration plus the deterministic
+ordering.  Results land in ``benchmarks/results/output_queries.txt`` and
+``BENCH_output_queries.json`` (diffed against the tiny CI baseline).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.api import QueryEngine
+from repro.constants import OMEGA_BEST_KNOWN
+from repro.db import Database, Relation, clique_instance, parse_query, random_pairs
+
+from benchmarks._reporting import write_table
+
+OMEGA = OMEGA_BEST_KNOWN
+#: ``REPRO_BENCH_TINY=1`` shrinks inputs so CI can smoke-run the harness.
+TINY = os.environ.get("REPRO_BENCH_TINY", "").strip().lower() in ("1", "true", "yes")
+REPEATS = 3 if TINY else 10
+CHAIN_EDGES = 150 if TINY else 20_000
+CLIQUE_EDGES = 60 if TINY else 1_500
+SELECT_LIMIT = 16
+VERBS = ("exists", "count", "select")
+BACKENDS = ("set", "columnar")
+ROWS = []
+_DATABASES = {}
+
+
+def _chain_database(backend):
+    relations = {}
+    columns = [("X", "Y"), ("Y", "Z"), ("Z", "W")]
+    for index, (name, schema) in enumerate(zip("RST", columns)):
+        pairs = random_pairs(CHAIN_EDGES, max(8, CHAIN_EDGES // 12), seed=31 + index)
+        relations[name] = Relation(schema, pairs, backend=backend)
+    return Database(relations, backend=backend)
+
+
+def _workload(shape, backend):
+    key = (shape, backend)
+    if key not in _DATABASES:
+        if shape == "chain":
+            query = parse_query("Q(X, W) :- R(X, Y), S(Y, Z), T(Z, W)")
+            database = _chain_database(backend)
+        else:
+            boolean, database = clique_instance(
+                3, CLIQUE_EDGES, plant_clique=True, seed=17, backend=backend
+            )
+            query = boolean.with_outputs(sorted(boolean.variables))
+        _DATABASES[key] = (query, database)
+    return _DATABASES[key]
+
+
+@pytest.mark.parametrize("verb", VERBS)
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("shape", ("chain", "clique3"))
+def test_output_verb_throughput(benchmark, shape, backend, verb):
+    query, database = _workload(shape, backend)
+    engine = QueryEngine(database, omega=OMEGA)
+
+    def run():
+        outcomes = []
+        for _ in range(REPEATS):
+            if verb == "exists":
+                outcomes.append(engine.exists(query))
+            elif verb == "count":
+                outcomes.append(engine.count(query))
+            else:
+                outcomes.append(
+                    engine.select(query, limit=SELECT_LIMIT).to_rows()
+                )
+        return outcomes
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    if verb == "exists":
+        answers = {result.answer for result in outcomes}
+        assert answers == {True}  # both workloads plant a witness
+        produced = 1
+    elif verb == "count":
+        counts = {result.row_count for result in outcomes}
+        assert len(counts) == 1
+        produced = counts.pop()
+        assert produced > 0
+    else:
+        lengths = {len(rows) for rows in outcomes}
+        assert len(lengths) == 1
+        produced = lengths.pop()
+        assert 0 < produced <= SELECT_LIMIT
+        # Deterministic order: every repeat returned identical rows.
+        assert len({tuple(rows) for rows in outcomes}) == 1
+    seconds = float(benchmark.stats.stats.mean) / REPEATS
+    ROWS.append(
+        (
+            shape,
+            backend,
+            verb,
+            seconds * 1e3,
+            produced,
+            1.0 / seconds if seconds else 0.0,
+        )
+    )
+    write_table(
+        "output_queries",
+        ("shape", "backend", "verb", "ms_per_query", "rows_out", "queries_per_s"),
+        sorted(ROWS),
+        params={
+            "chain_edges": CHAIN_EDGES,
+            "clique_edges": CLIQUE_EDGES,
+            "select_limit": SELECT_LIMIT,
+            "repeats": REPEATS,
+            "omega": OMEGA,
+        },
+    )

@@ -33,10 +33,13 @@ re-exported here.
 from .api import (
     Explanation,
     QueryEngine,
+    QueryParseError,
     QueryResult,
+    ResultSet,
     Strategy,
     StrategyDisagreement,
     StrategyRegistry,
+    UnsupportedWorkload,
     available_strategies,
     register_strategy,
 )
@@ -68,11 +71,14 @@ __all__ = [
     "OMEGA_OPTIMAL",
     "OMEGA_STRASSEN",
     "QueryEngine",
+    "QueryParseError",
     "QueryResult",
+    "ResultSet",
     "SetFunction",
     "Strategy",
     "StrategyDisagreement",
     "StrategyRegistry",
+    "UnsupportedWorkload",
     "__version__",
     "available_strategies",
     "fractional_edge_cover_number",

@@ -1,16 +1,21 @@
 """The public query-answering API: engine facade, strategies, plan cache.
 
-This package is the supported surface for answering Boolean conjunctive
-queries; the free functions in :mod:`repro.core.engine` remain as thin
-wrappers over it.  The moving parts:
+This package is the supported surface for answering conjunctive queries —
+Boolean and output-producing; the free functions in
+:mod:`repro.core.engine` remain as thin wrappers over it.  The moving
+parts:
 
 :class:`QueryEngine`
-    A stateful facade owning a database.  ``engine.ask(query)`` answers a
-    query, ``engine.explain(query)`` reports the chosen strategy, plan and
-    width measures without executing, ``engine.ask_many(queries)`` runs a
-    batch while sharing plans across isomorphic query shapes, and
-    ``engine.compare(query)`` cross-validates strategies (raising
-    :class:`StrategyDisagreement` on mismatch).  ``QueryEngine(db,
+    A stateful facade owning a database, organised around three query
+    *verbs*: ``engine.exists(query)`` decides satisfiability (``ask`` is a
+    thin alias), ``engine.count(query)`` reports the number of distinct
+    output tuples, and ``engine.select(query, limit=...)`` returns a lazy
+    deterministic-order :class:`ResultSet` streaming them.
+    ``engine.explain(query, verb=...)`` reports the chosen strategy, plan
+    and width measures without executing, ``engine.ask_many(queries)``
+    runs a batch while sharing plans across isomorphic query shapes, and
+    ``engine.compare(query, verb=...)`` cross-validates strategies
+    (raising :class:`StrategyDisagreement` on mismatch).  ``QueryEngine(db,
     backend="columnar")`` converts the database to a storage backend (see
     :mod:`repro.db.backends`) so every strategy runs on its kernels.
 
@@ -45,9 +50,17 @@ from .engine import (
     QueryResult,
     default_parallelism,
 )
-from .errors import EngineError, StrategyDisagreement, UnknownStrategyError
+from .errors import (
+    EngineError,
+    QueryParseError,
+    StrategyDisagreement,
+    UnknownStrategyError,
+    UnsupportedWorkload,
+)
+from .results import ResultSet, row_order_key
 from .strategies import (
     DEFAULT_REGISTRY,
+    VERBS,
     Strategy,
     StrategyOutcome,
     StrategyRegistry,
@@ -65,15 +78,20 @@ __all__ = [
     "PARALLELISM_ENV",
     "PlanCache",
     "QueryEngine",
+    "QueryParseError",
     "QueryResult",
     "ResultCache",
     "ResultCacheStats",
+    "ResultSet",
+    "VERBS",
     "default_parallelism",
+    "row_order_key",
     "Strategy",
     "StrategyDisagreement",
     "StrategyOutcome",
     "StrategyRegistry",
     "UnknownStrategyError",
+    "UnsupportedWorkload",
     "available_strategies",
     "register_strategy",
     "unregister_strategy",

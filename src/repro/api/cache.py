@@ -5,7 +5,12 @@ renames a plan's variables through the query's canonical mapping
 (:meth:`ConjunctiveQuery.canonical_mapping`), so a single cached entry
 serves every query isomorphic to the one that was planned.  Keys combine
 
-* the canonical shape signature (atom scopes over canonical names),
+* the canonical shape signature (atom scopes over canonical names) plus an
+  output-signature slot and the query verb — so Boolean, counting and
+  enumeration programs over the same body can never collide.  Only the
+  exists verb plans (the ω strategy is exists-only), and exists ignores
+  the query head, so the output slot is normalized to ``()`` there —
+  differently-headed queries over one body share a single cached plan,
 * the strategy name and the ω exponent the plan was costed with, and
 * the database statistics fingerprint — any mutation of the database bumps
   its version and therefore misses the cache, which is how invalidation
@@ -31,7 +36,8 @@ from typing import Hashable, Optional, Tuple
 
 from ..core.plan import OmegaQueryPlan
 
-#: (strategy name, shape signature, omega, database fingerprint)
+#: (strategy name, (shape signature, output signature, verb, atom sizes),
+#: omega, database fingerprint)
 PlanCacheKey = Tuple[str, Hashable, float, Hashable]
 
 

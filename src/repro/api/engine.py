@@ -20,15 +20,18 @@ from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 from ..constants import DEFAULT_OMEGA
 from ..db.database import Database
 from ..db.query import ConjunctiveQuery
+from ..db.relation import Relation
 from ..core.executor import ExecutionResult
 from ..core.plan import OmegaQueryPlan
 from ..core.planner import PlannedQuery
 from ..exec.dispatch import KernelDispatcher
 from ..exec.ir import Program
+from ..exec.lower import check_verb
 from ..exec.optimize import optimize_program
 from ..exec.vm import ResultCache, ResultCacheStats, VirtualMachine, WorkerPool
 from .cache import CachedPlanEntry, CacheStats, PlanCache, PlanCacheKey
-from .errors import StrategyDisagreement
+from .errors import StrategyDisagreement, UnsupportedWorkload
+from .results import ResultSet
 from .strategies import (
     DEFAULT_REGISTRY,
     Strategy,
@@ -53,11 +56,14 @@ def default_parallelism() -> int:
 
 @dataclass
 class QueryResult:
-    """The outcome of one :meth:`QueryEngine.ask`.
+    """The outcome of one :meth:`QueryEngine.exists`/``count``/``select`` run.
 
-    Extends the seed's ``EngineReport`` with a plan/execute timing
-    breakdown and plan-provenance counters:
+    Extends the seed's ``EngineReport`` with verb-aware output fields, a
+    plan/execute timing breakdown and plan-provenance counters:
 
+    * ``verb`` / ``output_variables`` — which workload ran and the query's
+      free variables; ``row_count`` is the number of distinct output
+      tuples for ``count``/``select`` runs (``None`` for ``exists``).
     * ``plan_seconds`` / ``execute_seconds`` — where the time went;
       ``seconds`` is the end-to-end wall clock including dispatch.
     * ``cache_hit`` — whether the plan came from the engine's plan cache.
@@ -71,6 +77,11 @@ class QueryResult:
     answer: bool
     strategy: str
     seconds: float
+    verb: str = "exists"
+    output_variables: Tuple[str, ...] = ()
+    #: Distinct output tuples (``count``/``select`` runs; ``None`` for
+    #: ``exists``, whose workload never counts).
+    row_count: Optional[int] = None
     plan_seconds: float = 0.0
     execute_seconds: float = 0.0
     cache_hit: bool = False
@@ -81,16 +92,24 @@ class QueryResult:
     #: The lowered physical-operator program the ask executed (``None``
     #: only for strategies without a lowering).
     program: Optional[Program] = None
+    #: The distinct output relation of a ``select`` run (``None`` for the
+    #: other verbs); :class:`~repro.api.results.ResultSet` streams it.
+    relation: Optional[Relation] = None
 
     def describe(self) -> str:
         lines = [
             f"query:    {self.query}",
             f"strategy: {self.strategy}",
+            f"verb:     {self.verb}",
             f"answer:   {self.answer}",
+        ]
+        if self.row_count is not None:
+            lines.append(f"rows:     {self.row_count}")
+        lines.append(
             f"time:     {self.seconds * 1000:.2f} ms "
             f"(plan {self.plan_seconds * 1000:.2f} ms, "
-            f"execute {self.execute_seconds * 1000:.2f} ms)",
-        ]
+            f"execute {self.execute_seconds * 1000:.2f} ms)"
+        )
         if self.plan_source != "none":
             lines.append(f"plan:     from {self.plan_source}")
         if self.planned is not None:
@@ -98,6 +117,49 @@ class QueryResult:
         elif self.plan is not None:
             lines.append(self.plan.describe())
         return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-safe summary for services and structured logging.
+
+        Only plain Python scalars, lists and dicts appear in the document
+        (``json.dumps`` → ``json.loads`` round-trips it unchanged): the
+        query text, verb and outputs, the answer/row count, the timing
+        split, cache provenance, and a per-operator trace summary.
+        """
+        execution = self.execution
+        trace = []
+        if execution is not None:
+            for op in execution.operators:
+                trace.append(
+                    {
+                        "op_id": int(op.op_id),
+                        "kind": str(op.kind),
+                        "label": str(op.label),
+                        "rows_in": int(op.rows_in),
+                        "rows_out": int(op.rows_out),
+                        "kernel": str(op.kernel),
+                        "seconds": float(op.seconds),
+                        "cache_hit": bool(op.cache_hit),
+                        "morsel_count": int(op.morsel_count),
+                        "worker": op.worker if op.worker is None else str(op.worker),
+                    }
+                )
+        return {
+            "query": str(self.query),
+            "name": str(self.query.name),
+            "verb": str(self.verb),
+            "output_variables": [str(v) for v in self.output_variables],
+            "answer": bool(self.answer),
+            "row_count": None if self.row_count is None else int(self.row_count),
+            "strategy": str(self.strategy),
+            "seconds": float(self.seconds),
+            "plan_seconds": float(self.plan_seconds),
+            "execute_seconds": float(self.execute_seconds),
+            "cache_hit": bool(self.cache_hit),
+            "plan_source": str(self.plan_source),
+            "parallelism": int(execution.parallelism) if execution is not None else 1,
+            "trace": trace,
+        }
 
 
 @dataclass
@@ -109,6 +171,8 @@ class Explanation:
     is_acyclic: bool
     num_variables: int
     num_atoms: int
+    verb: str = "exists"
+    output_variables: Tuple[str, ...] = ()
     cache_hit: bool = False
     plan: Optional[OmegaQueryPlan] = None
     planned: Optional[PlannedQuery] = None
@@ -120,6 +184,12 @@ class Explanation:
         lines = [
             f"query:    {self.query}",
             f"strategy: {self.strategy}",
+            f"verb:     {self.verb}"
+            + (
+                f" -> ({', '.join(self.output_variables)})"
+                if self.output_variables
+                else ""
+            ),
             f"shape:    {self.num_atoms} atoms over {self.num_variables} variables"
             f" ({'acyclic' if self.is_acyclic else 'cyclic'})",
         ]
@@ -138,7 +208,16 @@ class Explanation:
 
 
 class QueryEngine:
-    """A stateful Boolean-conjunctive-query engine over one database.
+    """A stateful conjunctive-query engine over one database.
+
+    The facade is organised around three query *verbs* sharing the same
+    strategies, caches and virtual machine:
+
+    * :meth:`exists` — the Boolean decision (``ask`` is a thin alias);
+    * :meth:`count` — the number of distinct output tuples;
+    * :meth:`select` — a lazy, deterministically-ordered
+      :class:`~repro.api.results.ResultSet` streaming the distinct output
+      tuples.
 
     Parameters
     ----------
@@ -239,34 +318,90 @@ class QueryEngine:
     # Strategy resolution
     # ------------------------------------------------------------------
     def resolve_strategy(
-        self, query: ConjunctiveQuery, strategy: str = "auto"
+        self, query: ConjunctiveQuery, strategy: str = "auto", verb: str = "exists"
     ) -> Strategy:
         """Resolve a strategy name (``"auto"`` included) for a query.
 
-        ``"auto"`` prefers Yannakakis for acyclic queries and the ω-engine
-        otherwise, matching the seed engine's dispatch.
+        For ``exists``, ``"auto"`` prefers Yannakakis for acyclic queries
+        and the ω-engine otherwise, matching the seed engine's dispatch.
+        For ``count``/``select`` the ω-engine is not an option (it is a
+        decision procedure), so cyclic queries fall back to the exhaustive
+        worst-case-optimal search instead.
         """
-        return self.registry.get(self._resolve_key(query, strategy))
+        return self.registry.get(self._resolve_key(query, strategy, verb))
 
-    def _resolve_key(self, query: ConjunctiveQuery, strategy: str) -> str:
+    @staticmethod
+    def _verb_declared(strategy: Strategy, verb: str) -> bool:
+        """Whether a strategy opted into a verb (exists-only by default).
+
+        Pre-verb custom strategies never declare ``verbs``; they inherit
+        ``("exists",)`` from the base class, and the engine never passes a
+        ``verb`` argument to their ``supports``/``lower`` overrides.
+        """
+        return verb in getattr(strategy, "verbs", ("exists",))
+
+    @staticmethod
+    def _supports(strategy: Strategy, query: ConjunctiveQuery, verb: str) -> bool:
+        if verb == "exists":
+            # Single-argument call: safe for pre-verb supports() overrides.
+            return strategy.supports(query)
+        return QueryEngine._verb_declared(strategy, verb) and strategy.supports(
+            query, verb
+        )
+
+    def _resolve_key(
+        self, query: ConjunctiveQuery, strategy: str, verb: str = "exists"
+    ) -> str:
         """Resolve ``"auto"`` to a concrete *registry key*.
 
         The registry key (not ``Strategy.name``, which aliases may share)
         identifies the strategy in results and in plan-cache keys.
+        Unknown verbs fail fast here, so every entry point — including the
+        public :meth:`resolve_strategy` — rejects a typo'd verb instead of
+        silently resolving to the exists-only ω strategy.
         """
+        check_verb(verb)
         if strategy == "auto":
             if "yannakakis" in self.registry:
-                if self.registry.get("yannakakis").supports(query):
+                if self._supports(self.registry.get("yannakakis"), query, verb):
                     return "yannakakis"
+            if verb != "exists":
+                # The ω/MM engine is exists-only; fall back to a
+                # verb-capable registered strategy — the exhaustive WCOJ
+                # search first, the naive join next, then anything else
+                # that declares the verb (deterministic name order).
+                preferred = ["generic_join", "naive"]
+                candidates = preferred + [
+                    name for name in self.registry.names() if name not in preferred
+                ]
+                for name in candidates:
+                    if name not in self.registry:
+                        continue
+                    if self._supports(self.registry.get(name), query, verb):
+                        return name
+                # Auto was already tried — don't advise it in the error.
+                raise UnsupportedWorkload(
+                    "auto",
+                    verb,
+                    query,
+                    message=(
+                        f"no registered strategy can serve the {verb!r} verb "
+                        f"for query {query.name}; register a strategy whose "
+                        f"'verbs' includes {verb!r}"
+                    ),
+                )
             return "omega"
         return strategy
 
     def _resolve_supported(
-        self, query: ConjunctiveQuery, strategy: str
+        self, query: ConjunctiveQuery, strategy: str, verb: str = "exists"
     ) -> Tuple[str, Strategy]:
-        key = self._resolve_key(query, strategy)
+        check_verb(verb)
+        key = self._resolve_key(query, strategy, verb)
         resolved = self.registry.get(key)
-        if not resolved.supports(query):
+        if verb != "exists" and not self._verb_declared(resolved, verb):
+            raise UnsupportedWorkload(key, verb, query)
+        if not self._supports(resolved, query, verb):
             raise ValueError(
                 f"strategy {key!r} does not support query {query.name} "
                 f"({'acyclic' if query.is_acyclic() else 'cyclic'})"
@@ -274,7 +409,7 @@ class QueryEngine:
         return key, resolved
 
     # ------------------------------------------------------------------
-    # Asking
+    # Asking: the exists / count / select verbs
     # ------------------------------------------------------------------
     def ask(
         self,
@@ -284,8 +419,70 @@ class QueryEngine:
         omega: Optional[float] = None,
         plan: Optional[OmegaQueryPlan] = None,
     ) -> QueryResult:
-        """Answer one Boolean query, reusing a cached plan when possible."""
+        """Alias of :meth:`exists` (the historical entry point)."""
         return self._ask(query, strategy, omega=omega, plan=plan)
+
+    def exists(
+        self,
+        query: ConjunctiveQuery,
+        strategy: str = "auto",
+        *,
+        omega: Optional[float] = None,
+        plan: Optional[OmegaQueryPlan] = None,
+    ) -> QueryResult:
+        """Decide satisfiability, reusing a cached plan when possible.
+
+        The Boolean verb: ``result.answer`` is ``True`` iff the body has a
+        satisfying assignment.  Output variables are ignored — a query with
+        a non-empty head still *exists* iff its body does.
+        """
+        return self._ask(query, strategy, omega=omega, plan=plan)
+
+    def count(
+        self,
+        query: ConjunctiveQuery,
+        strategy: str = "auto",
+        *,
+        omega: Optional[float] = None,
+    ) -> QueryResult:
+        """Count the distinct output tuples of the query.
+
+        ``result.row_count`` is the number of distinct bindings of the
+        query's output variables over all satisfying assignments; for a
+        Boolean-head query it is ``1``/``0`` (satisfiable or not).  The
+        counting sink never materializes the projected output relation —
+        the columnar backend counts unique code rows with one
+        ``np.unique``.
+        """
+        return self._ask(query, strategy, omega=omega, verb="count")
+
+    def select(
+        self,
+        query: ConjunctiveQuery,
+        strategy: str = "auto",
+        *,
+        omega: Optional[float] = None,
+        limit: Optional[int] = None,
+        batch_size: Optional[int] = None,
+    ) -> ResultSet:
+        """Enumerate distinct output tuples as a lazy :class:`ResultSet`.
+
+        Nothing executes until rows are pulled (iteration, ``fetch(n)``,
+        ``to_rows()``); the tuples then stream in a deterministic sorted
+        order that is identical across strategies, storage backends and
+        ``parallelism`` settings.  ``limit`` truncates the stream to the
+        first ``min(limit, total)`` tuples of that order.
+        """
+        # Resolve and validate eagerly so bad queries/strategies fail at
+        # call time; execution itself stays deferred to the first pull.
+        self.database.validate_against(query)
+        self._resolve_supported(query, strategy, "select")
+
+        def run() -> QueryResult:
+            return self._ask(query, strategy, omega=omega, verb="select")
+
+        kwargs = {} if batch_size is None else {"batch_size": batch_size}
+        return ResultSet(tuple(query.output_variables), run, limit=limit, **kwargs)
 
     def _ask(
         self,
@@ -295,19 +492,28 @@ class QueryEngine:
         omega: Optional[float] = None,
         plan: Optional[OmegaQueryPlan] = None,
         dag_scheduling: bool = True,
+        verb: str = "exists",
     ) -> QueryResult:
-        """:meth:`ask`, with scheduler control for :meth:`ask_many` shards.
+        """The shared verb executor behind exists/count/select.
 
-        Batch shards already occupy the pool's DAG executor, so they run
-        their VMs without DAG scheduling (morsel-level parallelism stays
-        on) — nesting both would let shards starve each other.
+        ``dag_scheduling`` is the scheduler control for :meth:`ask_many`
+        shards: batch shards already occupy the pool's DAG executor, so
+        they run their VMs without DAG scheduling (morsel-level
+        parallelism stays on) — nesting both would let shards starve each
+        other.
         """
         start = time.perf_counter()
         omega_value = self.omega if omega is None else omega
         self.database.validate_against(query)
-        if plan is not None and strategy == "auto":
-            strategy = "omega"
-        strategy_key, resolved = self._resolve_supported(query, strategy)
+        if plan is not None:
+            if verb != "exists":
+                raise ValueError(
+                    "explicit plans apply to the 'exists' verb only; the "
+                    "ω-engine is a decision procedure"
+                )
+            if strategy == "auto":
+                strategy = "omega"
+        strategy_key, resolved = self._resolve_supported(query, strategy, verb)
         if plan is not None and not resolved.uses_plans:
             raise ValueError(
                 f"strategy {strategy_key!r} does not execute plans; an explicit "
@@ -321,7 +527,7 @@ class QueryEngine:
         program: Optional[Program] = None
         if plan is not None:
             plan_source = "given"
-        elif resolved.uses_plans:
+        elif resolved.uses_plans and verb == "exists":
             plan, planned, cache_hit, plan_seconds, program = self._obtain_plan(
                 strategy_key, resolved, query, omega_value
             )
@@ -329,7 +535,9 @@ class QueryEngine:
 
         execute_start = time.perf_counter()
         if program is None:
-            program = self._lower(resolved, query, omega_value, plan)
+            program = self._lower(resolved, query, omega_value, plan, verb)
+        row_count: Optional[int] = None
+        relation: Optional[Relation] = None
         if program is not None:
             # The unified path: run the lowered program on the shared VM
             # (per-operator traces, cross-query intermediate-result cache,
@@ -348,8 +556,18 @@ class QueryEngine:
                 plan=plan,
                 execution=ExecutionResult.from_vm(vm_result),
             )
+            if verb == "count":
+                row_count = vm_result.row_count
+            elif verb == "select":
+                relation = vm_result.relation
+                if relation is None:  # pragma: no cover - defensive
+                    raise RuntimeError(
+                        "select program produced no relation payload"
+                    )
+                row_count = len(relation)
         else:
-            # Legacy path for custom strategies without a lowering.
+            # Legacy path for custom strategies without a lowering
+            # (exists-only: _resolve_supported rejected other verbs).
             outcome = resolved.execute(query, self.database, omega_value, plan=plan)
         execute_seconds = time.perf_counter() - execute_start
         if outcome.planned is not None:
@@ -359,6 +577,9 @@ class QueryEngine:
             answer=outcome.answer,
             strategy=strategy_key,
             seconds=time.perf_counter() - start,
+            verb=verb,
+            output_variables=tuple(query.output_variables),
+            row_count=row_count,
             plan_seconds=plan_seconds,
             execute_seconds=execute_seconds,
             cache_hit=cache_hit,
@@ -367,6 +588,7 @@ class QueryEngine:
             planned=planned,
             execution=outcome.execution,
             program=program,
+            relation=relation,
         )
 
     def ask_many(
@@ -375,11 +597,18 @@ class QueryEngine:
         strategy: str = "auto",
         *,
         omega: Optional[float] = None,
+        verb: str = "exists",
     ) -> List[QueryResult]:
         """Answer a batch of queries, sharing plans across isomorphic shapes.
 
+        ``verb`` may be ``"exists"`` (the default) or ``"count"`` — every
+        query in the batch runs under that verb.  ``"select"`` batches are
+        not supported here: call :meth:`select` per query for lazy result
+        sets.
+
         Queries are grouped by (resolved strategy, canonical shape
-        signature); each group is planned at most once.  With the plan
+        signature, output signature, verb); each group is planned at most
+        once.  With the plan
         cache enabled the sharing happens through the cache (later group
         members report ``plan_source == "cache"``); with the cache disabled
         the representative's plan is renamed into each member's variables
@@ -391,19 +620,27 @@ class QueryEngine:
         keep morsel-level parallelism but skip DAG scheduling — the shards
         themselves occupy the DAG executor.
         """
+        if verb not in ("exists", "count"):
+            raise ValueError(
+                f"ask_many supports the 'exists' and 'count' verbs, not {verb!r}; "
+                "use engine.select(query) per query for enumeration"
+            )
         query_list = list(queries)
         results: List[Optional[QueryResult]] = [None] * len(query_list)
         groups: Dict[Tuple[str, Hashable], List[int]] = {}
         singletons: List[int] = []
         for position, query in enumerate(query_list):
-            strategy_key = self._resolve_key(query, strategy)
+            strategy_key = self._resolve_key(query, strategy, verb)
             resolved = self.registry.get(strategy_key)
-            if resolved.uses_plans:
+            if resolved.uses_plans and verb == "exists":
                 # Group like the cache keys: same shape AND same relation
                 # statistics, so a shared plan was costed for its members.
+                # The output slot is () for the same reason as the plan
+                # cache — exists ignores heads, so differently-headed
+                # isomorphic bodies share one group.
                 key = (
                     strategy_key,
-                    (query.shape_signature(), self._atom_sizes(query)),
+                    (query.shape_signature(), (), verb, self._atom_sizes(query)),
                 )
                 groups.setdefault(key, []).append(position)
             else:
@@ -419,6 +656,7 @@ class QueryEngine:
                     strategy,
                     omega=omega,
                     dag_scheduling=self._pool is None,
+                    verb=verb,
                 )
             inverse = {
                 canonical: variable
@@ -445,12 +683,12 @@ class QueryEngine:
 
         if self._pool is None:
             for position in singletons:
-                results[position] = self.ask(
-                    query_list[position], strategy, omega=omega
+                results[position] = self._ask(
+                    query_list[position], strategy, omega=omega, verb=verb
                 )
             for members in groups.values():
-                results[members[0]] = self.ask(
-                    query_list[members[0]], strategy, omega=omega
+                results[members[0]] = self._ask(
+                    query_list[members[0]], strategy, omega=omega, verb=verb
                 )
                 shared_canonical = shared_plan(members)
                 for position in members[1:]:
@@ -459,7 +697,8 @@ class QueryEngine:
             # Phase 1: singletons and group representatives in parallel.
             def shard(position: int) -> Tuple[int, QueryResult]:
                 return position, self._ask(
-                    query_list[position], strategy, omega=omega, dag_scheduling=False
+                    query_list[position], strategy, omega=omega,
+                    dag_scheduling=False, verb=verb,
                 )
 
             phase_one = singletons + [members[0] for members in groups.values()]
@@ -498,23 +737,27 @@ class QueryEngine:
         *,
         omega: Optional[float] = None,
         include_widths: bool = False,
+        verb: str = "exists",
     ) -> Explanation:
         """Report the chosen strategy and plan without executing the query.
 
-        For plan-based strategies the plan is obtained through the same
-        cache path as :meth:`ask` (so explaining a query warms the cache
-        for the ask that follows).  With ``include_widths=True`` the report
-        also carries the classical width measures ρ* and fhtw of the query
-        hypergraph.
+        ``verb`` selects which workload's program is shown — an
+        enumeration ``explain`` renders the full-reducer + top-down
+        enumeration DAG where the Boolean one shows the upward semijoin
+        pass.  For plan-based strategies the plan is obtained through the
+        same cache path as :meth:`ask` (so explaining a query warms the
+        cache for the ask that follows).  With ``include_widths=True`` the
+        report also carries the classical width measures ρ* and fhtw of
+        the query hypergraph.
         """
         omega_value = self.omega if omega is None else omega
         self.database.validate_against(query)
-        strategy_key, resolved = self._resolve_supported(query, strategy)
+        strategy_key, resolved = self._resolve_supported(query, strategy, verb)
         plan: Optional[OmegaQueryPlan] = None
         planned: Optional[PlannedQuery] = None
         cache_hit = False
         program: Optional[Program] = None
-        if resolved.uses_plans:
+        if resolved.uses_plans and verb == "exists":
             plan, planned, cache_hit, _, program = self._obtain_plan(
                 strategy_key, resolved, query, omega_value
             )
@@ -533,13 +776,15 @@ class QueryEngine:
                 hypergraph
             ).value
         if program is None:
-            program = self._lower(resolved, query, omega_value, plan)
+            program = self._lower(resolved, query, omega_value, plan, verb)
         return Explanation(
             query=query,
             strategy=strategy_key,
             is_acyclic=query.is_acyclic(),
             num_variables=len(query.variables),
             num_atoms=len(query.atoms),
+            verb=verb,
+            output_variables=tuple(query.output_variables),
             cache_hit=cache_hit,
             plan=plan,
             planned=planned,
@@ -553,27 +798,41 @@ class QueryEngine:
         strategies: Optional[Sequence[str]] = None,
         *,
         omega: Optional[float] = None,
+        verb: str = "exists",
     ) -> Dict[str, QueryResult]:
         """Run several strategies on the same query; answers must agree.
 
-        Raises :class:`StrategyDisagreement` (carrying the per-strategy
-        answers) if any two strategies return different Boolean answers.
+        The compared value follows the verb — Booleans for ``exists``,
+        distinct-output counts for ``count``, the sorted output tuples for
+        ``select``.  Raises :class:`StrategyDisagreement` (carrying the
+        per-strategy answers) on any mismatch.
         """
+        check_verb(verb)
         if strategies is None:
-            names = ["naive", "generic_join", "omega"]
-            if (
-                "yannakakis" in self.registry
-                and self.registry.get("yannakakis").supports(query)
+            names = ["naive", "generic_join"]
+            if verb == "exists":
+                names.append("omega")
+            if "yannakakis" in self.registry and self._supports(
+                self.registry.get("yannakakis"), query, verb
             ):
                 names.append("yannakakis")
         else:
             names = list(strategies)
-        results = {
-            name: self.ask(query, strategy=name, omega=omega) for name in names
-        }
-        answers = {name: result.answer for name, result in results.items()}
+        results: Dict[str, QueryResult] = {}
+        answers: Dict[str, object] = {}
+        for name in names:
+            if verb == "select":
+                result_set = self.select(query, strategy=name, omega=omega)
+                answers[name] = tuple(result_set.to_rows())
+                results[name] = result_set.result
+            else:
+                result = self._ask(query, strategy=name, omega=omega, verb=verb)
+                results[name] = result
+                answers[name] = (
+                    result.answer if verb == "exists" else result.row_count
+                )
         if len(set(answers.values())) > 1:
-            raise StrategyDisagreement(query, answers, results)
+            raise StrategyDisagreement(query, answers, results, verb=verb)
         return results
 
     # ------------------------------------------------------------------
@@ -619,9 +878,22 @@ class QueryEngine:
         query: ConjunctiveQuery,
         omega: float,
         plan: Optional[OmegaQueryPlan],
+        verb: str = "exists",
     ) -> Optional[Program]:
-        """Lower a strategy to an optimized program (``None`` if it cannot)."""
-        program = strategy.lower(query, self.database, omega, plan=plan)
+        """Lower a strategy to an optimized program (``None`` if it cannot).
+
+        The ``verb`` keyword is only forwarded for non-``exists`` verbs, so
+        pre-verb custom strategies overriding :meth:`Strategy.lower` with
+        the old signature keep working on the Boolean path.
+        """
+        if verb == "exists":
+            program = strategy.lower(query, self.database, omega, plan=plan)
+        else:
+            program = strategy.lower(
+                query, self.database, omega, plan=plan, verb=verb
+            )
+            if program is None:
+                raise UnsupportedWorkload(strategy.name, verb, query)
         if program is None:
             return None
         program, _ = optimize_program(program)
@@ -664,9 +936,16 @@ class QueryEngine:
         the program re-lowered.
         """
         mapping = query.canonical_mapping()
+        # The shape component carries the free-variable positions and the
+        # verb alongside the body signature, so Boolean, counting and
+        # enumeration plans over the same body can never collide.  Plan
+        # caching only serves the exists verb (the exists-only ω strategy),
+        # and exists ignores the query head entirely — so the output slot
+        # is normalized to () here, letting Q() and Q(X) over one body
+        # share a single cached plan instead of fragmenting the cache.
         key: PlanCacheKey = (
             strategy_key,
-            (query.shape_signature(), self._atom_sizes(query)),
+            (query.shape_signature(), (), "exists", self._atom_sizes(query)),
             omega,
             self.database.statistics_fingerprint(),
         )

@@ -4,13 +4,51 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, Mapping
 
+from ..db.query import QueryParseError
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..db.query import ConjunctiveQuery
     from .engine import QueryResult
 
+__all__ = [
+    "EngineError",
+    "QueryParseError",
+    "StrategyDisagreement",
+    "UnknownStrategyError",
+    "UnsupportedWorkload",
+]
+
 
 class EngineError(Exception):
     """Base class for query-engine API errors."""
+
+
+class UnsupportedWorkload(EngineError, NotImplementedError):
+    """A strategy cannot serve the requested query verb.
+
+    The ω/MM strategies are decision procedures: they answer ``exists``
+    but have no counting or enumeration semantics, so asking them for
+    ``count``/``select`` raises this error.  ``strategy="auto"`` falls
+    back to a verb-capable strategy from the registry instead, raising
+    only when no registered strategy can serve the verb at all.
+    """
+
+    def __init__(
+        self,
+        strategy: str,
+        verb: str,
+        query: "ConjunctiveQuery",
+        message: "str | None" = None,
+    ) -> None:
+        self.strategy = strategy
+        self.verb = verb
+        self.query = query
+        super().__init__(
+            message
+            or f"strategy {strategy!r} does not support the {verb!r} verb "
+            f"(query {query.name}); use strategy='auto' or a strategy whose "
+            f"'verbs' includes {verb!r}"
+        )
 
 
 class UnknownStrategyError(EngineError, ValueError):
@@ -29,23 +67,27 @@ class UnknownStrategyError(EngineError, ValueError):
 
 
 class StrategyDisagreement(EngineError, AssertionError):
-    """Two strategies returned different Boolean answers for one query.
+    """Two strategies returned different answers for one query.
 
-    Carries the per-strategy answers (and full results when available) so
-    cross-validation harnesses can report exactly who disagreed.
-    Subclasses :class:`AssertionError` for backwards compatibility with the
-    old ``compare_strategies`` behaviour.
+    Carries the per-strategy answers (Booleans for ``exists``, counts for
+    ``count``, sorted row tuples for ``select``) and the full results when
+    available, so cross-validation harnesses can report exactly who
+    disagreed.  Subclasses :class:`AssertionError` for backwards
+    compatibility with the old ``compare_strategies`` behaviour.
     """
 
     def __init__(
         self,
         query: "ConjunctiveQuery",
-        answers: Mapping[str, bool],
+        answers: Mapping[str, object],
         results: Mapping[str, "QueryResult"] | None = None,
+        verb: str = "exists",
     ) -> None:
         self.query = query
-        self.answers: Dict[str, bool] = dict(answers)
+        self.answers: Dict[str, object] = dict(answers)
         self.results = dict(results) if results is not None else {}
+        self.verb = verb
+        what = "Boolean answer" if verb == "exists" else f"{verb} answer"
         super().__init__(
-            f"strategies disagree on the Boolean answer of {query}: {self.answers}"
+            f"strategies disagree on the {what} of {query}: {self.answers}"
         )

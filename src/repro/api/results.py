@@ -1,0 +1,239 @@
+"""Lazy, deterministically-ordered result sets for the ``select`` verb.
+
+:meth:`repro.api.QueryEngine.select` returns a :class:`ResultSet` without
+executing anything: the lowered enumeration program runs on the engine's
+virtual machine the first time rows are pulled (iteration, :meth:`fetch`,
+:meth:`to_rows`, ``len``), and the distinct output tuples then stream out
+in *deterministic order* — natural tuple order when the values support
+it, a type-aware total order otherwise — in morsel-sized batches.  The
+order depends only on the output tuples themselves, so it is identical
+across storage backends, strategies, and ``parallelism`` settings, and a
+``limit`` takes exactly the first ``min(limit, total)`` tuples of that
+order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import QueryResult
+
+#: How many rows one streaming batch carries (mirrors the VM's default
+#: morsel granularity; overridable per result set).
+DEFAULT_BATCH_SIZE = 8192
+
+Row = Tuple[object, ...]
+
+
+class _Ordered:
+    """A comparison wrapper giving any value a total order.
+
+    Natural ``<`` is used when the values support it; values of the same
+    type that do not (complex numbers, arbitrary objects) fall back to
+    comparing their ``repr`` — deterministic, which is all the result
+    order promises.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: object) -> None:
+        self.value = value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Ordered) and self.value == other.value
+
+    def __lt__(self, other: "_Ordered") -> bool:
+        try:
+            return self.value < other.value  # type: ignore[operator]
+        except TypeError:
+            return repr(self.value) < repr(other.value)
+
+    def __hash__(self) -> int:  # pragma: no cover - not used as a dict key
+        return hash(self.value)
+
+
+def row_order_key(row: Sequence[object]) -> Tuple:
+    """A total-order sort key over heterogeneous value tuples.
+
+    The fallback comparator behind :func:`_ordered_rows`, used when
+    natural tuple comparison raises: values are compared within their
+    type first (type name, then value), so mixed-type columns — ints next
+    to strings — sort deterministically instead of raising ``TypeError``;
+    same-type values without a natural order fall back to their ``repr``.
+    Booleans are folded into ints the way Python's own ordering treats
+    them.
+    """
+    key = []
+    for value in row:
+        kind = type(value)
+        if kind is bool:
+            kind = int
+        if kind is float:
+            # NaN is not comparable to anything (not even itself), which
+            # would silently break the total order; canonicalize it to a
+            # bucket sorting after every real float.  Distinct rows that
+            # differ only in NaN identity tie — their relative order is
+            # unspecified (they are indistinguishable by value).
+            if value != value:
+                key.append(("float", _Ordered((1, 0.0))))
+            else:
+                key.append(("float", _Ordered((0, value))))
+            continue
+        key.append((kind.__name__, _Ordered(value)))
+    return tuple(key)
+
+
+#: Types whose natural ordering matches :func:`row_order_key` when a
+#: column is type-uniform (bool folds into int in both orders).
+_NATURAL_KINDS = (int, float, str)
+
+
+def _uniform_natural_order(rows) -> bool:
+    """Whether every column holds one natural-ordered type throughout.
+
+    When true, plain tuple comparison is total *and* ranks rows exactly
+    like :func:`row_order_key` (equal type names drop out of every
+    comparison), so the cheap natural sort may be used.  The decision is a
+    function of the value types alone — never of iteration order or of
+    which pairs a particular sort happens to compare — keeping the chosen
+    order deterministic across backends, strategies and limits.
+    """
+    kinds: Optional[List[type]] = None
+    for row in rows:
+        if kinds is None:
+            kinds = [int if type(v) is bool else type(v) for v in row]
+            if any(kind not in _NATURAL_KINDS for kind in kinds):
+                return False
+            if any(value != value for value in row):  # NaN: no total order
+                return False
+        else:
+            for value, kind in zip(row, kinds):
+                value_kind = type(value)
+                if value_kind is bool:
+                    value_kind = int
+                if value_kind is not kind:
+                    return False
+                if value != value:  # NaN anywhere forces the keyed sort
+                    return False
+    return True
+
+
+def _ordered_rows(rows, limit: Optional[int]) -> List[Row]:
+    """The deterministic order of an output-tuple set (limited prefix).
+
+    Natural tuple comparison is ~20x cheaper than the keyed sort (no
+    per-value wrapper allocation), so it is used whenever a type-uniformity
+    scan proves it equivalent to :func:`row_order_key`; mixed-type or
+    unorderable columns take the keyed sort.  The comparator choice
+    depends only on the tuple set, so the same set orders the same way
+    everywhere, and the bounded ``heapq.nsmallest`` path (O(n log k))
+    returns exactly the first-``k`` prefix of the corresponding full sort.
+    """
+    if _uniform_natural_order(rows):
+        if limit is not None:
+            return heapq.nsmallest(limit, rows)
+        return sorted(rows)
+    if limit is not None:
+        return heapq.nsmallest(limit, rows, key=row_order_key)
+    return sorted(rows, key=row_order_key)
+
+
+class ResultSet:
+    """The streaming handle returned by :meth:`~repro.api.QueryEngine.select`.
+
+    Iterating (or calling :meth:`fetch` / :meth:`to_rows` / ``len``) runs
+    the query once and then serves the distinct output tuples in
+    deterministic sorted order; ``limit`` truncates the stream to the
+    first ``min(limit, total)`` tuples.  :attr:`result` exposes the full
+    :class:`~repro.api.QueryResult` (timings, traces, cache provenance)
+    of the underlying run.
+    """
+
+    def __init__(
+        self,
+        columns: Tuple[str, ...],
+        run: Callable[[], "QueryResult"],
+        limit: Optional[int] = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> None:
+        if limit is not None and limit < 0:
+            raise ValueError("limit must be non-negative")
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        self.columns = tuple(columns)
+        self.limit = limit
+        self.batch_size = batch_size
+        self._run = run
+        self._result: Optional["QueryResult"] = None
+        self._rows: Optional[List[Row]] = None
+        self._cursor = 0
+
+    # ------------------------------------------------------------------
+    def _materialize(self) -> List[Row]:
+        """Execute (once) and fix the deterministic output order."""
+        if self._rows is None:
+            result = self._run()
+            self._result = result
+            relation = result.relation
+            self._rows = (
+                [] if relation is None else _ordered_rows(relation.rows, self.limit)
+            )
+        return self._rows
+
+    @property
+    def executed(self) -> bool:
+        """Whether the underlying query has run yet."""
+        return self._rows is not None
+
+    @property
+    def result(self) -> "QueryResult":
+        """The run's :class:`~repro.api.QueryResult` (executes if needed)."""
+        self._materialize()
+        assert self._result is not None
+        return self._result
+
+    # ------------------------------------------------------------------
+    # Streaming access
+    # ------------------------------------------------------------------
+    def batches(self) -> Iterator[List[Row]]:
+        """The ordered rows in batches of at most :attr:`batch_size`."""
+        rows = self._materialize()
+        for start in range(0, len(rows), self.batch_size):
+            yield rows[start : start + self.batch_size]
+
+    def __iter__(self) -> Iterator[Row]:
+        for batch in self.batches():
+            yield from batch
+
+    def fetch(self, n: int) -> List[Row]:
+        """The next ``n`` rows of the stream (cursor-based; may be short).
+
+        Returns an empty list once the stream is exhausted.  The cursor is
+        independent of :meth:`__iter__`/:meth:`to_rows`, which always start
+        from the beginning.
+        """
+        if n < 0:
+            raise ValueError("fetch size must be non-negative")
+        rows = self._materialize()
+        chunk = rows[self._cursor : self._cursor + n]
+        self._cursor += len(chunk)
+        return chunk
+
+    def rewind(self) -> "ResultSet":
+        """Reset the :meth:`fetch` cursor to the first row."""
+        self._cursor = 0
+        return self
+
+    def to_rows(self) -> List[Row]:
+        """All (limited) rows as a list, in the deterministic order."""
+        return list(self._materialize())
+
+    def __len__(self) -> int:
+        return len(self._materialize())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"{len(self._rows)} rows" if self._rows is not None else "pending"
+        limit = f", limit={self.limit}" if self.limit is not None else ""
+        return f"ResultSet(({', '.join(self.columns)}){limit}; {state})"

@@ -34,6 +34,7 @@ from ..core.plan import OmegaQueryPlan
 from ..core.planner import PlannedQuery, plan_query
 from ..exec.ir import Program
 from ..exec.lower import (
+    VERBS,
     lower_generic_join,
     lower_naive,
     lower_plan,
@@ -41,7 +42,7 @@ from ..exec.lower import (
 )
 from ..exec.optimize import optimize_program
 from ..exec.vm import VirtualMachine
-from .errors import UnknownStrategyError
+from .errors import UnknownStrategyError, UnsupportedWorkload
 
 
 @dataclass
@@ -55,23 +56,34 @@ class StrategyOutcome:
 
 
 class Strategy:
-    """One way of answering a Boolean conjunctive query.
+    """One way of answering a conjunctive query.
 
     Subclasses set :attr:`name`, optionally restrict :meth:`supports`, and
     implement :meth:`execute`.  Plan-based strategies additionally set
     ``uses_plans = True`` and implement :meth:`plan`; the engine calls
     :meth:`plan` (through its cache) and passes the result to
     :meth:`execute`.
+
+    :attr:`verbs` declares which query verbs the strategy serves.  The
+    default — ``("exists",)`` — keeps pre-verb custom strategies working
+    unchanged: the engine only ever passes a ``verb`` argument to
+    :meth:`supports`/:meth:`lower` for strategies that opted into that
+    verb, so old single-argument overrides are never called with it.
+    Strategies that can count/enumerate extend ``verbs`` and accept the
+    ``verb`` keyword in both methods.
     """
 
     #: Registry key; subclasses must override.
     name: str = ""
     #: Whether the engine should obtain (and cache) a plan for this strategy.
     uses_plans: bool = False
+    #: The query verbs this strategy can serve (exists-only by default;
+    #: the engine raises :class:`UnsupportedWorkload` for anything else).
+    verbs: Tuple[str, ...] = ("exists",)
 
-    def supports(self, query: ConjunctiveQuery) -> bool:
-        """Whether this strategy can answer the query at all."""
-        return True
+    def supports(self, query: ConjunctiveQuery, verb: str = "exists") -> bool:
+        """Whether this strategy can answer the query for the given verb."""
+        return verb in self.verbs
 
     def plan(
         self, query: ConjunctiveQuery, database: Database, omega: float
@@ -85,15 +97,19 @@ class Strategy:
         database: Database,
         omega: float,
         plan: Optional[OmegaQueryPlan] = None,
+        verb: str = "exists",
     ) -> Optional[Program]:
         """Lower the strategy to a physical-operator program, or ``None``.
 
         Strategies that return a :class:`~repro.exec.ir.Program` execute on
         the engine's shared virtual machine (one instrumented executor,
         optimizer passes, cross-query result cache).  The default returns
-        ``None``, which makes the engine fall back to :meth:`execute` —
-        custom strategies keep working unchanged.
+        ``None`` for ``exists`` — which makes the engine fall back to
+        :meth:`execute`, so custom strategies keep working unchanged — and
+        raises :class:`UnsupportedWorkload` for any other verb.
         """
+        if verb != "exists":
+            raise UnsupportedWorkload(self.name, verb, query)
         return None
 
     def execute(
@@ -236,41 +252,54 @@ def available_strategies(registry: Optional[StrategyRegistry] = None) -> Tuple[s
 # ----------------------------------------------------------------------
 @register_strategy
 class NaiveStrategy(Strategy):
-    """Materialise the full pairwise join and test for emptiness."""
+    """Materialise the full pairwise join; test, count or enumerate it."""
 
     name = "naive"
+    verbs = VERBS
 
-    def lower(self, query, database, omega, plan=None):
-        return lower_naive(query)
+    def lower(self, query, database, omega, plan=None, verb="exists"):
+        return lower_naive(query, verb=verb)
 
 
 @register_strategy
 class GenericJoinStrategy(Strategy):
-    """Worst-case optimal join with early termination."""
+    """Worst-case optimal join: early termination for ``exists``, the
+    exhaustive search (projected onto the outputs) for ``count``/``select``."""
 
     name = "generic_join"
+    verbs = VERBS
 
-    def lower(self, query, database, omega, plan=None):
+    def lower(self, query, database, omega, plan=None, verb="exists"):
         order = default_variable_order(query, database)
-        return lower_generic_join(query, order, find_all=False, boolean=True)
+        return lower_generic_join(
+            query, order, find_all=False, boolean=True, verb=verb
+        )
 
 
 @register_strategy
 class YannakakisStrategy(Strategy):
-    """Full semijoin reduction; only applicable to α-acyclic queries."""
+    """Semijoin reduction (α-acyclic only): the upward pass for ``exists``,
+    the full reducer plus top-down enumeration for ``count``/``select``."""
 
     name = "yannakakis"
+    verbs = VERBS
 
-    def supports(self, query):
-        return query.is_acyclic()
+    def supports(self, query, verb="exists"):
+        return verb in self.verbs and query.is_acyclic()
 
-    def lower(self, query, database, omega, plan=None):
-        return lower_yannakakis(query)
+    def lower(self, query, database, omega, plan=None, verb="exists"):
+        return lower_yannakakis(query, verb=verb)
 
 
 @register_strategy
 class OmegaStrategy(Strategy):
-    """The paper's engine: cost-based ω-query planning plus execution."""
+    """The paper's engine: cost-based ω-query planning plus execution.
+
+    A decision procedure — the MM eliminations answer non-emptiness, not
+    counting or enumeration — so it stays exists-only and raises
+    :class:`UnsupportedWorkload` for the other verbs (``auto`` resolution
+    falls back to a verb-capable strategy instead of raising).
+    """
 
     name = "omega"
     uses_plans = True
@@ -278,7 +307,9 @@ class OmegaStrategy(Strategy):
     def plan(self, query, database, omega):
         return plan_query(query, database, omega)
 
-    def lower(self, query, database, omega, plan=None):
+    def lower(self, query, database, omega, plan=None, verb="exists"):
+        if verb != "exists":
+            raise UnsupportedWorkload(self.name, verb, query)
         if plan is None:
             plan = self.plan(query, database, omega).plan
         return lower_plan(query, database, plan).program

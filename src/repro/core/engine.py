@@ -74,9 +74,10 @@ def answer_boolean_query(
 
     .. deprecated:: 1.2
         Construct a :class:`repro.api.QueryEngine` and call
-        :meth:`~repro.api.QueryEngine.ask` instead; a reused engine caches
-        plans and shares intermediate results across queries, which this
-        one-shot wrapper cannot.
+        :meth:`~repro.api.QueryEngine.exists` (of which ``ask`` is a thin
+        alias) instead; a reused engine caches plans, shares intermediate
+        results across queries, and also serves the ``count``/``select``
+        output verbs, none of which this one-shot Boolean wrapper can.
     """
     from ..api.engine import QueryEngine
 

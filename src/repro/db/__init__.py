@@ -33,7 +33,13 @@ from .joins import (
     naive_join,
     yannakakis_boolean,
 )
-from .query import Atom, ConjunctiveQuery, parse_query, query_from_hypergraph
+from .query import (
+    Atom,
+    ConjunctiveQuery,
+    QueryParseError,
+    parse_query,
+    query_from_hypergraph,
+)
 from .relation import Relation
 
 __all__ = [
@@ -42,6 +48,7 @@ __all__ = [
     "ColumnarBackend",
     "ConjunctiveQuery",
     "Database",
+    "QueryParseError",
     "Relation",
     "RelationBackend",
     "RelationStats",

@@ -245,6 +245,24 @@ class RelationBackend:
     def distinct_count(self, position: int) -> int:
         raise NotImplementedError
 
+    def count_distinct(self, positions: Sequence[int]) -> int:
+        """The number of distinct projections onto ``positions``.
+
+        The counting kernel behind the engine's ``count`` verb: the result
+        is computed without materializing the projected relation.  An empty
+        ``positions`` counts the nullary projection — ``1`` when the
+        relation is nonempty, else ``0``.  The generic implementation
+        hashes projected tuples; :class:`ColumnarBackend` overrides it with
+        one ``np.unique`` over the stacked code arrays.
+        """
+        if not positions:
+            return 1 if len(self) else 0
+        if len(positions) == 1:
+            return self.distinct_count(positions[0])
+        return len(
+            {tuple(row[p] for p in positions) for row in self.iter_rows()}
+        )
+
     def distinct_values(self, position: int) -> FrozenSet[Value]:
         """The active domain of one column (the distinct-value index)."""
         raise NotImplementedError
@@ -682,6 +700,24 @@ class ColumnarBackend(RelationBackend):
                 tuple(self.distinct_count(p) for p in range(len(self.schema))),
             )
             self._cache["fingerprint"] = cached
+        return cached
+
+    def count_distinct(self, positions: Sequence[int]) -> int:
+        """Distinct projections counted on the code arrays (one np.unique).
+
+        Cached alongside the distinct/degree statistics: the key space is
+        the relation's own column subsets, which is small and fixed.
+        """
+        if not positions:
+            return 1 if self._n else 0
+        if len(positions) == 1:
+            return len(self._columns[positions[0]].distinct_codes)
+        key = ("ndistinct", tuple(positions))
+        cached = self._cache.get(key)
+        if cached is None:
+            stacked = np.stack(self._codes(positions), axis=1)
+            cached = len(np.unique(stacked, axis=0))
+            self._cache[key] = cached
         return cached
 
     # -- key helpers ----------------------------------------------------

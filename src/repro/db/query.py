@@ -1,10 +1,12 @@
-"""Boolean conjunctive queries and a small Datalog-style parser.
+"""Conjunctive queries (Boolean and output-producing) and a Datalog parser.
 
-A Boolean conjunctive query (Eq. (1)) is a conjunction of atoms
-``R(X, Y, ...)`` asking whether a satisfying assignment to all variables
-exists.  The query object carries its hypergraph (used by the width
-machinery and the planner) and knows how to validate itself against a
-database.
+A conjunctive query is a conjunction of atoms ``R(X, Y, ...)`` plus a tuple
+of *free* (output) variables declared in the rule head.  An empty head —
+``Q() :- ...`` — is the Boolean case of Eq. (1), asking whether a
+satisfying assignment exists; a non-empty head ``Q(X, Z) :- ...`` asks for
+the distinct output tuples (the engine's ``count`` and ``select`` verbs).
+The query object carries its hypergraph (used by the width machinery and
+the planner) and knows how to validate itself against a database.
 """
 
 from __future__ import annotations
@@ -55,10 +57,18 @@ class Atom:
 
 @dataclass(frozen=True)
 class ConjunctiveQuery:
-    """A Boolean conjunctive query: a named conjunction of atoms."""
+    """A conjunctive query: a named conjunction of atoms plus free variables.
+
+    ``output_variables`` is the tuple of *free* variables from the rule
+    head, in head order.  Empty (the default) means the Boolean query of
+    Eq. (1); non-empty heads make the query output-producing — the engine's
+    ``count`` and ``select`` verbs report/enumerate the distinct bindings
+    of these variables over all satisfying assignments.
+    """
 
     atoms: Tuple[Atom, ...]
     name: str = "Q"
+    output_variables: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.atoms:
@@ -69,8 +79,27 @@ class ConjunctiveQuery:
                 "atoms must use distinct relation names (self-joins should use "
                 "renamed copies of the relation in the database)"
             )
+        outputs = tuple(self.output_variables)
+        object.__setattr__(self, "output_variables", outputs)
+        if len(set(outputs)) != len(outputs):
+            raise ValueError(f"repeated output variables: {outputs}")
+        body = self.variables
+        unknown = [v for v in outputs if v not in body]
+        if unknown:
+            raise ValueError(
+                f"output variables {unknown} do not appear in the query body"
+            )
 
     # ------------------------------------------------------------------
+    @property
+    def is_boolean(self) -> bool:
+        """Whether the query has an empty head (no output variables)."""
+        return not self.output_variables
+
+    def with_outputs(self, variables: Sequence[str]) -> "ConjunctiveQuery":
+        """The same body under a new head (output-variable tuple)."""
+        return ConjunctiveQuery(self.atoms, self.name, tuple(variables))
+
     @property
     def variables(self) -> FrozenSet[str]:
         result: set = set()
@@ -131,9 +160,25 @@ class ConjunctiveQuery:
             )
         )
 
+    def output_signature(self) -> Tuple[str, ...]:
+        """The output variables in canonical name space (head order kept).
+
+        Two queries sharing this *and* :meth:`shape_signature` are
+        isomorphic as output queries (same body shape and the same
+        free-variable positions under one witnessing renaming), so a
+        cached counting/enumeration program for one would answer the other
+        after a rename.  Note the engine's plan cache currently normalizes
+        its output slot to ``()`` — only the exists-only ω strategy plans,
+        and exists ignores heads — so today this signature serves
+        verb-aware cache keys built by callers, not the plan cache itself.
+        """
+        mapping = self.canonical_mapping()
+        return tuple(mapping[v] for v in self.output_variables)
+
     def __str__(self) -> str:
         body = ", ".join(str(atom) for atom in self.atoms)
-        return f"{self.name}() :- {body}"
+        head = ", ".join(self.output_variables)
+        return f"{self.name}({head}) :- {body}"
 
 
 # ----------------------------------------------------------------------
@@ -226,48 +271,132 @@ _ATOM_PATTERN = re.compile(r"([A-Za-z_][A-Za-z0-9_']*)\s*\(([^()]*)\)")
 _VARIABLE_PATTERN = re.compile(r"[A-Za-z_][A-Za-z0-9_']*")
 
 
+class QueryParseError(ValueError):
+    """A query string could not be parsed.
+
+    Besides the human-readable message, the error pinpoints the problem:
+
+    * ``source`` — the full query text handed to :func:`parse_query`;
+    * ``fragment`` — the offending piece of that text;
+    * ``span`` — the ``(start, end)`` character range of the fragment in
+      ``source``, so long queries can be annotated precisely.
+    """
+
+    def __init__(self, message: str, source: str, span: Tuple[int, int]) -> None:
+        start, end = span
+        start = max(0, min(start, len(source)))
+        end = max(start, min(end, len(source)))
+        self.source = source
+        self.span = (start, end)
+        self.fragment = source[start:end]
+        super().__init__(
+            f"{message} (at characters {start}..{end} of {source!r}: "
+            f"{self.fragment!r})"
+        )
+
+
+def _fragment_span(source: str, start: int, end: int) -> Tuple[int, int]:
+    """Trim a raw span to its non-whitespace core (keeps empty spans)."""
+    fragment = source[start:end]
+    stripped = fragment.strip()
+    if stripped:
+        offset = fragment.index(stripped[0])
+        return start + offset, start + offset + len(stripped)
+    return start, end
+
+
+def _parse_head(
+    text: str, head: str, default_name: Optional[str], strict: bool
+) -> Tuple[Optional[str], Tuple[str, ...]]:
+    """The head's query name and output-variable tuple.
+
+    In strict mode the head must be empty, a bare identifier (a name-only
+    head, the historical form) or exactly one ``Name(vars...)`` atom —
+    anything else (a second head atom, trailing junk) raises
+    :class:`QueryParseError`, the same contract the body enforces, since a
+    silently dropped head fragment would silently change the output
+    semantics of ``count``/``select``.
+    """
+    head_match = _ATOM_PATTERN.search(head)
+    if head_match is None:
+        name = head.strip() or None
+        if strict and name is not None and not _VARIABLE_PATTERN.fullmatch(name):
+            raise QueryParseError(
+                f"malformed query head {name!r} (expected a name, 'Name(...)' "
+                "or nothing); use strict=False to ignore",
+                text,
+                _fragment_span(text, 0, len(head)),
+            )
+        return default_name or name, ()
+    name = default_name or head_match.group(1)
+    raw = head_match.group(2)
+    if strict:
+        before = head[: head_match.start()]
+        after = head[head_match.end():]
+        if before.strip() or after.strip():
+            junk_start, junk_end = (
+                (0, head_match.start()) if before.strip() else (head_match.end(), len(head))
+            )
+            raise QueryParseError(
+                "malformed query head: unparsed text "
+                f"{(before.strip() or after.strip())!r} around the head atom; "
+                "use strict=False to ignore",
+                text,
+                _fragment_span(text, junk_start, junk_end),
+            )
+        variables = [v.strip() for v in raw.split(",")] if raw.strip() else []
+        for variable in variables:
+            if not _VARIABLE_PATTERN.fullmatch(variable):
+                raise QueryParseError(
+                    f"malformed variable {(variable or '<empty>')!r} in the "
+                    "query head",
+                    text,
+                    _fragment_span(text, head_match.start(2), head_match.end(2)),
+                )
+    else:
+        variables = [v.strip() for v in raw.split(",") if v.strip()]
+    return name, tuple(variables)
+
+
 def parse_query(
     text: str, name: Optional[str] = None, *, strict: bool = True
 ) -> ConjunctiveQuery:
-    """Parse a Datalog-style Boolean query.
+    """Parse a Datalog-style conjunctive query.
 
-    Accepts either a full rule ``Q() :- R(X, Y), S(Y, Z)`` or just the body
-    ``R(X, Y), S(Y, Z)``.  Relation names and variables are identifiers
-    (primes allowed, e.g. ``Z'``).
+    Accepts a full rule — Boolean ``Q() :- R(X, Y), S(Y, Z)`` or
+    output-producing ``Q(X, Z) :- R(X, Y), S(Y, Z)``, whose head variables
+    become :attr:`ConjunctiveQuery.output_variables` (each must appear in
+    the body) — or just the body ``R(X, Y), S(Y, Z)``.  Relation names and
+    variables are identifiers (primes allowed, e.g. ``Z'``).
 
     In strict mode (the default) any non-whitespace text in the body that
     is not part of a well-formed atom — an unbalanced parenthesis, a
     dangling identifier, a stray token between atoms — raises
-    :class:`ValueError` instead of being silently dropped, and every
-    variable must be a single identifier.  Pass ``strict=False`` for the
-    historical lenient behaviour.
+    :class:`QueryParseError` (a :class:`ValueError` carrying the offending
+    source fragment and its character span) instead of being silently
+    dropped, and every variable must be a single identifier.  Pass
+    ``strict=False`` for the historical lenient behaviour.
 
-    >>> q = parse_query("Q() :- R(X, Y), S(Y, Z), T(X, Z)")
-    >>> sorted(q.variables)
-    ['X', 'Y', 'Z']
+    >>> q = parse_query("Q(X, Z) :- R(X, Y), S(Y, Z)")
+    >>> q.output_variables
+    ('X', 'Z')
     """
     head_name = name
+    outputs: Tuple[str, ...] = ()
     body = text
+    offset = 0
     if ":-" in text:
         head, body = text.split(":-", 1)
-        head_match = _ATOM_PATTERN.search(head)
-        if head_match:
-            head_name = head_name or head_match.group(1)
-            head_vars = head_match.group(2).strip()
-            if head_vars:
-                raise ValueError(
-                    "only Boolean queries (empty head) are supported; got "
-                    f"head variables {head_vars!r}"
-                )
-        elif head.strip():
-            head_name = head_name or head.strip()
+        offset = len(head) + 2
+        head_name, outputs = _parse_head(text, head, head_name, strict)
     atoms = []
     cursor = 0
     first = True
     for match in _ATOM_PATTERN.finditer(body):
         if strict:
             _require_atom_separator(
-                body, cursor, match.start(), "leading" if first else "between"
+                text, body, offset, cursor, match.start(),
+                "leading" if first else "between",
             )
         first = False
         cursor = match.end()
@@ -278,19 +407,37 @@ def parse_query(
             for variable in variables:
                 if not _VARIABLE_PATTERN.fullmatch(variable):
                     shown = variable if variable else "<empty>"
-                    raise ValueError(
+                    raise QueryParseError(
                         f"malformed variable {shown!r} in atom "
                         f"{relation}({atom_body.strip()}); "
-                        "use strict=False to ignore"
+                        "use strict=False to ignore",
+                        text,
+                        _fragment_span(
+                            text, offset + match.start(2), offset + match.end(2)
+                        ),
                     )
         else:
             variables = [v.strip() for v in atom_body.split(",") if v.strip()]
-        atoms.append(Atom(relation, tuple(variables)))
+        try:
+            atoms.append(Atom(relation, tuple(variables)))
+        except ValueError as error:
+            raise QueryParseError(
+                str(error),
+                text,
+                _fragment_span(text, offset + match.start(), offset + match.end()),
+            ) from None
     if strict:
-        _require_atom_separator(body, cursor, len(body), "trailing")
+        _require_atom_separator(text, body, offset, cursor, len(body), "trailing")
     if not atoms:
-        raise ValueError(f"could not parse any atoms from {text!r}")
-    return ConjunctiveQuery(tuple(atoms), name=head_name or "Q")
+        raise QueryParseError(
+            f"could not parse any atoms from {text!r}", text, (0, len(text))
+        )
+    try:
+        return ConjunctiveQuery(
+            tuple(atoms), name=head_name or "Q", output_variables=outputs
+        )
+    except ValueError as error:
+        raise QueryParseError(str(error), text, (0, len(text))) from None
 
 
 #: What strict mode allows between atoms: exactly one comma ("leading" and
@@ -302,16 +449,20 @@ _SEPARATOR_PATTERNS = {
 }
 
 
-def _require_atom_separator(body: str, start: int, end: int, position: str) -> None:
+def _require_atom_separator(
+    text: str, body: str, offset: int, start: int, end: int, position: str
+) -> None:
     """Reject anything but the expected separator between matched atoms."""
     gap = body[start:end]
     if not _SEPARATOR_PATTERNS[position].fullmatch(gap):
         expected = (
             "a single comma" if position == "between" else "only whitespace"
         )
-        raise ValueError(
+        raise QueryParseError(
             f"malformed query: unparsed text {gap.strip()!r} between atoms "
-            f"(expected {expected}); use strict=False to ignore"
+            f"(expected {expected}); use strict=False to ignore",
+            text,
+            _fragment_span(text, offset + start, offset + end),
         )
 
 

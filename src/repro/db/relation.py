@@ -243,6 +243,21 @@ class Relation:
         rows = {tuple(row[p] for p in positions) for row in self._backend.iter_rows()}
         return Relation(variables, rows)
 
+    def count_distinct(self, variables: Sequence[str]) -> int:
+        """The number of distinct projections onto ``variables``.
+
+        Equivalent to ``len(self.project(variables))`` but computed by the
+        backend's counting kernel without materializing the projected
+        relation (the columnar backend counts unique code rows with one
+        ``np.unique`` over the stacked code arrays).  An empty variable
+        list counts the nullary projection: ``1`` when the relation is
+        nonempty, else ``0``.
+        """
+        variables = list(variables)
+        if len(set(variables)) != len(variables):
+            raise ValueError(f"duplicate variables in projection {tuple(variables)}")
+        return self._backend.count_distinct(self._positions(variables))
+
     def select(
         self,
         condition: Union[Mapping[str, Value], Callable[[Dict[str, Value]], bool]],

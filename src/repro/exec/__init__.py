@@ -13,6 +13,9 @@ from .ir import (
     All_,
     Antijoin,
     Any_,
+    Count,
+    Distinct,
+    Enumerate,
     GroupedMatMul,
     HeavyPart,
     Join,
@@ -68,8 +71,11 @@ __all__ = [
     "All_",
     "Antijoin",
     "Any_",
+    "Count",
     "DEFAULT_MORSEL_SIZE",
     "DispatchStats",
+    "Distinct",
+    "Enumerate",
     "GroupedMatMul",
     "HeavyPart",
     "Join",

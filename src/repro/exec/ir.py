@@ -81,6 +81,10 @@ class Operator:
     skey: StructuralKey
     #: Whether the operator produces a Boolean instead of a relation.
     boolean: bool = False
+    #: Whether the operator produces a scalar (an ``int``) instead of a
+    #: relation — the counting sink.  Scalar operators, like Boolean ones,
+    #: can only appear at the root of a program.
+    scalar: bool = False
     #: Index into ``children`` of the operand whose *emptiness* alone
     #: already decides an empty output (``None`` when no child has that
     #: power).  This is the metadata behind the VM's lazy short-circuits:
@@ -177,6 +181,22 @@ class Project(Operator):
         # recombination deduplicates.  Nullary projections reduce to an
         # emptiness test and are not worth partitioning.
         return MorselSpec(child=0, dedup=True) if self.schema else None
+
+
+@dataclass(frozen=True)
+class Distinct(Project):
+    """Distinct projection onto the query's output variables.
+
+    Semantically identical to :class:`Project` (all relations here use set
+    semantics) and it inherits Project's structural key, so an enumeration
+    program shares cached intermediates with any projection computing the
+    same tuples — but it is a distinct node class with its own label/kind,
+    marking the *output sink* of a ``select`` program in traces and
+    ``explain`` output.
+    """
+
+    def label(self) -> str:
+        return f"Distinct[{', '.join(self.schema) or '()'}]"
 
 
 @dataclass(frozen=True)
@@ -576,6 +596,66 @@ class Wcoj(Operator):
 
 
 # ----------------------------------------------------------------------
+# Output sinks (the engine's count / select verbs)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Count(Operator):
+    """The number of distinct ``variables_out`` tuples of the child (an int).
+
+    The counting sink: evaluates to a scalar without materializing the
+    projected relation — the columnar backend counts unique code rows with
+    one ``np.unique`` over the stacked code arrays.  An empty
+    ``variables_out`` (Boolean-head query) counts the nullary projection:
+    ``1`` when the child is nonempty, else ``0``.
+    """
+
+    child: Operator
+    variables_out: Schema
+    scalar = True
+    empty_short_circuit = 0
+
+    def __post_init__(self) -> None:
+        _require_relational(self.child, "Count")
+        positions = _positions(self.child.schema, self.variables_out, "Count")
+        self._derive(
+            schema=(),
+            children=(self.child,),
+            skey=("count", self.child.skey, positions),
+        )
+
+    def label(self) -> str:
+        return f"Count[{', '.join(self.variables_out) or '()'}]"
+
+
+@dataclass(frozen=True)
+class Enumerate(Operator):
+    """The enumeration sink: passes its (already distinct) child through.
+
+    A ``select`` program's root.  The child — typically a
+    :class:`Distinct` — already holds the distinct output tuples; this node
+    marks where the engine's :class:`~repro.api.results.ResultSet` attaches
+    to stream them in deterministic order.  Its structural key differs from
+    the child's, so counting/Boolean programs over the same body never
+    collide with enumeration programs in the plan cache, while the child's
+    own key still shares the computed relation through the result cache.
+    """
+
+    child: Operator
+    empty_short_circuit = 0
+
+    def __post_init__(self) -> None:
+        _require_relational(self.child, "Enumerate")
+        self._derive(
+            schema=self.child.schema,
+            children=(self.child,),
+            skey=("enumerate", self.child.skey),
+        )
+
+    def label(self) -> str:
+        return f"Enumerate[{', '.join(self.schema) or '()'}]"
+
+
+# ----------------------------------------------------------------------
 # Boolean-valued operators
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -676,7 +756,12 @@ class Program:
         lines = []
         for node, node_id in ids.items():
             refs = ", ".join(f"#{ids[child]}" for child in node.children)
-            out = "bool" if node.boolean else f"({', '.join(node.schema)})"
+            if node.boolean:
+                out = "bool"
+            elif node.scalar:
+                out = "int"
+            else:
+                out = f"({', '.join(node.schema)})"
             suffix = f"({refs}) -> {out}" if refs else f" -> {out}"
             lines.append(f"#{node_id} {node.label()}{suffix}")
         return "\n".join(lines)
@@ -707,6 +792,8 @@ def rename_operator(
 
     if isinstance(node, Scan):
         renamed: Operator = Scan(node.relation, _rename_schema(node.variables_out, m))
+    elif isinstance(node, Distinct):
+        renamed = Distinct(r(node.child), _rename_schema(node.variables_out, m))
     elif isinstance(node, Project):
         renamed = Project(r(node.child), _rename_schema(node.variables_out, m))
     elif isinstance(node, Restrict):
@@ -753,6 +840,10 @@ def rename_operator(
             _rename_schema(node.variable_order, m),
             node.find_all,
         )
+    elif isinstance(node, Count):
+        renamed = Count(r(node.child), _rename_schema(node.variables_out, m))
+    elif isinstance(node, Enumerate):
+        renamed = Enumerate(r(node.child))
     elif isinstance(node, NonEmpty):
         renamed = NonEmpty(r(node.child))
     elif isinstance(node, Any_):

@@ -1,7 +1,12 @@
 """Lowering every strategy to the physical-operator IR.
 
-Each function turns one *logical* way of answering a Boolean conjunctive
-query into a :class:`~repro.exec.ir.Program`:
+Each function turns one *logical* way of answering a conjunctive query
+into a :class:`~repro.exec.ir.Program`.  The verb-capable lowerings
+(naive, GenericJoin, Yannakakis) accept a ``verb`` — ``"exists"`` keeps
+the historical Boolean program byte-for-byte, while ``"count"``/
+``"select"`` finish with the :class:`~repro.exec.ir.Count` /
+:class:`~repro.exec.ir.Distinct`+:class:`~repro.exec.ir.Enumerate` output
+sinks over the query's free variables:
 
 * :func:`lower_naive` / :func:`lower_naive_join` — fold the atoms with
   binary joins (the classical baseline);
@@ -36,6 +41,9 @@ from .ir import (
     All_,
     Antijoin,
     Any_,
+    Count,
+    Distinct,
+    Enumerate,
     GroupedMatMul,
     HeavyPart,
     Join,
@@ -51,6 +59,38 @@ from .ir import (
     Union,
     Wcoj,
 )
+
+#: The query verbs a lowering may be asked to serve — the canonical
+#: vocabulary (the API layer re-exports it).
+VERBS = ("exists", "count", "select")
+
+
+def check_verb(verb: str) -> None:
+    """Reject anything outside the verb vocabulary (shared validation)."""
+    if verb not in VERBS:
+        raise ValueError(f"unknown query verb {verb!r}; expected one of {VERBS}")
+
+
+def _output_sink(node: Operator, query: ConjunctiveQuery, verb: str) -> Operator:
+    """Wrap a relational operator covering the outputs in the verb's sink.
+
+    ``exists`` keeps the historical Boolean root; ``count`` counts the
+    distinct output projections without materializing them; ``select``
+    materializes the distinct output relation under an :class:`Enumerate`
+    marker the engine's result sets stream from.
+    """
+    outputs = tuple(query.output_variables)
+    missing = [v for v in outputs if v not in node.schema]
+    if missing:
+        raise ValueError(
+            f"lowering lost output variables {missing}: schema {node.schema}"
+        )
+    if verb == "exists":
+        return NonEmpty(node)
+    if verb == "count":
+        return Count(node, outputs)
+    sink = node if outputs == node.schema else Distinct(node, outputs)
+    return Enumerate(sink)
 
 
 def scan_atoms(query: ConjunctiveQuery) -> List[Scan]:
@@ -89,13 +129,19 @@ def _fold_joins(nodes: Sequence[Operator], database: Optional[Database]) -> Oper
 # ----------------------------------------------------------------------
 # Naive pairwise join
 # ----------------------------------------------------------------------
-def lower_naive(query: ConjunctiveQuery) -> Program:
-    """Boolean naive strategy: non-emptiness of the left-to-right join fold."""
+def lower_naive(query: ConjunctiveQuery, verb: str = "exists") -> Program:
+    """The naive strategy: a left-to-right join fold under the verb's sink.
+
+    ``exists`` tests non-emptiness of the fold (the historical Boolean
+    program); ``count``/``select`` count or enumerate the distinct
+    projections of the fold onto the query's output variables.
+    """
+    check_verb(verb)
     scans = scan_atoms(query)
-    joined = scans[0]
+    joined: Operator = scans[0]
     for scan in scans[1:]:
         joined = Join(joined, scan)
-    return Program(NonEmpty(joined), source="naive")
+    return Program(_output_sink(joined, query, verb), source="naive")
 
 
 def lower_naive_join(query: ConjunctiveQuery) -> Program:
@@ -115,8 +161,28 @@ def lower_generic_join(
     variable_order: Sequence[str],
     find_all: bool = False,
     boolean: bool = True,
+    verb: Optional[str] = None,
 ) -> Program:
-    """GenericJoin as a single Wcoj operator over the atom scans."""
+    """GenericJoin as a single Wcoj operator over the atom scans.
+
+    Without ``verb`` the historical knobs apply (``find_all``/``boolean``).
+    With a verb, ``exists`` keeps the early-terminating Boolean search,
+    while ``count``/``select`` run the search exhaustively and project the
+    full assignment relation onto the output variables under the sink.
+    """
+    if verb is not None:
+        check_verb(verb)
+        if verb == "exists":
+            find_all, boolean = False, True
+        else:
+            # A Boolean head only needs non-emptiness (the nullary
+            # projection): keep the early-terminating search for it.
+            wcoj = Wcoj(
+                tuple(scan_atoms(query)),
+                tuple(variable_order),
+                not query.is_boolean,
+            )
+            return Program(_output_sink(wcoj, query, verb), source="generic-join")
     wcoj = Wcoj(tuple(scan_atoms(query)), tuple(variable_order), find_all)
     root: Operator = NonEmpty(wcoj) if boolean else wcoj
     return Program(root, source="generic-join")
@@ -125,14 +191,27 @@ def lower_generic_join(
 # ----------------------------------------------------------------------
 # Yannakakis
 # ----------------------------------------------------------------------
-def lower_yannakakis(query: ConjunctiveQuery) -> Program:
-    """The GYO join tree as an upward semijoin-reduction program.
+def lower_yannakakis(query: ConjunctiveQuery, verb: str = "exists") -> Program:
+    """The GYO join tree as a semijoin-reduction program under a verb sink.
 
-    Raises ``ValueError`` when the query is cyclic.  Emptiness anywhere in
-    the tree propagates to the root through the semijoins (a reducer with
-    no shared variables empties its target when it is itself empty), so
-    non-emptiness of the reduced root answers the Boolean question.
+    Raises ``ValueError`` when the query is cyclic.
+
+    ``exists`` lowers to the classic upward pass: emptiness anywhere in the
+    tree propagates to the root through the semijoins (a reducer with no
+    shared variables empties its target when it is itself empty), so
+    non-emptiness of the reduced root answers the Boolean question — this
+    path is unchanged from the Boolean-only engine.
+
+    ``count``/``select`` lower to the *full reducer*: the upward pass is
+    followed by a downward calibration pass (every relation semijoined by
+    its already-calibrated parent), after which no tuple is dangling.  The
+    output is then assembled top-down along the join tree — each reduced
+    relation joined in root-first, with intermediates projected onto the
+    output variables plus the join keys still needed — which is the
+    Yannakakis enumeration whose intermediate sizes stay bounded by input
+    plus output, finished by the verb's Count/Enumerate sink.
     """
+    check_verb(verb)
     from ..db.joins import _gyo_join_tree
 
     order = _gyo_join_tree(query)
@@ -143,7 +222,35 @@ def lower_yannakakis(query: ConjunctiveQuery) -> Program:
         if parent is not None:
             nodes[parent] = Semijoin(nodes[parent], nodes[name])
     root_name = order[-1][0]
-    return Program(NonEmpty(nodes[root_name]), source="yannakakis")
+    if verb == "exists":
+        return Program(NonEmpty(nodes[root_name]), source="yannakakis")
+    if query.is_boolean:
+        # A Boolean head outputs the nullary projection — 1/0 by
+        # non-emptiness, which the upward pass alone already decides; the
+        # downward calibration and enumeration join would be pure waste.
+        return Program(
+            _output_sink(nodes[root_name], query, verb), source="yannakakis"
+        )
+
+    # Downward calibration: walk the ear-removal order root-first; every
+    # node's parent is already fully calibrated when the node is reduced.
+    for name, parent in reversed(order):
+        if parent is not None:
+            nodes[name] = Semijoin(nodes[name], nodes[parent])
+
+    # Top-down enumeration join (root first, parents always before their
+    # children), projecting early onto outputs + still-needed join keys.
+    sequence = [name for name, _ in reversed(order)]
+    scopes = {atom.relation: atom.variable_set for atom in query.atoms}
+    outputs = set(query.output_variables)
+    joined = nodes[sequence[0]]
+    for position, name in enumerate(sequence[1:], start=1):
+        joined = Join(joined, nodes[name])
+        needed = set(outputs)
+        for later in sequence[position + 1:]:
+            needed |= scopes[later]
+        joined = _project(joined, [v for v in joined.schema if v in needed])
+    return Program(_output_sink(joined, query, verb), source="yannakakis")
 
 
 # ----------------------------------------------------------------------

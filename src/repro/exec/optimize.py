@@ -41,6 +41,8 @@ from .ir import (
     All_,
     Antijoin,
     Any_,
+    Count,
+    Enumerate,
     GroupedMatMul,
     Join,
     MatMul,
@@ -86,7 +88,8 @@ def _rebuild(node: Operator, children: Tuple[Operator, ...]) -> Operator:
     if isinstance(node, Scan):
         return node
     if isinstance(node, Project):
-        return Project(children[0], node.variables_out)
+        # type(node) keeps Distinct sinks Distinct through rewrites.
+        return type(node)(children[0], node.variables_out)
     if isinstance(node, Restrict):
         return Restrict(children[0], node.variable, children[1], node.source_variable)
     if isinstance(node, HeavyPart):
@@ -122,6 +125,10 @@ def _rebuild(node: Operator, children: Tuple[Operator, ...]) -> Operator:
         )
     if isinstance(node, Wcoj):
         return Wcoj(tuple(children), node.variable_order, node.find_all)
+    if isinstance(node, Count):
+        return Count(children[0], node.variables_out)
+    if isinstance(node, Enumerate):
+        return Enumerate(children[0])
     if isinstance(node, NonEmpty):
         return NonEmpty(children[0])
     if isinstance(node, Any_):
@@ -250,7 +257,9 @@ def prune_operators(program: Program) -> Tuple[Program, int]:
             and isinstance(node.child, Project)
         ):
             pruned += 1
-            return Project(node.child.child, node.variables_out)
+            # Preserve the node's own class: a Distinct sink collapsing a
+            # plain projection underneath must stay a Distinct sink.
+            return type(node)(node.child.child, node.variables_out)
         return node
 
     return Program(_transform(program.root, rewrite), source=program.source), pruned

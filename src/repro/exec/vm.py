@@ -89,6 +89,8 @@ from .ir import (
     All_,
     Antijoin,
     Any_,
+    Count,
+    Enumerate,
     GroupedMatMul,
     HeavyPart,
     Join,
@@ -106,7 +108,10 @@ from .ir import (
     Wcoj,
 )
 
-Payload = TUnion[Relation, bool]
+#: Operator results: a relation, a Boolean (NonEmpty/Any/All), or an int
+#: (the Count sink).  ``bool`` must be tested before ``int`` everywhere —
+#: Python's bool is an int subclass.
+Payload = TUnion[Relation, bool, int]
 #: A child-payload provider: returns the child's result, raising
 #: :class:`_NotReady` (parallel mode) when it is not available yet.
 Getter = Callable[[Operator], Payload]
@@ -176,6 +181,8 @@ class VMResult:
 
     answer: bool
     relation: Optional[Relation]
+    #: The Count sink's scalar (``None`` unless the program root counts).
+    row_count: Optional[int] = None
     traces: List[OpTrace] = field(default_factory=list)
     seconds: float = 0.0
     cache_hits: int = 0
@@ -445,13 +452,11 @@ class VirtualMachine:
         else:
             state = _RunState(self, ids, fingerprint, context)
             payload = state.eval(program.root)
-            if isinstance(payload, bool):
-                answer, relation = payload, None
-            else:
-                answer, relation = not payload.is_empty(), payload
+            answer, relation, row_count = _interpret_root(payload)
             result = VMResult(
                 answer=answer,
                 relation=relation,
+                row_count=row_count,
                 traces=state.traces,
                 cache_hits=state.cache_hits,
                 cache_misses=state.cache_misses,
@@ -459,6 +464,15 @@ class VirtualMachine:
             )
         result.seconds = time.perf_counter() - start
         return result
+
+
+def _interpret_root(payload: Payload) -> Tuple[bool, Optional[Relation], Optional[int]]:
+    """``(answer, relation, row_count)`` from a program root's payload."""
+    if isinstance(payload, bool):
+        return payload, None, None
+    if isinstance(payload, int):
+        return payload > 0, None, int(payload)
+    return not payload.is_empty(), payload, None
 
 
 # ----------------------------------------------------------------------
@@ -626,6 +640,19 @@ class _EvalContext:
             rows = _wcoj_search(inputs, node.variable_order, node.find_all)
             backend = inputs[0].backend_kind if inputs else None
             return Relation(node.variable_order, rows, backend=backend), rows_in, extra
+
+        if isinstance(node, Count):
+            child = self._relation(get, node.child)
+            count = child.count_distinct(list(node.variables_out))
+            extra["kernel"] = child.backend_kind
+            return count, len(child), extra
+
+        if isinstance(node, Enumerate):
+            # The enumeration sink: the child already holds the distinct
+            # output tuples; the engine's ResultSet streams them from the
+            # run's result relation in deterministic order.
+            child = self._relation(get, node.child)
+            return child, len(child), extra
 
         if isinstance(node, NonEmpty):
             child = self._relation(get, node.child)
@@ -875,7 +902,10 @@ class _RunState:
             return self.memo[node]
         cache = self.vm.result_cache
         cache_key = None
-        if cache is not None and cache.enabled and not isinstance(node, Scan):
+        # Scans read straight from the database; Enumerate passes its
+        # child's relation through unchanged — caching either would only
+        # duplicate rows the cache already holds (or can rebuild for free).
+        if cache is not None and cache.enabled and not isinstance(node, (Scan, Enumerate)):
             cache_key = (node.skey, self.fingerprint)
             hit = cache.get(cache_key)
             if hit is not None:
@@ -917,6 +947,7 @@ class _RunState:
         matrix_shape: Optional[Tuple[int, int, int]] = None,
         group_count: int = 0,
         morsels: int = 0,
+        kernel: Optional[str] = None,
     ) -> None:
         self.traces.append(
             _build_trace(
@@ -931,6 +962,7 @@ class _RunState:
                 group_count=group_count,
                 morsels=morsels,
                 worker=None,
+                kernel=kernel,
             )
         )
 
@@ -947,13 +979,19 @@ def _build_trace(
     group_count: int,
     morsels: int,
     worker: Optional[str],
+    kernel: Optional[str] = None,
 ) -> OpTrace:
     if isinstance(payload, bool):
         rows_out = int(payload)
-        kernel = "bool"
+        kernel = kernel or "bool"
+    elif isinstance(payload, int):
+        # A Count sink: rows_out records the count; the kernel override
+        # (set by eval_op) names the backend that served the counting.
+        rows_out = int(payload)
+        kernel = kernel or "scalar"
     else:
         rows_out = len(payload)
-        kernel = payload.backend_kind
+        kernel = kernel or payload.backend_kind
     return OpTrace(
         op_id=ids.get(node, 0),
         kind=node.kind(),
@@ -1058,10 +1096,7 @@ class _ParallelRun:
         if self.state[root] == _FAILED:
             raise self.failures[root]
         payload = self.memo[root]
-        if isinstance(payload, bool):
-            answer, relation = payload, None
-        else:
-            answer, relation = not payload.is_empty(), payload
+        answer, relation, row_count = _interpret_root(payload)
         needed = self._needed_closure(root)
         traces = sorted(
             (self.records[node] for node in needed if node in self.records),
@@ -1076,6 +1111,7 @@ class _ParallelRun:
         return VMResult(
             answer=answer,
             relation=relation,
+            row_count=row_count,
             traces=traces,
             cache_hits=hits,
             cache_misses=misses,
@@ -1191,7 +1227,9 @@ class _ParallelRun:
     def _attempt(self, node: Operator) -> None:
         cache = self.vm.result_cache
         checked = False
-        if cache is not None and cache.enabled and not isinstance(node, Scan):
+        # Same exemptions as the sequential path: Scan and the
+        # pass-through Enumerate never enter the result cache.
+        if cache is not None and cache.enabled and not isinstance(node, (Scan, Enumerate)):
             checked = True
             hit = cache.get((node.skey, self.fingerprint))
             if hit is not None:
@@ -1222,6 +1260,7 @@ class _ParallelRun:
             group_count=extra.get("group_count", 0),
             morsels=extra.get("morsels", 0),
             worker=_worker_name(),
+            kernel=extra.get("kernel"),
         )
         self._complete(node, payload, trace, tuple(accessed), checked)
 

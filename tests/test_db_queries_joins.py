@@ -42,9 +42,15 @@ class TestQueryParsing:
         q = parse_query("Q() :- S(Y, Z'), T(X, Z')")
         assert "Z'" in q.variables
 
-    def test_head_variables_rejected(self):
+    def test_head_variables_become_outputs(self):
+        q = parse_query("Q(X, Z) :- R(X, Y), S(Y, Z)")
+        assert q.output_variables == ("X", "Z")
+        assert not q.is_boolean
+        assert str(q) == "Q(X, Z) :- R(X, Y), S(Y, Z)"
+
+    def test_head_variables_must_appear_in_body(self):
         with pytest.raises(ValueError):
-            parse_query("Q(X) :- R(X, Y)")
+            parse_query("Q(A) :- R(X, Y)")
 
     def test_unparseable_rejected(self):
         with pytest.raises(ValueError):
