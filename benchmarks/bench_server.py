@@ -1,0 +1,169 @@
+"""Closed-loop throughput/latency of the asyncio query server.
+
+N closed-loop clients (each issues its next statement only after the
+previous one finishes, retrying ``overloaded`` rejections with the
+server's ``retry_after`` hint) hammer one in-process
+:class:`~repro.server.server.QueryServer` over real loopback sockets,
+swept over 1/4/16 concurrent sessions.  Two workload arms:
+
+* **count/chain** — ``COUNT`` over a 2-atom chain join;
+* **select/chain** — ``SELECT ... LIMIT 8`` with streamed batches.
+
+The engine's result cache is disabled so every request pays execution,
+not a dictionary lookup; plans stay cached after warmup (that is the
+serving steady state).  Reported per-request latency includes admission
+waits and retry sleeps — it is what a client experiences, not bare
+engine time.  **Honesty note:** the server executes statements on a
+``max_concurrency``-wide thread pool, so on single-core CI boxes the
+concurrency sweep measures admission-control overhead rather than
+parallel speedup; the JSON artefact records ``cpu_count`` either way.
+
+Results land in ``benchmarks/results/server.txt`` and
+``benchmarks/results/BENCH_server.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import random
+import time
+from typing import Dict, List
+
+from repro.api import QueryEngine
+from repro.db import Database
+from repro.server import QueryClient, QueryServer
+
+from benchmarks._reporting import write_table
+
+#: ``REPRO_BENCH_TINY=1`` shrinks inputs so CI can smoke-run the harness.
+TINY = os.environ.get("REPRO_BENCH_TINY", "").strip().lower() in ("1", "true", "yes")
+CHAIN_ROWS = 800 if TINY else 40_000
+REQUESTS_PER_CLIENT = 3 if TINY else 20
+CONCURRENCY = (1, 4, 16)
+MAX_CONCURRENCY = 4
+MAX_QUEUE_DEPTH = 8
+
+ROWS: List[tuple] = []
+METRICS: Dict[str, object] = {}
+
+
+def chain_database(rows: int, seed: int) -> Database:
+    rng = random.Random(seed)
+    domain = max(rows // 2, 4)
+    specs = {
+        name: (
+            ("X", "Y"),
+            [(rng.randrange(domain), rng.randrange(domain)) for _ in range(rows)],
+        )
+        for name in ("R", "S")
+    }
+    return Database(backend="columnar").bulk_load(specs)
+
+
+def _percentile(times: List[float], fraction: float) -> float:
+    ordered = sorted(times)
+    position = min(int(round(fraction * (len(ordered) - 1))), len(ordered) - 1)
+    return ordered[position]
+
+
+async def _closed_loop(
+    port: int, statement: str, requests: int, latencies: List[float]
+) -> None:
+    async with await QueryClient.connect("127.0.0.1", port) as client:
+        for _ in range(requests):
+            start = time.perf_counter()
+            await client.execute_with_retry(statement, attempts=50)
+            latencies.append(time.perf_counter() - start)
+
+
+async def _run_arm(statement: str, clients: int) -> Dict[str, object]:
+    engine = QueryEngine(chain_database(CHAIN_ROWS, seed=11), result_cache_size=0)
+    server = QueryServer(
+        engine=engine,
+        max_concurrency=MAX_CONCURRENCY,
+        max_queue_depth=MAX_QUEUE_DEPTH,
+    )
+    await server.start()
+    try:
+        # Warm the plan cache (and the backend's indexes) off the clock.
+        async with await QueryClient.connect("127.0.0.1", server.port) as warm:
+            await warm.execute(statement)
+        latencies: List[float] = []
+        start = time.perf_counter()
+        await asyncio.gather(
+            *[
+                _closed_loop(server.port, statement, REQUESTS_PER_CLIENT, latencies)
+                for _ in range(clients)
+            ]
+        )
+        elapsed = time.perf_counter() - start
+    finally:
+        await server.shutdown(drain_timeout=2.0)
+    total = clients * REQUESTS_PER_CLIENT
+    assert len(latencies) == total
+    return {
+        "throughput": total / max(elapsed, 1e-9),
+        "median_ms": _percentile(latencies, 0.5) * 1e3,
+        "p90_ms": _percentile(latencies, 0.9) * 1e3,
+        "rejections": server.stats["rejected_overloaded"],
+        "served": server.stats["served"],
+    }
+
+
+def _sweep(arm: str, statement: str, benchmark) -> None:
+    for clients in CONCURRENCY:
+        sample = asyncio.run(_run_arm(statement, clients))
+        ROWS.append(
+            (
+                arm,
+                clients,
+                REQUESTS_PER_CLIENT,
+                sample["throughput"],
+                sample["median_ms"],
+                sample["p90_ms"],
+                sample["rejections"],
+            )
+        )
+        METRICS[f"{arm}_throughput_per_s_at_{clients}"] = sample["throughput"]
+        METRICS[f"{arm}_p90_ms_at_{clients}"] = sample["p90_ms"]
+
+    def bench():
+        return asyncio.run(_run_arm(statement, CONCURRENCY[1]))
+
+    benchmark.pedantic(bench, rounds=1, iterations=1)
+
+
+def test_count_serving(benchmark):
+    _sweep("count/chain", "COUNT Q(X, Z) :- R(X, Y), S(Y, Z)", benchmark)
+
+
+def test_select_serving(benchmark):
+    _sweep(
+        "select/chain", "SELECT Q(X, Z) :- R(X, Y), S(Y, Z) LIMIT 8", benchmark
+    )
+
+
+def teardown_module(module):
+    write_table(
+        "server",
+        [
+            "workload",
+            "clients",
+            "reqs_per_client",
+            "throughput_per_s",
+            "median_ms",
+            "p90_ms",
+            "overload_rejections",
+        ],
+        ROWS,
+        params={
+            "chain_rows": CHAIN_ROWS,
+            "requests_per_client": REQUESTS_PER_CLIENT,
+            "concurrency_swept": list(CONCURRENCY),
+            "max_concurrency": MAX_CONCURRENCY,
+            "max_queue_depth": MAX_QUEUE_DEPTH,
+            "tiny": TINY,
+        },
+        metrics=METRICS,
+    )

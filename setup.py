@@ -28,6 +28,11 @@ setup(
     package_dir={"": "src"},
     packages=find_packages("src"),
     python_requires=">=3.9",
+    entry_points={
+        "console_scripts": [
+            "repro=repro.cli:main",
+        ],
+    },
     install_requires=[
         "numpy",
         "scipy",

@@ -15,7 +15,7 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, Iterable, List, NoReturn, Optional, Sequence, Tuple
 
 from ..constants import DEFAULT_OMEGA
 from ..db.database import Database
@@ -28,9 +28,21 @@ from ..exec.dispatch import KernelDispatcher
 from ..exec.ir import Program
 from ..exec.lower import check_verb
 from ..exec.optimize import optimize_program
-from ..exec.vm import ResultCache, ResultCacheStats, VirtualMachine, WorkerPool
+from ..exec.vm import (
+    CancellationToken,
+    QueryCancelled,
+    ResultCache,
+    ResultCacheStats,
+    VirtualMachine,
+    WorkerPool,
+)
 from .cache import CachedPlanEntry, CacheStats, PlanCache, PlanCacheKey
-from .errors import StrategyDisagreement, UnsupportedWorkload
+from .errors import (
+    QueryCancelledError,
+    QueryTimeout,
+    StrategyDisagreement,
+    UnsupportedWorkload,
+)
 from .results import ResultSet
 from .strategies import (
     DEFAULT_REGISTRY,
@@ -42,6 +54,12 @@ from .strategies import (
 #: Environment knob for the default engine worker count (``1`` = fully
 #: sequential execution, the historical behaviour).
 PARALLELISM_ENV = "REPRO_PARALLELISM"
+
+#: Version of the :meth:`QueryResult.to_dict` wire schema.  Bump on any
+#: incompatible change; :meth:`QueryResult.from_dict` refuses documents
+#: from a newer protocol and the server stamps it on every response, so
+#: clients and servers can evolve the payload compatibly.
+PROTOCOL_VERSION = 1
 
 
 def default_parallelism() -> int:
@@ -86,6 +104,10 @@ class QueryResult:
     execute_seconds: float = 0.0
     cache_hit: bool = False
     plan_source: str = "none"
+    #: Whether execution was cut short by a deadline.  Only ever ``True``
+    #: on the partial result carried by a :class:`~repro.api.errors.QueryTimeout`
+    #: — a normally returned result always completed.
+    timed_out: bool = False
     plan: Optional[OmegaQueryPlan] = None
     planned: Optional[PlannedQuery] = None
     execution: Optional[ExecutionResult] = None
@@ -145,6 +167,7 @@ class QueryResult:
                     }
                 )
         return {
+            "protocol_version": PROTOCOL_VERSION,
             "query": str(self.query),
             "name": str(self.query.name),
             "verb": str(self.verb),
@@ -157,9 +180,78 @@ class QueryResult:
             "execute_seconds": float(self.execute_seconds),
             "cache_hit": bool(self.cache_hit),
             "plan_source": str(self.plan_source),
+            "timed_out": bool(self.timed_out),
             "parallelism": int(execution.parallelism) if execution is not None else 1,
             "trace": trace,
         }
+
+    @classmethod
+    def from_dict(cls, document: Dict[str, object]) -> "QueryResult":
+        """Rebuild a :class:`QueryResult` from a :meth:`to_dict` document.
+
+        The inverse of :meth:`to_dict` for everything the wire carries:
+        the query is re-parsed from its Datalog text, the per-operator
+        trace summaries become :class:`~repro.exec.vm.OpTrace` records on
+        a reconstructed :class:`~repro.core.executor.ExecutionResult`, and
+        ``from_dict(r.to_dict()).to_dict() == r.to_dict()`` holds — the
+        round trip the server/client protocol relies on.  Plan objects and
+        relations never travel over the wire, so those fields stay
+        ``None``.  Documents stamped with a newer ``protocol_version``
+        are refused.
+        """
+        from ..db.query import parse_query
+        from ..exec.vm import OpTrace
+
+        version = document.get("protocol_version", PROTOCOL_VERSION)
+        if not isinstance(version, int) or version > PROTOCOL_VERSION:
+            raise ValueError(
+                f"cannot decode protocol_version {version!r} documents "
+                f"(this build speaks <= {PROTOCOL_VERSION})"
+            )
+        query = parse_query(str(document["query"]))
+        operators = []
+        for op in document.get("trace", []) or []:
+            worker = op.get("worker")
+            operators.append(
+                OpTrace(
+                    op_id=int(op.get("op_id", 0)),
+                    kind=str(op.get("kind", "")),
+                    label=str(op.get("label", "")),
+                    schema=(),
+                    rows_in=int(op.get("rows_in", 0)),
+                    rows_out=int(op.get("rows_out", 0)),
+                    kernel=str(op.get("kernel", "")),
+                    seconds=float(op.get("seconds", 0.0)),
+                    cache_hit=bool(op.get("cache_hit", False)),
+                    worker=None if worker is None else str(worker),
+                    morsel_count=int(op.get("morsel_count", 0)),
+                )
+            )
+        execution = ExecutionResult(
+            answer=bool(document["answer"]),
+            operators=operators,
+            seconds=float(document.get("seconds", 0.0)),
+            parallelism=int(document.get("parallelism", 1)),
+            timed_out=bool(document.get("timed_out", False)),
+        )
+        row_count = document.get("row_count")
+        return cls(
+            query=query,
+            answer=bool(document["answer"]),
+            strategy=str(document["strategy"]),
+            seconds=float(document.get("seconds", 0.0)),
+            verb=str(document.get("verb", "exists")),
+            output_variables=tuple(
+                str(v) for v in document.get("output_variables", ())
+            ),
+            row_count=None if row_count is None else int(row_count),
+            plan_seconds=float(document.get("plan_seconds", 0.0)),
+            execute_seconds=float(document.get("execute_seconds", 0.0)),
+            cache_hit=bool(document.get("cache_hit", False)),
+            plan_source=str(document.get("plan_source", "none")),
+            timed_out=bool(document.get("timed_out", False)),
+            execution=execution,
+        )
 
 
 @dataclass
@@ -418,9 +510,13 @@ class QueryEngine:
         *,
         omega: Optional[float] = None,
         plan: Optional[OmegaQueryPlan] = None,
+        timeout: Optional[float] = None,
+        token: Optional[CancellationToken] = None,
     ) -> QueryResult:
         """Alias of :meth:`exists` (the historical entry point)."""
-        return self._ask(query, strategy, omega=omega, plan=plan)
+        return self._ask(
+            query, strategy, omega=omega, plan=plan, timeout=timeout, token=token
+        )
 
     def exists(
         self,
@@ -429,14 +525,25 @@ class QueryEngine:
         *,
         omega: Optional[float] = None,
         plan: Optional[OmegaQueryPlan] = None,
+        timeout: Optional[float] = None,
+        token: Optional[CancellationToken] = None,
     ) -> QueryResult:
         """Decide satisfiability, reusing a cached plan when possible.
 
         The Boolean verb: ``result.answer`` is ``True`` iff the body has a
         satisfying assignment.  Output variables are ignored — a query with
         a non-empty head still *exists* iff its body does.
+
+        ``timeout`` bounds execution: a query still running after that many
+        seconds is cancelled cooperatively (one operator's granularity) and
+        :class:`~repro.api.errors.QueryTimeout` is raised, carrying a
+        partial :class:`QueryResult` with ``timed_out=True``.  Pass a
+        :class:`~repro.exec.vm.CancellationToken` as ``token`` instead to
+        control cancellation externally (e.g. a server draining).
         """
-        return self._ask(query, strategy, omega=omega, plan=plan)
+        return self._ask(
+            query, strategy, omega=omega, plan=plan, timeout=timeout, token=token
+        )
 
     def count(
         self,
@@ -444,6 +551,8 @@ class QueryEngine:
         strategy: str = "auto",
         *,
         omega: Optional[float] = None,
+        timeout: Optional[float] = None,
+        token: Optional[CancellationToken] = None,
     ) -> QueryResult:
         """Count the distinct output tuples of the query.
 
@@ -452,9 +561,11 @@ class QueryEngine:
         Boolean-head query it is ``1``/``0`` (satisfiable or not).  The
         counting sink never materializes the projected output relation —
         the columnar backend counts unique code rows with one
-        ``np.unique``.
+        ``np.unique``.  ``timeout``/``token`` behave as in :meth:`exists`.
         """
-        return self._ask(query, strategy, omega=omega, verb="count")
+        return self._ask(
+            query, strategy, omega=omega, verb="count", timeout=timeout, token=token
+        )
 
     def select(
         self,
@@ -464,6 +575,8 @@ class QueryEngine:
         omega: Optional[float] = None,
         limit: Optional[int] = None,
         batch_size: Optional[int] = None,
+        timeout: Optional[float] = None,
+        token: Optional[CancellationToken] = None,
     ) -> ResultSet:
         """Enumerate distinct output tuples as a lazy :class:`ResultSet`.
 
@@ -472,6 +585,10 @@ class QueryEngine:
         order that is identical across strategies, storage backends and
         ``parallelism`` settings.  ``limit`` truncates the stream to the
         first ``min(limit, total)`` tuples of that order.
+
+        ``timeout`` starts counting at the first pull (execution time, not
+        result-set lifetime); a fired deadline raises
+        :class:`~repro.api.errors.QueryTimeout` from the pulling call.
         """
         # Resolve and validate eagerly so bad queries/strategies fail at
         # call time; execution itself stays deferred to the first pull.
@@ -479,10 +596,63 @@ class QueryEngine:
         self._resolve_supported(query, strategy, "select")
 
         def run() -> QueryResult:
-            return self._ask(query, strategy, omega=omega, verb="select")
+            return self._ask(
+                query,
+                strategy,
+                omega=omega,
+                verb="select",
+                timeout=timeout,
+                token=token,
+            )
 
         kwargs = {} if batch_size is None else {"batch_size": batch_size}
         return ResultSet(tuple(query.output_variables), run, limit=limit, **kwargs)
+
+    def _check_token(
+        self,
+        token: CancellationToken,
+        query: ConjunctiveQuery,
+        verb: str,
+        strategy: str,
+        start: float,
+        timeout: Optional[float],
+    ) -> None:
+        """Raise the API-level cancellation error if ``token`` has fired."""
+        try:
+            token.check()
+        except QueryCancelled as exc:
+            self._raise_cancelled(exc, query, verb, strategy, start, timeout)
+
+    def _raise_cancelled(
+        self,
+        exc: QueryCancelled,
+        query: ConjunctiveQuery,
+        verb: str,
+        strategy: str,
+        start: float,
+        timeout: Optional[float],
+    ) -> "NoReturn":
+        """Map a VM-level :class:`QueryCancelled` onto the API error types.
+
+        Builds a partial :class:`QueryResult` from whatever execution state
+        the VM recorded before the token fired, then raises
+        :class:`QueryTimeout` (deadline expiry) or
+        :class:`QueryCancelledError` (explicit cancel).
+        """
+        execution = ExecutionResult.from_cancellation(exc)
+        partial = QueryResult(
+            query=query,
+            answer=False,
+            strategy=strategy,
+            seconds=time.perf_counter() - start,
+            verb=verb,
+            output_variables=tuple(query.output_variables),
+            timed_out=execution.timed_out,
+            execution=execution,
+        )
+        if execution.timed_out:
+            raise QueryTimeout(query, verb, timeout, partial) from None
+        raise QueryCancelledError(query, verb, partial) from None
 
     def _ask(
         self,
@@ -493,6 +663,8 @@ class QueryEngine:
         plan: Optional[OmegaQueryPlan] = None,
         dag_scheduling: bool = True,
         verb: str = "exists",
+        timeout: Optional[float] = None,
+        token: Optional[CancellationToken] = None,
     ) -> QueryResult:
         """The shared verb executor behind exists/count/select.
 
@@ -504,6 +676,8 @@ class QueryEngine:
         """
         start = time.perf_counter()
         omega_value = self.omega if omega is None else omega
+        if token is None and timeout is not None:
+            token = CancellationToken.with_deadline(timeout)
         self.database.validate_against(query)
         if plan is not None:
             if verb != "exists":
@@ -519,6 +693,10 @@ class QueryEngine:
                 f"strategy {strategy_key!r} does not execute plans; an explicit "
                 "plan requires a plan-based strategy such as 'omega'"
             )
+        if token is not None:
+            # Pre-planning cancellation point: an already-expired deadline
+            # (timeout=0) fails deterministically before any work.
+            self._check_token(token, query, verb, strategy_key, start, timeout)
 
         planned: Optional[PlannedQuery] = None
         plan_seconds = 0.0
@@ -549,8 +727,12 @@ class QueryEngine:
                 parallelism=self.parallelism,
                 pool=self._pool,
                 dag_scheduling=dag_scheduling,
+                token=token,
             )
-            vm_result = vm.run(program)
+            try:
+                vm_result = vm.run(program)
+            except QueryCancelled as exc:
+                self._raise_cancelled(exc, query, verb, strategy_key, start, timeout)
             outcome = StrategyOutcome(
                 answer=vm_result.answer,
                 plan=plan,
@@ -568,6 +750,10 @@ class QueryEngine:
         else:
             # Legacy path for custom strategies without a lowering
             # (exists-only: _resolve_supported rejected other verbs).
+            # Custom execute() implementations have no cooperative checks,
+            # so the deadline is only enforced at this boundary.
+            if token is not None:
+                self._check_token(token, query, verb, strategy_key, start, timeout)
             outcome = resolved.execute(query, self.database, omega_value, plan=plan)
         execute_seconds = time.perf_counter() - execute_start
         if outcome.planned is not None:

@@ -12,7 +12,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "EngineError",
+    "QueryCancelledError",
     "QueryParseError",
+    "QueryTimeout",
     "StrategyDisagreement",
     "UnknownStrategyError",
     "UnsupportedWorkload",
@@ -21,6 +23,58 @@ __all__ = [
 
 class EngineError(Exception):
     """Base class for query-engine API errors."""
+
+
+class QueryCancelledError(EngineError):
+    """A query was cancelled before it produced an answer.
+
+    Raised when a :class:`~repro.exec.vm.CancellationToken` passed to an
+    engine verb fires mid-execution — an explicit cancel (client
+    disconnect, server drain).  Deadline-triggered cancellation raises the
+    :class:`QueryTimeout` subclass instead.  ``result`` carries a partial
+    :class:`~repro.api.engine.QueryResult` (``timed_out``/trace fields
+    populated, ``answer`` vacuously ``False``) for structured reporting.
+    """
+
+    def __init__(
+        self,
+        query: "ConjunctiveQuery",
+        verb: str,
+        result: "QueryResult | None" = None,
+        message: "str | None" = None,
+    ) -> None:
+        self.query = query
+        self.verb = verb
+        self.result = result
+        super().__init__(
+            message or f"{verb} of query {query.name} was cancelled before completing"
+        )
+
+
+class QueryTimeout(QueryCancelledError, TimeoutError):
+    """A query exceeded its deadline and was cancelled cooperatively.
+
+    ``timeout`` is the deadline the caller requested (seconds; ``None``
+    when the token was built elsewhere), and ``result.execution`` records
+    how far execution got — completed operator traces plus the abandoned
+    count — uniformly for sequential and parallel runs.
+    """
+
+    def __init__(
+        self,
+        query: "ConjunctiveQuery",
+        verb: str,
+        timeout: "float | None" = None,
+        result: "QueryResult | None" = None,
+    ) -> None:
+        self.timeout = timeout
+        limit = f" (deadline {timeout:.3f}s)" if timeout is not None else ""
+        super().__init__(
+            query,
+            verb,
+            result,
+            message=f"{verb} of query {query.name} exceeded its deadline{limit}",
+        )
 
 
 class UnsupportedWorkload(EngineError, NotImplementedError):

@@ -1,0 +1,180 @@
+"""The ``repro`` console entry point: ``repl``, ``serve``, ``client``.
+
+* ``repro repl [files.csv ...]`` — interactive query shell; positional
+  CSV/TSV files are pre-loaded as relations named after their stems.
+* ``repro serve --port 7432`` — the concurrent line-JSON query server.
+* ``repro client --port 7432 'COUNT R(X, Y)'`` — run statements against
+  a server (from arguments, or stdin when none are given).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from typing import List, Optional
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Query-engine front door: REPL, server, and client.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    repl = commands.add_parser("repl", help="interactive query shell")
+    repl.add_argument(
+        "files", nargs="*", help="CSV/TSV files to pre-load as relations"
+    )
+    repl.add_argument(
+        "--parallelism", type=int, default=None, help="engine worker count"
+    )
+    repl.add_argument(
+        "--timeout", type=float, default=None, help="per-statement timeout (s)"
+    )
+
+    serve = commands.add_parser("serve", help="run the line-JSON query server")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7432)
+    serve.add_argument(
+        "files", nargs="*", help="CSV/TSV files to pre-load as relations"
+    )
+    serve.add_argument(
+        "--parallelism", type=int, default=None, help="engine worker count"
+    )
+    serve.add_argument(
+        "--max-concurrency", type=int, default=4,
+        help="statements executing at once",
+    )
+    serve.add_argument(
+        "--max-queue-depth", type=int, default=8,
+        help="waiting statements before overload rejection",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=None,
+        help="default per-query deadline (s)",
+    )
+    serve.add_argument(
+        "--max-timeout", type=float, default=None,
+        help="cap on client-requested deadlines (s)",
+    )
+
+    client = commands.add_parser("client", help="send statements to a server")
+    client.add_argument("statements", nargs="*", help="statements to run")
+    client.add_argument("--host", default="127.0.0.1")
+    client.add_argument("--port", type=int, default=7432)
+    client.add_argument(
+        "--timeout", type=float, default=None, help="per-query deadline (s)"
+    )
+    return parser
+
+
+def _load_files(database, files: List[str]) -> None:
+    for path in files:
+        relation = database.load_csv(path)
+        print(f"loaded {relation.name} ({len(relation)} rows)")
+
+
+def _cmd_repl(args: argparse.Namespace) -> int:
+    from .api.engine import QueryEngine
+    from .db.database import Database
+    from .lang.repl import run_repl
+    from .lang.session import Session
+
+    database = Database()
+    _load_files(database, args.files)
+    kwargs = {} if args.parallelism is None else {"parallelism": args.parallelism}
+    engine = QueryEngine(database, **kwargs)
+    run_repl(Session(engine=engine), timeout=args.timeout)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .api.engine import QueryEngine
+    from .db.database import Database
+    from .server.server import QueryServer
+
+    database = Database()
+    _load_files(database, args.files)
+    kwargs = {} if args.parallelism is None else {"parallelism": args.parallelism}
+    engine = QueryEngine(database, **kwargs)
+    server = QueryServer(
+        engine=engine,
+        host=args.host,
+        port=args.port,
+        max_concurrency=args.max_concurrency,
+        max_queue_depth=args.max_queue_depth,
+        default_timeout=args.timeout,
+        max_timeout=args.max_timeout,
+    )
+
+    async def run() -> None:
+        await server.start()
+        print(f"repro server listening on {server.address}")
+        try:
+            await server.serve_forever()
+        finally:
+            await server.shutdown()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("draining...")
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    from .server.client import QueryClient, ServerError
+
+    statements = args.statements
+    if not statements:
+        statements = [
+            line.strip()
+            for line in sys.stdin
+            if line.strip() and not line.strip().startswith("#")
+        ]
+
+    async def run() -> int:
+        failures = 0
+        client = await QueryClient.connect(args.host, args.port)
+        try:
+            for statement in statements:
+                try:
+                    document = await client.execute(
+                        statement, timeout=args.timeout
+                    )
+                except ServerError as error:
+                    failures += 1
+                    print(error.document.get("diagnostic") or f"error: {error}")
+                    continue
+                kind = document.get("kind")
+                payload = document.get("payload", {})
+                if kind == "exists":
+                    print(str(payload.get("answer")).lower())
+                elif kind == "count":
+                    print(payload.get("row_count"))
+                elif kind == "select":
+                    for row in document.get("rows", []):
+                        print(tuple(row))
+                else:
+                    print(payload.get("text", payload))
+        finally:
+            await client.close()
+        return 1 if failures else 0
+
+    return asyncio.run(run())
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "repl":
+        return _cmd_repl(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    return _cmd_client(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - direct execution
+    sys.exit(main())

@@ -53,6 +53,20 @@ class ExecutionResult:
     #: Worker count the VM scheduled the run with (1 = sequential); the
     #: per-operator traces carry the ``worker``/``morsel_count`` details.
     parallelism: int = 1
+    #: Operators the parallel scheduler computed speculatively (excluded
+    #: from the trace list).
+    speculative_ops: int = 0
+    #: Operators abandoned before completion — doomed-subtree cancellation
+    #: in a parallel run, or (either scheduler) operators never evaluated
+    #: because a :class:`~repro.exec.vm.CancellationToken` fired mid-run.
+    cancelled_ops: int = 0
+    #: Whether the run was cut short by a deadline expiring.  The traces
+    #: then cover only the operators that completed before the cut.
+    timed_out: bool = False
+    #: Whether a cancellation token cut the run short (deadline expiry
+    #: or explicit cancel).  Distinguishes token cuts from the benign
+    #: doomed-subtree ``cancelled_ops`` of a completed parallel run.
+    cancelled: bool = False
 
     def total_intermediate_tuples(self) -> int:
         """Rows materialized by non-leaf operators (or step outputs, if any)."""
@@ -73,6 +87,28 @@ class ExecutionResult:
             seconds=result.seconds,
             operators=list(result.traces),
             parallelism=getattr(result, "parallelism", 1),
+            speculative_ops=getattr(result, "speculative_ops", 0),
+            cancelled_ops=getattr(result, "cancelled_ops", 0),
+        )
+
+    @classmethod
+    def from_cancellation(cls, exc) -> "ExecutionResult":
+        """The partial execution record of a cancelled VM run.
+
+        ``exc`` is the :class:`~repro.exec.vm.QueryCancelled` the VM
+        raised: the traces cover the operators that completed before the
+        token fired, ``cancelled_ops`` counts the abandoned ones, and
+        ``answer`` is vacuously ``False`` (no answer was produced).
+        """
+        return cls(
+            answer=False,
+            steps=[],
+            seconds=getattr(exc, "seconds", 0.0),
+            operators=list(getattr(exc, "traces", [])),
+            parallelism=getattr(exc, "parallelism", 1),
+            cancelled_ops=getattr(exc, "cancelled_ops", 0),
+            timed_out=getattr(exc, "timed_out", False),
+            cancelled=True,
         )
 
     def describe(self) -> str:
@@ -80,6 +116,10 @@ class ExecutionResult:
         lines = [f"answer: {self.answer}  ({self.seconds * 1000:.2f} ms)"]
         if self.parallelism > 1:
             lines[0] += f"  [workers={self.parallelism}]"
+        if self.timed_out:
+            lines[0] += f"  [TIMED OUT; {self.cancelled_ops} operators abandoned]"
+        elif self.cancelled:
+            lines[0] += f"  [CANCELLED; {self.cancelled_ops} operators abandoned]"
         for trace in self.steps:
             block = "".join(sorted(trace.block))
             detail = (

@@ -25,6 +25,11 @@ from .generators import (
     skewed_pairs,
     triangle_instance,
 )
+from .loader import (
+    infer_column,
+    load_table,
+    sniff_delimiter,
+)
 from .joins import (
     default_variable_order,
     generic_join,
@@ -60,6 +65,8 @@ __all__ = [
     "four_cycle_instance",
     "generic_join",
     "generic_join_boolean",
+    "infer_column",
+    "load_table",
     "naive_boolean",
     "naive_join",
     "parse_query",
@@ -68,6 +75,7 @@ __all__ = [
     "random_database",
     "random_pairs",
     "skewed_pairs",
+    "sniff_delimiter",
     "triangle_instance",
     "yannakakis_boolean",
 ]

@@ -114,6 +114,31 @@ class Database:
             self._version += 1
         return self
 
+    def load_csv(
+        self,
+        path: str,
+        name: Optional[str] = None,
+        *,
+        delimiter: Optional[str] = None,
+        header: Union[bool, str] = "auto",
+    ) -> Relation:
+        """Load a CSV/TSV file as a relation and store it under ``name``.
+
+        A thin wrapper over :func:`repro.db.loader.load_table` (delimiter
+        sniffing, header auto-detection, per-column int/str inference)
+        that stores the result in the database — converting to the
+        database backend and bumping the version so cached plans
+        re-validate.  ``name`` defaults to the file's stem.  Returns the
+        stored relation.
+        """
+        from .loader import load_table
+
+        relation = load_table(
+            path, name=name, delimiter=delimiter, header=header, backend=self.backend
+        )
+        self[relation.name] = relation
+        return self[relation.name]
+
     def convert_backend(self, backend: Optional[str]) -> "Database":
         """Convert every stored relation to ``backend`` and adopt it as default.
 

@@ -39,7 +39,9 @@ from .dispatch import (
     KernelDispatcher,
 )
 from .vm import (
+    CancellationToken,
     OpTrace,
+    QueryCancelled,
     ResultCache,
     ResultCacheStats,
     VirtualMachine,
@@ -71,6 +73,7 @@ __all__ = [
     "All_",
     "Antijoin",
     "Any_",
+    "CancellationToken",
     "Count",
     "DEFAULT_MORSEL_SIZE",
     "DispatchStats",
@@ -92,6 +95,7 @@ __all__ = [
     "OptimizeStats",
     "Program",
     "Project",
+    "QueryCancelled",
     "ResultCache",
     "ResultCacheStats",
     "Restrict",

@@ -125,6 +125,94 @@ class _NotReady(Exception):
         self.node = node
 
 
+# ----------------------------------------------------------------------
+# Cooperative cancellation
+# ----------------------------------------------------------------------
+class CancellationToken:
+    """A thread-safe flag threaded through a VM run for cooperative cancels.
+
+    Two ways a token fires: an explicit :meth:`cancel` (a client
+    disconnected, the server is draining) or a *deadline* — a monotonic
+    timestamp after which the token reports cancelled and
+    :attr:`timed_out` is true.  Both schedulers consult the token between
+    operators (and the WCOJ row search consults it between bound-variable
+    extensions), so cancellation latency is one operator/kernel call, not
+    one query.  Checks are lock-free reads; tokens are cheap enough to
+    build one per ask.
+    """
+
+    __slots__ = ("_cancelled", "_deadline", "_timed_out")
+
+    def __init__(self, deadline: Optional[float] = None) -> None:
+        #: Absolute ``time.monotonic()`` timestamp, or ``None``.
+        self._deadline = deadline
+        self._cancelled = False
+        self._timed_out = False
+
+    @classmethod
+    def with_deadline(cls, seconds: float) -> "CancellationToken":
+        """A token that fires ``seconds`` from now (``<= 0`` fires at once)."""
+        return cls(deadline=time.monotonic() + seconds)
+
+    def cancel(self) -> None:
+        """Fire the token explicitly (idempotent; never marks a timeout)."""
+        self._cancelled = True
+
+    @property
+    def deadline(self) -> Optional[float]:
+        return self._deadline
+
+    def remaining(self) -> Optional[float]:
+        """Seconds until the deadline (``None`` without one; may be < 0)."""
+        if self._deadline is None:
+            return None
+        return self._deadline - time.monotonic()
+
+    @property
+    def cancelled(self) -> bool:
+        if self._cancelled:
+            return True
+        if self._deadline is not None and time.monotonic() >= self._deadline:
+            self._timed_out = True
+            self._cancelled = True
+            return True
+        return False
+
+    @property
+    def timed_out(self) -> bool:
+        """Whether the cancellation came from the deadline expiring."""
+        return self.cancelled and self._timed_out
+
+    def check(self) -> None:
+        """Raise :class:`QueryCancelled` if the token has fired."""
+        if self.cancelled:
+            raise QueryCancelled(timed_out=self._timed_out)
+
+
+class QueryCancelled(RuntimeError):
+    """A VM run was cancelled (deadline expiry or explicit cancel).
+
+    The VM enriches the exception on its way out with the partial traces
+    of the operators that *did* complete, how many program operators were
+    abandoned (``cancelled_ops``), and the scheduling mode — so callers
+    (the engine, and through it the server) can report timeout-triggered
+    cancellation uniformly for sequential and parallel runs.
+    """
+
+    def __init__(self, timed_out: bool = False) -> None:
+        super().__init__(
+            "query execution timed out" if timed_out else "query execution cancelled"
+        )
+        self.timed_out = timed_out
+        #: Operators abandoned by the cancellation (not evaluated, or
+        #: evaluated speculatively and discarded).
+        self.cancelled_ops = 0
+        #: Traces of the operators that completed before the token fired.
+        self.traces: List["OpTrace"] = []
+        self.parallelism = 1
+        self.seconds = 0.0
+
+
 @dataclass
 class OpTrace:
     """Diagnostics for one executed operator."""
@@ -404,6 +492,13 @@ class VirtualMachine:
         executor.  This is the mode :meth:`~repro.api.QueryEngine.ask_many`
         uses for its batch shards — the shard tasks occupy the DAG
         executor, so nesting DAG scheduling inside them could starve it.
+    token:
+        Optional :class:`CancellationToken`.  Both schedulers check it
+        cooperatively between operators (and inside the WCOJ row search),
+        raising :class:`QueryCancelled` — carrying the partial traces and
+        the abandoned-operator count — when it fires.  Already-completed
+        operator results stay in the shared result cache (they are
+        correct), so a timed-out ask never poisons later ones.
     """
 
     def __init__(
@@ -415,6 +510,7 @@ class VirtualMachine:
         parallelism: int = 1,
         pool: Optional[WorkerPool] = None,
         dag_scheduling: bool = True,
+        token: Optional[CancellationToken] = None,
     ) -> None:
         if parallelism < 1:
             raise ValueError("parallelism must be at least 1")
@@ -423,6 +519,7 @@ class VirtualMachine:
         self.dispatcher = dispatcher if dispatcher is not None else DEFAULT_DISPATCHER
         self.parallelism = parallelism
         self.dag_scheduling = dag_scheduling
+        self.token = token
         self._owns_pool = False
         if parallelism > 1 and pool is None:
             pool = WorkerPool(parallelism)
@@ -447,21 +544,34 @@ class VirtualMachine:
         ids = program.node_ids()
         fingerprint = self.database.statistics_fingerprint()
         context = _EvalContext(self)
-        if self.pool is not None and self.dag_scheduling and self.parallelism > 1:
-            result = _ParallelRun(self, program, ids, fingerprint, context).execute()
-        else:
-            state = _RunState(self, ids, fingerprint, context)
-            payload = state.eval(program.root)
-            answer, relation, row_count = _interpret_root(payload)
-            result = VMResult(
-                answer=answer,
-                relation=relation,
-                row_count=row_count,
-                traces=state.traces,
-                cache_hits=state.cache_hits,
-                cache_misses=state.cache_misses,
-                parallelism=1,
-            )
+        try:
+            if self.pool is not None and self.dag_scheduling and self.parallelism > 1:
+                result = _ParallelRun(self, program, ids, fingerprint, context).execute()
+            else:
+                state = _RunState(self, ids, fingerprint, context)
+                try:
+                    payload = state.eval(program.root)
+                except QueryCancelled as exc:
+                    # Uniform cancellation reporting: the sequential
+                    # interpreter counts its abandoned operators the same
+                    # way the parallel scheduler does.
+                    exc.cancelled_ops = len(ids) - len(state.traces)
+                    exc.traces = list(state.traces)
+                    exc.parallelism = 1
+                    raise
+                answer, relation, row_count = _interpret_root(payload)
+                result = VMResult(
+                    answer=answer,
+                    relation=relation,
+                    row_count=row_count,
+                    traces=state.traces,
+                    cache_hits=state.cache_hits,
+                    cache_misses=state.cache_misses,
+                    parallelism=1,
+                )
+        except QueryCancelled as exc:
+            exc.seconds = time.perf_counter() - start
+            raise
         result.seconds = time.perf_counter() - start
         return result
 
@@ -511,8 +621,16 @@ class _EvalContext:
         the operands' lazily-built shared caches (dictionary indexes,
         composite-key sort orders) are warmed once instead of raced.
         """
+        token = self.vm.token
         if self.pool is None or len(thunks) <= 1:
-            return [thunk() for thunk in thunks]
+            results = []
+            for thunk in thunks:
+                if token is not None:
+                    # Bound cancellation latency to one morsel when the
+                    # operator was split but runs on the calling thread.
+                    token.check()
+                results.append(thunk())
+            return results
         first = thunks[0]()
         futures = [self.pool.submit_kernel(thunk) for thunk in thunks[1:]]
         return [first] + [future.result() for future in futures]
@@ -637,7 +755,9 @@ class _EvalContext:
         if isinstance(node, Wcoj):
             inputs = [self._relation(get, x) for x in node.inputs]
             rows_in = sum(len(r) for r in inputs)
-            rows = _wcoj_search(inputs, node.variable_order, node.find_all)
+            rows = _wcoj_search(
+                inputs, node.variable_order, node.find_all, token=self.vm.token
+            )
             backend = inputs[0].backend_kind if inputs else None
             return Relation(node.variable_order, rows, backend=backend), rows_in, extra
 
@@ -900,6 +1020,11 @@ class _RunState:
     def eval(self, node: Operator) -> Payload:
         if node in self.memo:
             return self.memo[node]
+        if self.vm.token is not None:
+            # The sequential interpreter's cooperative cancellation point:
+            # one check per operator evaluation, so a deadline fires within
+            # one kernel call even at parallelism=1.
+            self.vm.token.check()
         cache = self.vm.result_cache
         cache_key = None
         # Scans read straight from the database; Enumerate passes its
@@ -1094,7 +1219,19 @@ class _ParallelRun:
             while self.state[root] not in (_DONE, _FAILED):
                 self.done.wait()
         if self.state[root] == _FAILED:
-            raise self.failures[root]
+            failure = self.failures[root]
+            if isinstance(failure, QueryCancelled):
+                # Mirror the sequential interpreter's accounting: every
+                # operator that did not complete was abandoned by the
+                # cancellation (including the ones whose attempts raised).
+                failure.cancelled_ops = sum(
+                    1 for state in self.state.values() if state != _DONE
+                )
+                failure.traces = sorted(
+                    self.records.values(), key=lambda trace: trace.op_id
+                )
+                failure.parallelism = self.vm.parallelism
+            raise failure
         payload = self.memo[root]
         answer, relation, row_count = _interpret_root(payload)
         needed = self._needed_closure(root)
@@ -1225,6 +1362,11 @@ class _ParallelRun:
             self.done.notify_all()
 
     def _attempt(self, node: Operator) -> None:
+        if self.vm.token is not None:
+            # A fired token fails this node; the failure propagates through
+            # the scheduler's existing failure/cancel path (parents pull
+            # the failed child and fail in turn) up to the root.
+            self.vm.token.check()
         cache = self.vm.result_cache
         checked = False
         # Same exemptions as the sequential path: Scan and the
@@ -1310,12 +1452,20 @@ class _ParallelRun:
 # Row-loop kernels (moved from db/joins.py and core/executor.py)
 # ----------------------------------------------------------------------
 def _wcoj_search(
-    relations: Sequence[Relation], variable_order: Sequence[str], find_all: bool
+    relations: Sequence[Relation],
+    variable_order: Sequence[str],
+    find_all: bool,
+    token: Optional[CancellationToken] = None,
 ) -> List[Row]:
     """The GenericJoin backtracking search over pre-bound atom relations."""
     results: List[Row] = []
 
     def extend(assignment: Dict[str, object], depth: int) -> bool:
+        if token is not None:
+            # The exhaustive search is the one kernel whose single
+            # invocation can dominate a query, so it checks the token per
+            # extension step rather than only between operators.
+            token.check()
         if depth == len(variable_order):
             results.append(tuple(assignment[v] for v in variable_order))
             return True
@@ -1457,6 +1607,7 @@ def run_program(
     parallelism: int = 1,
     dispatcher: Optional[KernelDispatcher] = None,
     pool: Optional[WorkerPool] = None,
+    token: Optional[CancellationToken] = None,
 ) -> VMResult:
     """Convenience wrapper: execute one program on one database.
 
@@ -1469,6 +1620,7 @@ def run_program(
         dispatcher=dispatcher,
         parallelism=parallelism,
         pool=pool,
+        token=token,
     )
     try:
         return vm.run(program)

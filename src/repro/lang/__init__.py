@@ -1,0 +1,49 @@
+"""The query-language front door: lexer, parser, AST, sessions, REPL.
+
+The engine's Python API takes :class:`~repro.db.query.ConjunctiveQuery`
+objects; this package accepts *text*.  The grammar is the existing
+Datalog rule syntax (``Q(X, Z) :- R(X, Y), S(Y, Z).``) extended with
+statement forms for interactive and networked use::
+
+    LOAD edges FROM 'edges.csv'        -- CSV/TSV ingestion
+    EXISTS R(X, Y), S(Y, Z)            -- explicit verb forms
+    COUNT Q(X) :- R(X, Y)
+    SELECT Q(X, Z) :- R(X, Y), S(Y, Z) LIMIT 10
+    EXPLAIN Q(X, Z) :- R(X, Y), S(Y, Z)
+    \\stats  \\strategies  \\relations    -- meta commands
+
+A plain rule defaults to ``exists`` for a Boolean head and ``select``
+otherwise.  The rule sub-grammar is differentially equivalent to
+:func:`repro.db.query.parse_query` in strict mode — same accepted
+strings, same rejections — and every parse error is a
+:class:`~repro.db.query.QueryParseError` carrying a character span that
+:func:`caret_diagnostic` renders as a caret-underlined source excerpt.
+"""
+
+from .ast import (
+    LoadStatement,
+    MetaStatement,
+    QueryStatement,
+    Statement,
+)
+from .lexer import Token, tokenize
+from .parser import (
+    caret_diagnostic,
+    parse_query_text,
+    parse_statement,
+)
+from .session import Outcome, Session
+
+__all__ = [
+    "LoadStatement",
+    "MetaStatement",
+    "Outcome",
+    "QueryStatement",
+    "Session",
+    "Statement",
+    "Token",
+    "caret_diagnostic",
+    "parse_query_text",
+    "parse_statement",
+    "tokenize",
+]

@@ -1,0 +1,59 @@
+"""Statement AST for the query-language front door.
+
+Three statement families, all carrying their source text so errors and
+logs can echo what was actually typed:
+
+* :class:`QueryStatement` — a conjunctive-query rule plus the verb to
+  run it under (``exists``/``count``/``select``), an optional ``LIMIT``
+  and an ``EXPLAIN`` flag;
+* :class:`LoadStatement` — ``LOAD <relation> FROM '<path>'``;
+* :class:`MetaStatement` — backslash commands (``\\stats`` …).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..db.query import ConjunctiveQuery
+
+__all__ = ["LoadStatement", "MetaStatement", "QueryStatement", "Statement"]
+
+
+@dataclass(frozen=True)
+class Statement:
+    """Base class: the source text the statement was parsed from."""
+
+    text: str
+
+
+@dataclass(frozen=True)
+class QueryStatement(Statement):
+    """A rule to execute: ``[EXPLAIN] [verb] <rule> [LIMIT k]``.
+
+    ``verb`` is always concrete by the time the statement exists: a
+    plain rule defaults to ``exists`` when the head is Boolean and
+    ``select`` otherwise, and a verb keyword over a bare body implies
+    a head over all body variables (sorted) for ``count``/``select``.
+    """
+
+    query: ConjunctiveQuery = field(default=None)  # type: ignore[assignment]
+    verb: str = "exists"
+    limit: Optional[int] = None
+    explain: bool = False
+
+
+@dataclass(frozen=True)
+class LoadStatement(Statement):
+    """``LOAD <relation> FROM '<path>'`` — CSV/TSV ingestion."""
+
+    relation: str = ""
+    path: str = ""
+
+
+@dataclass(frozen=True)
+class MetaStatement(Statement):
+    """A backslash meta command, e.g. ``\\stats`` or ``\\help``."""
+
+    command: str = ""
+    arguments: Tuple[str, ...] = ()

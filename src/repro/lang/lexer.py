@@ -1,0 +1,105 @@
+"""Tokenizing query-language statements.
+
+A deliberately small token set: identifiers (with the prime suffixes the
+Datalog syntax allows, e.g. ``Z'``), integer literals (``LIMIT 10``),
+quoted strings (``LOAD R FROM 'edges.csv'``), and the handful of
+punctuation tokens the grammar uses.  Keywords are *contextual* — the
+lexer emits them as plain identifiers and the parser decides whether
+``count`` opens a verb form or names a relation, so existing queries
+over relations that happen to spell a keyword keep parsing.
+
+Lexing errors are :class:`~repro.db.query.QueryParseError`\\ s carrying
+the offending character span, the same contract as the parser.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..db.query import QueryParseError
+
+__all__ = ["Token", "tokenize"]
+
+#: Identifier pattern — identical to the Datalog parser's variable and
+#: relation-name pattern, primes included.  Tried before string literals
+#: so ``Z'`` lexes as one identifier, not an ident and an open quote.
+_IDENT = re.compile(r"[A-Za-z_][A-Za-z0-9_']*")
+_NUMBER = re.compile(r"[0-9]+")
+_WHITESPACE = re.compile(r"\s+")
+
+_PUNCTUATION: Tuple[Tuple[str, str], ...] = (
+    (":-", "IMPLIES"),
+    ("(", "LPAREN"),
+    (")", "RPAREN"),
+    (",", "COMMA"),
+    (".", "DOT"),
+    (";", "SEMI"),
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexeme: kind, raw text, and its character span in the source."""
+
+    kind: str
+    value: str
+    start: int
+    end: int
+
+    @property
+    def span(self) -> Tuple[int, int]:
+        return (self.start, self.end)
+
+    def matches_keyword(self, word: str) -> bool:
+        """Case-insensitive contextual-keyword test (identifiers only)."""
+        return self.kind == "IDENT" and self.value.lower() == word
+
+
+def tokenize(text: str) -> List[Token]:
+    """Lex ``text`` into tokens (no EOF sentinel; the parser tracks it)."""
+    tokens: List[Token] = []
+    position = 0
+    length = len(text)
+    while position < length:
+        space = _WHITESPACE.match(text, position)
+        if space:
+            position = space.end()
+            continue
+        ident = _IDENT.match(text, position)
+        if ident:
+            tokens.append(Token("IDENT", ident.group(), ident.start(), ident.end()))
+            position = ident.end()
+            continue
+        number = _NUMBER.match(text, position)
+        if number:
+            tokens.append(
+                Token("NUMBER", number.group(), number.start(), number.end())
+            )
+            position = number.end()
+            continue
+        char = text[position]
+        if char in ("'", '"'):
+            closing = text.find(char, position + 1)
+            if closing < 0:
+                raise QueryParseError(
+                    "unterminated string literal", text, (position, length)
+                )
+            tokens.append(
+                Token("STRING", text[position + 1 : closing], position, closing + 1)
+            )
+            position = closing + 1
+            continue
+        for literal, kind in _PUNCTUATION:
+            if text.startswith(literal, position):
+                tokens.append(
+                    Token(kind, literal, position, position + len(literal))
+                )
+                position += len(literal)
+                break
+        else:
+            raise QueryParseError(
+                f"unexpected character {char!r}", text, (position, position + 1)
+            )
+    return tokens

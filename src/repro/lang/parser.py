@@ -1,0 +1,314 @@
+"""Recursive-descent parser for query-language statements.
+
+The rule sub-grammar is the strict-mode grammar of
+:func:`repro.db.query.parse_query`::
+
+    rule    := head ":-" body | body
+    head    := <empty> | IDENT | IDENT "(" varlist? ")"
+    body    := atom ("," atom)*
+    atom    := IDENT "(" varlist ")"
+    varlist := IDENT ("," IDENT)*
+
+:func:`parse_query_text` exposes exactly that — the differential tests
+assert it accepts and rejects the same strings as ``parse_query`` and
+builds equal :class:`~repro.db.query.ConjunctiveQuery` objects.
+:func:`parse_statement` wraps the rule grammar in the statement forms
+(``LOAD``, verb keywords, ``EXPLAIN``, ``LIMIT``, ``\\meta``, an
+optional ``.``/``;`` terminator).  Keywords are contextual: an
+identifier only acts as one when it is *not* immediately followed by
+``(``, so relations named ``count`` or ``select`` keep working.
+
+All errors are :class:`~repro.db.query.QueryParseError` with character
+spans; :func:`caret_diagnostic` renders them as caret-underlined
+source excerpts.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from ..db.query import Atom, ConjunctiveQuery, QueryParseError
+from .ast import LoadStatement, MetaStatement, QueryStatement, Statement
+from .lexer import Token, tokenize
+
+__all__ = ["caret_diagnostic", "parse_query_text", "parse_statement"]
+
+#: Verb keywords usable as statement prefixes (contextual).
+_VERBS = ("exists", "count", "select")
+
+
+class _Parser:
+    """A token cursor over one statement with span-carrying errors."""
+
+    def __init__(self, text: str, tokens: List[Token], limit: Optional[int] = None):
+        self.text = text
+        self.tokens = tokens if limit is None else tokens[:limit]
+        self.position = 0
+
+    # -- cursor helpers -------------------------------------------------
+    def peek(self, ahead: int = 0) -> Optional[Token]:
+        index = self.position + ahead
+        return self.tokens[index] if index < len(self.tokens) else None
+
+    def advance(self) -> Token:
+        token = self.tokens[self.position]
+        self.position += 1
+        return token
+
+    def at_end(self) -> bool:
+        return self.position >= len(self.tokens)
+
+    def _end_span(self) -> Tuple[int, int]:
+        if self.tokens:
+            end = self.tokens[-1].end
+            return (end, end)
+        return (len(self.text), len(self.text))
+
+    def error(self, message: str, token: Optional[Token] = None) -> "QueryParseError":
+        span = token.span if token is not None else self._end_span()
+        return QueryParseError(message, self.text, span)
+
+    def expect(self, kind: str, what: str) -> Token:
+        token = self.peek()
+        if token is None:
+            raise self.error(f"expected {what}, found end of statement")
+        if token.kind != kind:
+            raise self.error(f"expected {what}, found {token.value!r}", token)
+        return self.advance()
+
+    # -- the rule grammar ----------------------------------------------
+    def parse_rule(
+        self, default_name: Optional[str] = None
+    ) -> Tuple[ConjunctiveQuery, bool]:
+        """Parse ``[head :-] body``; returns (query, head_was_present).
+
+        The head boundary is the first ``:-`` token, mirroring
+        ``parse_query``'s ``text.split(":-", 1)``.
+        """
+        implies = next(
+            (
+                index
+                for index in range(self.position, len(self.tokens))
+                if self.tokens[index].kind == "IMPLIES"
+            ),
+            None,
+        )
+        name: Optional[str] = None
+        outputs: Tuple[str, ...] = ()
+        has_head = implies is not None
+        if has_head:
+            head = _Parser(self.text, self.tokens[self.position : implies])
+            name, outputs = head.parse_head()
+            self.position = implies + 1
+        name = default_name or name
+        atoms = [self.parse_atom()]
+        while True:
+            token = self.peek()
+            if token is None or token.kind != "COMMA":
+                break
+            self.advance()
+            atoms.append(self.parse_atom())
+        span = (self.tokens[0].start, self.tokens[-1].end) if self.tokens else (0, 0)
+        try:
+            query = ConjunctiveQuery(
+                tuple(atoms), name=name or "Q", output_variables=outputs
+            )
+        except ValueError as error:
+            raise QueryParseError(str(error), self.text, span) from None
+        return query, has_head
+
+    def parse_head(self) -> Tuple[Optional[str], Tuple[str, ...]]:
+        """The tokens before ``:-``: empty, a bare name, or one atom."""
+        if self.at_end():
+            return None, ()
+        name = self.expect("IDENT", "a query name").value
+        if self.at_end():
+            return name, ()
+        self.expect("LPAREN", "'(' or ':-' after the query name")
+        outputs: List[str] = []
+        token = self.peek()
+        if token is not None and token.kind == "RPAREN":
+            self.advance()
+        else:
+            outputs.append(self.expect("IDENT", "an output variable").value)
+            while True:
+                token = self.peek()
+                if token is not None and token.kind == "COMMA":
+                    self.advance()
+                    outputs.append(self.expect("IDENT", "an output variable").value)
+                    continue
+                break
+            self.expect("RPAREN", "')' closing the query head")
+        if not self.at_end():
+            raise self.error(
+                "malformed query head: unexpected text after the head atom",
+                self.peek(),
+            )
+        return name, tuple(outputs)
+
+    def parse_atom(self) -> Atom:
+        opening = self.expect("IDENT", "a relation atom")
+        self.expect("LPAREN", f"'(' after relation name {opening.value!r}")
+        variables: List[str] = []
+        token = self.peek()
+        if token is not None and token.kind == "RPAREN":
+            closing = self.advance()
+        else:
+            variables.append(self.expect("IDENT", "a variable").value)
+            while True:
+                token = self.peek()
+                if token is not None and token.kind == "COMMA":
+                    self.advance()
+                    variables.append(self.expect("IDENT", "a variable").value)
+                    continue
+                break
+            closing = self.expect("RPAREN", "')' closing the atom")
+        try:
+            return Atom(opening.value, tuple(variables))
+        except ValueError as error:
+            raise QueryParseError(
+                str(error), self.text, (opening.start, closing.end)
+            ) from None
+
+
+def parse_query_text(
+    text: str, name: Optional[str] = None
+) -> ConjunctiveQuery:
+    """Parse a bare rule — the strict :func:`parse_query` equivalent.
+
+    Unlike :func:`parse_statement` there is no verb prefix, ``LIMIT``
+    clause or trailing terminator: the whole string must be one rule,
+    exactly as ``parse_query`` demands.  ``name`` overrides the head
+    name the same way.
+    """
+    parser = _Parser(text, tokenize(text))
+    if parser.at_end():
+        raise QueryParseError(
+            f"could not parse any atoms from {text!r}", text, (0, len(text))
+        )
+    query, _ = parser.parse_rule(name)
+    if not parser.at_end():
+        raise parser.error(
+            "malformed query: unexpected text after the rule", parser.peek()
+        )
+    return query
+
+
+def parse_statement(text: str, name: Optional[str] = None) -> Statement:
+    """Parse one front-door statement (query, ``LOAD``, or ``\\meta``)."""
+    stripped = text.strip()
+    if not stripped:
+        raise QueryParseError("empty statement", text, (0, len(text)))
+    if stripped.startswith("\\"):
+        words = stripped[1:].split()
+        if not words or not words[0]:
+            raise QueryParseError(
+                "empty meta command", text, (0, len(text))
+            )
+        return MetaStatement(
+            text=text, command=words[0].lower(), arguments=tuple(words[1:])
+        )
+
+    parser = _Parser(text, tokenize(text))
+    first = parser.peek()
+    follower = parser.peek(1)
+    atom_start = follower is not None and follower.kind == "LPAREN"
+
+    if first is not None and first.matches_keyword("load") and not atom_start:
+        return _parse_load(parser)
+
+    explain = False
+    if first is not None and first.matches_keyword("explain") and not atom_start:
+        parser.advance()
+        explain = True
+        first = parser.peek()
+        follower = parser.peek(1)
+        atom_start = follower is not None and follower.kind == "LPAREN"
+
+    verb: Optional[str] = None
+    if first is not None and not atom_start:
+        for candidate in _VERBS:
+            if first.matches_keyword(candidate):
+                parser.advance()
+                verb = candidate
+                break
+
+    if parser.at_end():
+        raise parser.error("expected a query rule, found end of statement")
+    query, has_head = parser.parse_rule(name)
+    if verb is None:
+        verb = "exists" if query.is_boolean else "select"
+    elif verb in ("count", "select") and not has_head and query.is_boolean:
+        # A verb over a bare body implies a head over every body
+        # variable: COUNT R(X, Y) counts the distinct (X, Y) bindings.
+        query = query.with_outputs(sorted(query.variables))
+
+    limit: Optional[int] = None
+    token = parser.peek()
+    if token is not None and token.matches_keyword("limit"):
+        if verb != "select":
+            raise parser.error(
+                f"LIMIT applies to SELECT statements, not {verb.upper()}", token
+            )
+        parser.advance()
+        limit = int(parser.expect("NUMBER", "a row limit after LIMIT").value)
+    _consume_terminator(parser)
+    return QueryStatement(
+        text=text, query=query, verb=verb, limit=limit, explain=explain
+    )
+
+
+def _parse_load(parser: _Parser) -> LoadStatement:
+    parser.advance()  # LOAD
+    relation = parser.expect("IDENT", "a relation name after LOAD").value
+    keyword = parser.peek()
+    if keyword is None or not keyword.matches_keyword("from"):
+        raise parser.error("expected FROM after the relation name", keyword)
+    parser.advance()
+    path = parser.expect("STRING", "a quoted file path after FROM").value
+    _consume_terminator(parser)
+    return LoadStatement(text=parser.text, relation=relation, path=path)
+
+
+def _consume_terminator(parser: _Parser) -> None:
+    """Allow one optional ``.`` or ``;`` terminator, then require the end."""
+    token = parser.peek()
+    if token is not None and token.kind in ("DOT", "SEMI"):
+        parser.advance()
+    if not parser.at_end():
+        raise parser.error(
+            "unexpected text after the statement", parser.peek()
+        )
+
+
+# ----------------------------------------------------------------------
+#: The "(at characters i..j of '...')" suffix QueryParseError appends;
+#: stripped for caret rendering since the excerpt shows the location.
+_LOCATION_SUFFIX = re.compile(r"\s*\(at characters \d+\.\.\d+ of .*\)\s*$", re.DOTALL)
+
+
+def caret_diagnostic(error: QueryParseError) -> str:
+    """Render a parse error as a caret-underlined source excerpt::
+
+        parse error: expected a variable, found ')'
+          Q(X) :- R(X,)
+                      ^
+    """
+    source = error.source
+    start, end = error.span
+    line_start = source.rfind("\n", 0, start) + 1
+    line_end = source.find("\n", start)
+    if line_end < 0:
+        line_end = len(source)
+    line = source[line_start:line_end]
+    column = start - line_start
+    width = max(1, min(end, line_end) - start)
+    message = _LOCATION_SUFFIX.sub("", str(error))
+    return "\n".join(
+        [
+            f"parse error: {message}",
+            f"  {line}",
+            "  " + " " * column + "^" * width,
+        ]
+    )

@@ -1,0 +1,76 @@
+"""An interactive line-oriented REPL over a :class:`Session`.
+
+Reads one statement per line, executes it, prints the rendered
+outcome.  Parse errors render as caret diagnostics pointing at the
+offending span; engine errors (timeouts, unsupported verbs, missing
+relations) print their message and keep the session alive.  Streams are
+injectable so tests (and the console entry point) drive it without a
+TTY.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO, Optional
+
+from ..api.errors import EngineError, QueryTimeout
+from ..db.query import QueryParseError
+from .parser import caret_diagnostic
+from .session import Session
+
+__all__ = ["run_repl"]
+
+BANNER = "repro query shell — \\help for syntax, \\quit to leave"
+
+
+def run_repl(
+    session: Optional[Session] = None,
+    *,
+    input_stream: Optional[IO[str]] = None,
+    output: Optional[IO[str]] = None,
+    prompt: str = "repro> ",
+    timeout: Optional[float] = None,
+    banner: bool = True,
+) -> Session:
+    """Run statements from ``input_stream`` until EOF or ``\\quit``.
+
+    ``timeout`` (seconds) applies per statement.  Returns the session so
+    callers can inspect the database afterwards.
+    """
+    session = session if session is not None else Session()
+    stream = input_stream if input_stream is not None else sys.stdin
+    out = output if output is not None else sys.stdout
+
+    def emit(text: str) -> None:
+        out.write(text + "\n")
+        out.flush()
+
+    if banner:
+        emit(BANNER)
+    while True:
+        out.write(prompt)
+        out.flush()
+        line = stream.readline()
+        if not line:
+            break
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            outcome = session.execute(line, timeout=timeout)
+        except QueryParseError as error:
+            emit(caret_diagnostic(error))
+            continue
+        except QueryTimeout as error:
+            emit(f"timeout: {error}")
+            continue
+        except (EngineError, KeyError, ValueError, OSError) as error:
+            message = error.args[0] if error.args else error
+            emit(f"error: {message}")
+            continue
+        if outcome.kind == "quit":
+            break
+        rendered = outcome.describe()
+        if rendered:
+            emit(rendered)
+    return session

@@ -1,0 +1,21 @@
+"""Concurrent query serving over line-delimited JSON sockets.
+
+:class:`QueryServer` multiplexes many client sessions over one shared
+:class:`~repro.api.engine.QueryEngine` with bounded admission control,
+per-query deadlines threaded into the VM's cooperative cancellation,
+morsel-sized streaming for ``select``, and graceful drain-on-shutdown.
+:class:`QueryClient` is the matching asyncio client.
+"""
+
+from .protocol import PROTOCOL_VERSION, decode_line, encode_message
+from .server import QueryServer
+from .client import QueryClient, ServerError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "QueryClient",
+    "QueryServer",
+    "ServerError",
+    "decode_line",
+    "encode_message",
+]

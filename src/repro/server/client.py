@@ -1,0 +1,115 @@
+"""An asyncio client for the line-JSON query protocol.
+
+:meth:`QueryClient.execute` sends one statement and collects the full
+response — streamed ``select`` batches are folded into ``rows`` in
+arrival order — returning the final ``result`` document.  Server-side
+failures raise :class:`ServerError` carrying the error ``code`` and,
+for ``overloaded`` rejections, the server's ``retry_after`` hint (used
+by :meth:`execute_with_retry`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, List, Optional
+
+from .protocol import decode_line, encode_message
+
+__all__ = ["QueryClient", "ServerError"]
+
+
+class ServerError(RuntimeError):
+    """The server answered with an ``error`` document."""
+
+    def __init__(self, document: Dict[str, Any]) -> None:
+        self.document = document
+        self.code = str(document.get("code", "error"))
+        self.retry_after: Optional[float] = document.get("retry_after")
+        self.partial: Optional[Dict[str, Any]] = document.get("partial")
+        super().__init__(f"[{self.code}] {document.get('message', '')}")
+
+
+class QueryClient:
+    """One connection to a :class:`~repro.server.server.QueryServer`."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._request_id = 0
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "QueryClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def __aenter__(self) -> "QueryClient":
+        return self
+
+    async def __aexit__(self, *exc: object) -> None:
+        await self.close()
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+
+    # ------------------------------------------------------------------
+    async def execute(
+        self, statement: str, *, timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """Run one statement; returns the final ``result`` document.
+
+        ``select`` results carry the streamed rows under ``"rows"``
+        (tuples arrive as lists) and the batch count the server used
+        under ``payload["batches"]``.  Error responses raise
+        :class:`ServerError`.
+        """
+        self._request_id += 1
+        request_id = self._request_id
+        request: Dict[str, Any] = {"id": request_id, "statement": statement}
+        if timeout is not None:
+            request["timeout"] = timeout
+        self._writer.write(encode_message(request))
+        await self._writer.drain()
+
+        rows: List[List[Any]] = []
+        while True:
+            line = await self._reader.readline()
+            if not line:
+                raise ConnectionError("server closed the connection mid-request")
+            document = decode_line(line)
+            if document.get("id") != request_id:
+                # Stale lines from an earlier, abandoned request.
+                continue
+            kind = document.get("type")
+            if kind == "batch":
+                rows.extend(document.get("rows", []))
+                continue
+            if kind == "error":
+                raise ServerError(document)
+            if kind == "result":
+                if document.get("kind") == "select":
+                    document["rows"] = rows
+                return document
+            raise ValueError(f"unexpected message type {kind!r}")
+
+    async def execute_with_retry(
+        self,
+        statement: str,
+        *,
+        timeout: Optional[float] = None,
+        attempts: int = 5,
+    ) -> Dict[str, Any]:
+        """Like :meth:`execute`, sleeping out ``overloaded`` rejections."""
+        for attempt in range(attempts):
+            try:
+                return await self.execute(statement, timeout=timeout)
+            except ServerError as error:
+                if error.code != "overloaded" or attempt == attempts - 1:
+                    raise
+                await asyncio.sleep(error.retry_after or 0.05)
+        raise AssertionError("unreachable")  # pragma: no cover

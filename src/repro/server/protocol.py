@@ -1,0 +1,50 @@
+"""The line-JSON wire protocol shared by server and client.
+
+One JSON document per ``\\n``-terminated line, both directions.
+
+Requests::
+
+    {"id": 7, "statement": "COUNT R(X, Y)", "timeout": 5.0}
+
+``id`` is echoed on every response line for that request (requests on
+one connection are processed in order, but clients may still pipeline).
+``timeout`` (seconds) is optional; the server clamps it to its
+``max_timeout``.
+
+Responses — ``type`` is one of:
+
+* ``result`` — the statement finished; ``kind``/``payload`` mirror
+  :class:`repro.lang.session.Outcome` (for ``select`` the payload's
+  ``row_count`` arrives here, after the batches);
+* ``batch`` — one morsel of a ``select`` stream: ``seq`` (0-based) and
+  ``rows`` (list of row lists);
+* ``error`` — ``code`` in ``parse_error`` (with a caret ``diagnostic``),
+  ``timeout`` (with the ``partial`` result document), ``cancelled``,
+  ``overloaded`` (admission rejection, with ``retry_after`` seconds),
+  ``shutting_down``, ``bad_request``, or ``engine_error``.
+
+Every response carries ``protocol_version`` — the
+:data:`repro.api.engine.PROTOCOL_VERSION` of the result documents.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from ..api.engine import PROTOCOL_VERSION
+
+__all__ = ["PROTOCOL_VERSION", "decode_line", "encode_message"]
+
+
+def encode_message(message: Dict[str, Any]) -> bytes:
+    """One response/request document as a ``\\n``-terminated JSON line."""
+    return (json.dumps(message, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_line(line: bytes) -> Dict[str, Any]:
+    """Parse one wire line; raises ``ValueError`` on malformed input."""
+    document = json.loads(line.decode("utf-8"))
+    if not isinstance(document, dict):
+        raise ValueError("wire messages must be JSON objects")
+    return document

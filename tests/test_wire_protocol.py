@@ -1,0 +1,96 @@
+"""The QueryResult wire schema: versioning, round-trips, golden pinning."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.api.engine import PROTOCOL_VERSION, QueryResult
+from repro.api import QueryEngine
+from repro.db import Database, Relation, parse_query
+
+GOLDEN = Path(__file__).parent / "golden" / "query_result_v1.json"
+
+
+def engine():
+    edges = [(1, 2), (2, 3), (3, 1), (1, 3)]
+    db = Database()
+    db["R"] = Relation.from_pairs(("a", "b"), edges, "R")
+    db["S"] = Relation.from_pairs(("a", "b"), edges, "S")
+    return QueryEngine(db)
+
+
+class TestGoldenDocument:
+    """The v1 document is pinned: decoding and re-encoding is the identity.
+
+    If a to_dict change breaks this test, the wire format changed — bump
+    PROTOCOL_VERSION and add a new golden file instead of editing this
+    one.
+    """
+
+    def test_golden_round_trips_exactly(self):
+        document = json.loads(GOLDEN.read_text(encoding="utf-8"))
+        assert document["protocol_version"] == 1
+        rebuilt = QueryResult.from_dict(document)
+        assert rebuilt.to_dict() == document
+
+    def test_golden_semantic_fields(self):
+        result = QueryResult.from_dict(json.loads(GOLDEN.read_text(encoding="utf-8")))
+        assert result.verb == "count"
+        assert result.row_count == 7
+        assert result.output_variables == ("X", "Z")
+        assert result.query.relation_names == ("R", "S")
+        assert result.execution.parallelism == 2
+        assert [op.op_id for op in result.execution.operators] == [1, 2, 3, 4]
+
+    def test_live_schema_matches_golden_keys(self):
+        # New to_dict keys require a golden update (and usually a
+        # protocol bump) — this guard makes that step explicit.
+        document = engine().count(parse_query("Q(X, Z) :- R(X, Y), S(Y, Z)")).to_dict()
+        golden = json.loads(GOLDEN.read_text(encoding="utf-8"))
+        assert set(document) == set(golden)
+        assert set(document["trace"][0]) == set(golden["trace"][0])
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("verb", ["exists", "count"])
+    def test_live_result_round_trips(self, verb):
+        q = parse_query("Q(X, Z) :- R(X, Y), S(Y, Z)")
+        result = getattr(engine(), verb)(q)
+        wire = result.to_dict()
+        assert wire == QueryResult.from_dict(wire).to_dict()
+        assert wire == QueryResult.from_dict(json.loads(json.dumps(wire))).to_dict()
+
+    def test_select_result_round_trips(self):
+        rows = engine().select(parse_query("Q(X, Z) :- R(X, Y), S(Y, Z)"))
+        rows.to_rows()
+        wire = rows.result.to_dict()
+        assert wire == QueryResult.from_dict(wire).to_dict()
+
+    def test_timed_out_result_round_trips(self):
+        from repro.api.errors import QueryTimeout
+
+        with pytest.raises(QueryTimeout) as info:
+            engine().count(parse_query("Q(X, Z) :- R(X, Y), S(Y, Z)"), timeout=0.0)
+        wire = info.value.result.to_dict()
+        assert wire["timed_out"] is True
+        assert QueryResult.from_dict(wire).timed_out is True
+        assert wire == QueryResult.from_dict(wire).to_dict()
+
+
+class TestVersioning:
+    def test_stamped_with_current_version(self):
+        wire = engine().exists(parse_query("R(X, Y)")).to_dict()
+        assert wire["protocol_version"] == PROTOCOL_VERSION
+
+    def test_newer_version_refused(self):
+        document = json.loads(GOLDEN.read_text(encoding="utf-8"))
+        document["protocol_version"] = PROTOCOL_VERSION + 1
+        with pytest.raises(ValueError, match="protocol_version"):
+            QueryResult.from_dict(document)
+
+    def test_non_integer_version_refused(self):
+        document = json.loads(GOLDEN.read_text(encoding="utf-8"))
+        document["protocol_version"] = "2"
+        with pytest.raises(ValueError, match="protocol_version"):
+            QueryResult.from_dict(document)
