@@ -1,20 +1,26 @@
-"""Output-verb throughput: exists vs count vs select(limit) per backend.
+"""Output-verb throughput: exists vs count vs streaming select per backend.
 
 The output-aware API serves three verbs from one engine; this benchmark
 pins their relative cost on an acyclic chain (Yannakakis full reducer +
 enumeration) and a cyclic clique/triangle shape (exists via the ω/MM
 decision engine, count/select via the exhaustive WCOJ search), on both
 storage backends.  ``exists`` should stay the cheapest verb (decision
-only), ``count`` should beat ``select`` (no output materialization — the
-columnar backend counts unique code rows with one ``np.unique``), and
-``select`` with a small limit pays enumeration plus the deterministic
-ordering.  Results land in ``benchmarks/results/output_queries.txt`` and
+only) and ``count`` should beat a full ``select`` (no output
+materialization).  The ``select`` arms exercise the constant-delay
+streaming contract per limit (k ∈ {1, 16, 1024}, discovery order): a
+limit-bounded select should cost roughly the reducer passes (an
+``exists``) plus O(k), with ``time_to_first_row_ms`` staying flat as the
+output grows.  The ``select_sorted`` arm keeps the deterministic-order
+contract measurable — with a limit it streams the enumeration through a
+bounded heap instead of sorting the full output.  Results land in
+``benchmarks/results/output_queries.txt`` and
 ``BENCH_output_queries.json`` (diffed against the tiny CI baseline).
 """
 
 from __future__ import annotations
 
 import os
+import time
 
 import pytest
 
@@ -30,8 +36,16 @@ TINY = os.environ.get("REPRO_BENCH_TINY", "").strip().lower() in ("1", "true", "
 REPEATS = 3 if TINY else 10
 CHAIN_EDGES = 150 if TINY else 20_000
 CLIQUE_EDGES = 60 if TINY else 1_500
-SELECT_LIMIT = 16
-VERBS = ("exists", "count", "select")
+SELECT_LIMITS = (1, 16, 1024)
+SORTED_LIMIT = 16
+#: (verb, limit) arms; limit is carried as a string so it is part of the
+#: row identity the regression checker matches on ("-" = unbounded).
+ARMS = (
+    ("exists", None),
+    ("count", None),
+    *(("select", limit) for limit in SELECT_LIMITS),
+    ("select_sorted", SORTED_LIMIT),
+)
 BACKENDS = ("set", "columnar")
 ROWS = []
 _DATABASES = {}
@@ -61,27 +75,31 @@ def _workload(shape, backend):
     return _DATABASES[key]
 
 
-@pytest.mark.parametrize("verb", VERBS)
+@pytest.mark.parametrize("verb,limit", ARMS)
 @pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("shape", ("chain", "clique3"))
-def test_output_verb_throughput(benchmark, shape, backend, verb):
+def test_output_verb_throughput(benchmark, shape, backend, verb, limit):
     query, database = _workload(shape, backend)
     engine = QueryEngine(database, omega=OMEGA)
+    order = "sorted" if verb == "select_sorted" else "stream"
 
     def run():
         outcomes = []
+        first_row_seconds = []
         for _ in range(REPEATS):
             if verb == "exists":
                 outcomes.append(engine.exists(query))
             elif verb == "count":
                 outcomes.append(engine.count(query))
             else:
-                outcomes.append(
-                    engine.select(query, limit=SELECT_LIMIT).to_rows()
-                )
-        return outcomes
+                started = time.perf_counter()
+                result_set = engine.select(query, limit=limit, order=order)
+                first = result_set.fetch(1)
+                first_row_seconds.append(time.perf_counter() - started)
+                outcomes.append(first + result_set.fetch(limit))
+        return outcomes, first_row_seconds
 
-    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    (outcomes, first_row_seconds) = benchmark.pedantic(run, rounds=1, iterations=1)
     if verb == "exists":
         answers = {result.answer for result in outcomes}
         assert answers == {True}  # both workloads plant a witness
@@ -95,28 +113,48 @@ def test_output_verb_throughput(benchmark, shape, backend, verb):
         lengths = {len(rows) for rows in outcomes}
         assert len(lengths) == 1
         produced = lengths.pop()
-        assert 0 < produced <= SELECT_LIMIT
-        # Deterministic order: every repeat returned identical rows.
-        assert len({tuple(rows) for rows in outcomes}) == 1
+        assert 0 < produced <= limit
+        # Every repeat returned the same distinct tuple set; the sorted
+        # arm additionally returns them in an identical sequence.
+        assert len({frozenset(rows) for rows in outcomes}) == 1
+        if order == "sorted":
+            assert len({tuple(rows) for rows in outcomes}) == 1
     seconds = float(benchmark.stats.stats.mean) / REPEATS
+    ttfr_ms = (
+        1e3 * sum(first_row_seconds) / len(first_row_seconds)
+        if first_row_seconds
+        else 0.0
+    )
     ROWS.append(
         (
             shape,
             backend,
             verb,
+            "-" if limit is None else str(limit),
             seconds * 1e3,
+            ttfr_ms,
             produced,
             1.0 / seconds if seconds else 0.0,
         )
     )
     write_table(
         "output_queries",
-        ("shape", "backend", "verb", "ms_per_query", "rows_out", "queries_per_s"),
+        (
+            "shape",
+            "backend",
+            "verb",
+            "limit",
+            "ms_per_query",
+            "time_to_first_row_ms",
+            "rows_out",
+            "queries_per_s",
+        ),
         sorted(ROWS),
         params={
             "chain_edges": CHAIN_EDGES,
             "clique_edges": CLIQUE_EDGES,
-            "select_limit": SELECT_LIMIT,
+            "select_limits": list(SELECT_LIMITS),
+            "sorted_limit": SORTED_LIMIT,
             "repeats": REPEATS,
             "omega": OMEGA,
         },

@@ -26,10 +26,11 @@ from ..core.plan import OmegaQueryPlan
 from ..core.planner import PlannedQuery
 from ..exec.dispatch import KernelDispatcher
 from ..exec.ir import Program
-from ..exec.lower import check_verb
+from ..exec.lower import SelectOptions, apply_select_options, check_verb
 from ..exec.optimize import optimize_program
 from ..exec.vm import (
     CancellationToken,
+    EnumerationStream,
     QueryCancelled,
     ResultCache,
     ResultCacheStats,
@@ -117,6 +118,11 @@ class QueryResult:
     #: The distinct output relation of a ``select`` run (``None`` for the
     #: other verbs); :class:`~repro.api.results.ResultSet` streams it.
     relation: Optional[Relation] = None
+    #: The live enumeration cursor of a *streaming* ``select`` run
+    #: (``None`` otherwise).  When set, ``relation``/``row_count`` stay
+    #: ``None`` — the output is produced incrementally as the cursor is
+    #: pulled, and never travels through :meth:`to_dict`.
+    stream: Optional[EnumerationStream] = None
 
     def describe(self) -> str:
         lines = [
@@ -574,6 +580,7 @@ class QueryEngine:
         *,
         omega: Optional[float] = None,
         limit: Optional[int] = None,
+        order: Optional[str] = None,
         batch_size: Optional[int] = None,
         timeout: Optional[float] = None,
         token: Optional[CancellationToken] = None,
@@ -581,19 +588,39 @@ class QueryEngine:
         """Enumerate distinct output tuples as a lazy :class:`ResultSet`.
 
         Nothing executes until rows are pulled (iteration, ``fetch(n)``,
-        ``to_rows()``); the tuples then stream in a deterministic sorted
-        order that is identical across strategies, storage backends and
-        ``parallelism`` settings.  ``limit`` truncates the stream to the
-        first ``min(limit, total)`` tuples of that order.
+        ``batches()``, ``to_rows()``).  ``order`` picks the delivery
+        contract:
+
+        * ``"sorted"`` — the deterministic total order, identical across
+          strategies, storage backends and ``parallelism``; ``limit``
+          takes the first ``min(limit, total)`` tuples of that order,
+          selected with a bounded heap (never a full-output sort).
+        * ``"stream"`` — tuples in *discovery order* with constant delay:
+          a ``limit=k`` select costs roughly the full-reducer passes (an
+          ``exists``) plus O(k) enumeration work, and the first batch is
+          available after O(batch) work.  The tuple set equals the sorted
+          order's; the sequence may differ across backends/strategies.
+
+        ``order=None`` (the default) resolves to ``"stream"`` when a
+        ``limit`` is given and ``"sorted"`` otherwise.  ``batch_size``
+        defaults to the engine's kernel-dispatch morsel size.
 
         ``timeout`` starts counting at the first pull (execution time, not
         result-set lifetime); a fired deadline raises
-        :class:`~repro.api.errors.QueryTimeout` from the pulling call.
+        :class:`~repro.api.errors.QueryTimeout` from the pulling call —
+        including pulls partway through a streaming enumeration.
         """
         # Resolve and validate eagerly so bad queries/strategies fail at
         # call time; execution itself stays deferred to the first pull.
         self.database.validate_against(query)
-        self._resolve_supported(query, strategy, "select")
+        strategy_key, _ = self._resolve_supported(query, strategy, "select")
+        resolved_order = (
+            order
+            if order is not None
+            else ("stream" if limit is not None else "sorted")
+        )
+        options = SelectOptions(limit=limit, order=resolved_order)
+        start = time.perf_counter()
 
         def run() -> QueryResult:
             return self._ask(
@@ -601,12 +628,27 @@ class QueryEngine:
                 strategy,
                 omega=omega,
                 verb="select",
+                select_options=options,
                 timeout=timeout,
                 token=token,
             )
 
-        kwargs = {} if batch_size is None else {"batch_size": batch_size}
-        return ResultSet(tuple(query.output_variables), run, limit=limit, **kwargs)
+        def on_cancelled(exc: QueryCancelled) -> "NoReturn":
+            # A deadline/cancel firing while the ResultSet pulls the
+            # enumeration cursor maps onto the same API errors as one
+            # firing during the reducer passes.
+            self._raise_cancelled(exc, query, "select", strategy_key, start, timeout)
+
+        return ResultSet(
+            tuple(query.output_variables),
+            run,
+            limit=limit,
+            batch_size=(
+                self.dispatcher.morsel_size if batch_size is None else batch_size
+            ),
+            order=resolved_order,
+            on_cancelled=on_cancelled,
+        )
 
     def _check_token(
         self,
@@ -663,6 +705,7 @@ class QueryEngine:
         plan: Optional[OmegaQueryPlan] = None,
         dag_scheduling: bool = True,
         verb: str = "exists",
+        select_options: Optional[SelectOptions] = None,
         timeout: Optional[float] = None,
         token: Optional[CancellationToken] = None,
     ) -> QueryResult:
@@ -713,9 +756,12 @@ class QueryEngine:
 
         execute_start = time.perf_counter()
         if program is None:
-            program = self._lower(resolved, query, omega_value, plan, verb)
+            program = self._lower(
+                resolved, query, omega_value, plan, verb, select_options
+            )
         row_count: Optional[int] = None
         relation: Optional[Relation] = None
+        stream: Optional[EnumerationStream] = None
         if program is not None:
             # The unified path: run the lowered program on the shared VM
             # (per-operator traces, cross-query intermediate-result cache,
@@ -741,12 +787,16 @@ class QueryEngine:
             if verb == "count":
                 row_count = vm_result.row_count
             elif verb == "select":
-                relation = vm_result.relation
-                if relation is None:  # pragma: no cover - defensive
-                    raise RuntimeError(
-                        "select program produced no relation payload"
-                    )
-                row_count = len(relation)
+                stream = vm_result.stream
+                if stream is None:
+                    relation = vm_result.relation
+                    if relation is None:  # pragma: no cover - defensive
+                        raise RuntimeError(
+                            "select program produced no relation payload"
+                        )
+                    row_count = len(relation)
+                # Streaming runs leave relation/row_count None: the output
+                # only exists as the cursor is pulled.
         else:
             # Legacy path for custom strategies without a lowering
             # (exists-only: _resolve_supported rejected other verbs).
@@ -775,6 +825,7 @@ class QueryEngine:
             execution=outcome.execution,
             program=program,
             relation=relation,
+            stream=stream,
         )
 
     def ask_many(
@@ -784,13 +835,19 @@ class QueryEngine:
         *,
         omega: Optional[float] = None,
         verb: str = "exists",
+        limit: Optional[int] = None,
+        order: Optional[str] = None,
     ) -> List[QueryResult]:
         """Answer a batch of queries, sharing plans across isomorphic shapes.
 
-        ``verb`` may be ``"exists"`` (the default) or ``"count"`` — every
-        query in the batch runs under that verb.  ``"select"`` batches are
-        not supported here: call :meth:`select` per query for lazy result
-        sets.
+        ``verb`` may be ``"exists"`` (the default), ``"count"`` or
+        ``"select"`` — every query in the batch runs under that verb.  A
+        ``"select"`` batch returns lazy
+        :class:`~repro.api.results.ResultSet` cursors (one per query, in
+        input order) with ``limit``/``order`` threaded through to each;
+        nothing executes until a cursor is pulled, and isomorphic batch
+        members still share work at pull time through the VM's
+        intermediate-result cache.  ``limit``/``order`` are select-only.
 
         Queries are grouped by (resolved strategy, canonical shape
         signature, output signature, verb); each group is planned at most
@@ -806,10 +863,19 @@ class QueryEngine:
         keep morsel-level parallelism but skip DAG scheduling — the shards
         themselves occupy the DAG executor.
         """
+        if verb == "select":
+            return [  # type: ignore[return-value]
+                self.select(query, strategy, omega=omega, limit=limit, order=order)
+                for query in list(queries)
+            ]
         if verb not in ("exists", "count"):
             raise ValueError(
-                f"ask_many supports the 'exists' and 'count' verbs, not {verb!r}; "
-                "use engine.select(query) per query for enumeration"
+                f"ask_many supports the 'exists', 'count' and 'select' verbs, "
+                f"not {verb!r}"
+            )
+        if limit is not None or order is not None:
+            raise ValueError(
+                "limit/order apply to the 'select' verb only"
             )
         query_list = list(queries)
         results: List[Optional[QueryResult]] = [None] * len(query_list)
@@ -1065,24 +1131,43 @@ class QueryEngine:
         omega: float,
         plan: Optional[OmegaQueryPlan],
         verb: str = "exists",
+        select_options: Optional[SelectOptions] = None,
     ) -> Optional[Program]:
         """Lower a strategy to an optimized program (``None`` if it cannot).
 
         The ``verb`` keyword is only forwarded for non-``exists`` verbs, so
         pre-verb custom strategies overriding :meth:`Strategy.lower` with
-        the old signature keep working on the Boolean path.
+        the old signature keep working on the Boolean path.  Select
+        limit/order options go to strategies declaring
+        ``supports_select_options`` (Yannakakis pushes them into the
+        top-down enumeration join); for every other strategy they are
+        stamped onto the optimized program's enumeration root, which
+        streams the materialized output without re-sorting it.
         """
         if verb == "exists":
             program = strategy.lower(query, self.database, omega, plan=plan)
         else:
+            kwargs = {}
+            if (
+                verb == "select"
+                and select_options is not None
+                and getattr(strategy, "supports_select_options", False)
+            ):
+                kwargs["select_options"] = select_options
             program = strategy.lower(
-                query, self.database, omega, plan=plan, verb=verb
+                query, self.database, omega, plan=plan, verb=verb, **kwargs
             )
             if program is None:
                 raise UnsupportedWorkload(strategy.name, verb, query)
         if program is None:
             return None
         program, _ = optimize_program(program)
+        if (
+            verb == "select"
+            and select_options is not None
+            and select_options.streaming
+        ):
+            program = apply_select_options(program, select_options)
         return program
 
     def _canonical_binding(

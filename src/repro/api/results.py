@@ -1,21 +1,33 @@
-"""Lazy, deterministically-ordered result sets for the ``select`` verb.
+"""Lazy result sets for the ``select`` verb: sorted or streaming delivery.
 
 :meth:`repro.api.QueryEngine.select` returns a :class:`ResultSet` without
-executing anything: the lowered enumeration program runs on the engine's
+executing anything; the lowered enumeration program runs on the engine's
 virtual machine the first time rows are pulled (iteration, :meth:`fetch`,
-:meth:`to_rows`, ``len``), and the distinct output tuples then stream out
-in *deterministic order* — natural tuple order when the values support
-it, a type-aware total order otherwise — in morsel-sized batches.  The
-order depends only on the output tuples themselves, so it is identical
-across storage backends, strategies, and ``parallelism`` settings, and a
-``limit`` takes exactly the first ``min(limit, total)`` tuples of that
-order.
+:meth:`batches`, :meth:`to_rows`, ``len``).  Two delivery orders exist:
+
+* ``order="sorted"`` — the historical deterministic contract: distinct
+  output tuples in a total order that depends only on the tuples
+  themselves (natural tuple order when the values support it, a
+  type-aware keyed order otherwise), identical across storage backends,
+  strategies, and ``parallelism``.  A ``limit`` takes exactly the first
+  ``min(limit, total)`` tuples of that order — and when the run streams,
+  the selection is made with a bounded candidate buffer per batch
+  (``heapq.nsmallest``-style), never a full-output sort.
+* ``order="stream"`` (the default when a ``limit`` is given) — tuples in
+  *discovery order*, pulled incrementally from the VM's
+  :class:`~repro.exec.vm.EnumerationStream` cursor with constant delay:
+  the first rows cost O(first rows), not O(full output).  The tuple *set*
+  (and its cardinality) is identical to the sorted order's; only the
+  sequence differs and may vary across backends/strategies.
 """
 
 from __future__ import annotations
 
 import heapq
 from typing import Callable, Iterator, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from ..exec.ir import ENUMERATION_ORDERS
+from ..exec.vm import EnumerationStream, QueryCancelled
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .engine import QueryResult
@@ -141,14 +153,16 @@ def _ordered_rows(rows, limit: Optional[int]) -> List[Row]:
 
 
 class ResultSet:
-    """The streaming handle returned by :meth:`~repro.api.QueryEngine.select`.
+    """The cursor handle returned by :meth:`~repro.api.QueryEngine.select`.
 
-    Iterating (or calling :meth:`fetch` / :meth:`to_rows` / ``len``) runs
-    the query once and then serves the distinct output tuples in
-    deterministic sorted order; ``limit`` truncates the stream to the
-    first ``min(limit, total)`` tuples.  :attr:`result` exposes the full
-    :class:`~repro.api.QueryResult` (timings, traces, cache provenance)
-    of the underlying run.
+    Iterating (or calling :meth:`fetch` / :meth:`batches` / :meth:`to_rows`
+    / ``len``) runs the query once; rows are then served in :attr:`order`:
+    ``"sorted"`` fixes the deterministic total order up front, ``"stream"``
+    pulls tuples from the VM's enumeration cursor on demand, so the first
+    batch costs O(its rows) rather than O(full output).  ``limit``
+    truncates either order to the first ``min(limit, total)`` tuples.
+    :attr:`result` exposes the full :class:`~repro.api.QueryResult`
+    (timings, traces, cache provenance) of the underlying run.
     """
 
     def __init__(
@@ -157,40 +171,127 @@ class ResultSet:
         run: Callable[[], "QueryResult"],
         limit: Optional[int] = None,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        order: str = "sorted",
+        on_cancelled: Optional[Callable[[QueryCancelled], None]] = None,
     ) -> None:
         if limit is not None and limit < 0:
             raise ValueError("limit must be non-negative")
         if batch_size < 1:
             raise ValueError("batch_size must be at least 1")
+        if order not in ENUMERATION_ORDERS:
+            raise ValueError(
+                f"order must be one of {ENUMERATION_ORDERS}, got {order!r}"
+            )
         self.columns = tuple(columns)
         self.limit = limit
         self.batch_size = batch_size
+        self.order = order
         self._run = run
+        self._on_cancelled = on_cancelled
         self._result: Optional["QueryResult"] = None
-        self._rows: Optional[List[Row]] = None
+        self._stream: Optional[EnumerationStream] = None
+        self._rows: Optional[List[Row]] = None  # fixed rows (sorted paths)
+        self._buffer: List[Row] = []  # stream-order rows pulled so far
+        self._complete = False
         self._cursor = 0
 
     # ------------------------------------------------------------------
-    def _materialize(self) -> List[Row]:
-        """Execute (once) and fix the deterministic output order."""
-        if self._rows is None:
-            result = self._run()
-            self._result = result
+    def _start(self) -> None:
+        """Execute the query once and set up the delivery mode."""
+        if self._result is not None:
+            return
+        result = self._run()
+        self._result = result
+        stream = getattr(result, "stream", None)
+        if stream is not None and self.order == "stream":
+            self._stream = stream  # incremental: rows pulled on demand
+            return
+        if stream is not None:
+            # order="sorted" over a streaming run: bounded candidate
+            # selection per batch instead of a full-output sort.
+            self._rows = self._sorted_from_stream(stream)
+        else:
             relation = result.relation
-            self._rows = (
-                [] if relation is None else _ordered_rows(relation.rows, self.limit)
-            )
+            rows = [] if relation is None else relation.rows
+            if self.order == "stream":
+                # Materialized run (e.g. a non-streaming strategy): any
+                # fixed order satisfies the stream contract.
+                rows = list(rows)
+                self._rows = rows[: self.limit] if self.limit is not None else rows
+            else:
+                self._rows = _ordered_rows(rows, self.limit)
+        self._complete = True
+
+    def _pull(self, stream: EnumerationStream) -> Optional[List[Row]]:
+        try:
+            return stream.next_batch()
+        except QueryCancelled as exc:
+            if self._on_cancelled is not None:
+                self._on_cancelled(exc)  # expected to raise the API error
+            raise
+
+    def _sorted_from_stream(self, stream: EnumerationStream) -> List[Row]:
+        """The deterministic (limited) order without a full-output sort.
+
+        With a limit, at most ``max(4*limit, 4096)`` candidate rows are
+        held at once: each time the buffer overflows it is compressed to
+        the current ``limit``-smallest (``heapq.nsmallest``), which is
+        exactly the prefix a full sort would have kept.
+        """
+        limit = self.limit
+        if limit == 0:
+            return []
+        candidates: List[Row] = []
+        compress_at = None if limit is None else max(4 * limit, 4096)
+        while True:
+            batch = self._pull(stream)
+            if batch is None:
+                break
+            candidates.extend(batch)
+            if compress_at is not None and len(candidates) > compress_at:
+                candidates = _ordered_rows(candidates, limit)
+        return _ordered_rows(candidates, limit)
+
+    def _fill(self, target: Optional[int]) -> None:
+        """Pull stream batches until ``target`` buffered rows (or the end)."""
+        stream = self._stream
+        if stream is None or self._complete:
+            return
+        bound = target
+        if self.limit is not None:
+            bound = self.limit if bound is None else min(bound, self.limit)
+        while not self._complete and (bound is None or len(self._buffer) < bound):
+            batch = self._pull(stream)
+            if batch is None:
+                self._complete = True
+                break
+            self._buffer.extend(batch)
+        if self.limit is not None and len(self._buffer) >= self.limit:
+            del self._buffer[self.limit :]
+            self._complete = True
+
+    def _all_rows(self) -> List[Row]:
+        self._start()
+        if self._stream is not None:
+            self._fill(None)
+            return self._buffer
+        assert self._rows is not None
         return self._rows
 
     @property
     def executed(self) -> bool:
         """Whether the underlying query has run yet."""
-        return self._rows is not None
+        return self._result is not None
+
+    @property
+    def streaming(self) -> bool:
+        """Whether rows are (or would be) delivered in discovery order."""
+        return self.order == "stream"
 
     @property
     def result(self) -> "QueryResult":
         """The run's :class:`~repro.api.QueryResult` (executes if needed)."""
-        self._materialize()
+        self._start()
         assert self._result is not None
         return self._result
 
@@ -198,10 +299,27 @@ class ResultSet:
     # Streaming access
     # ------------------------------------------------------------------
     def batches(self) -> Iterator[List[Row]]:
-        """The ordered rows in batches of at most :attr:`batch_size`."""
-        rows = self._materialize()
-        for start in range(0, len(rows), self.batch_size):
-            yield rows[start : start + self.batch_size]
+        """The rows in batches of at most :attr:`batch_size`.
+
+        In stream order, each batch is pulled from the VM cursor only when
+        the consumer asks for it — the first batch does not wait for the
+        rest of the output.
+        """
+        self._start()
+        if self._stream is None:
+            assert self._rows is not None
+            rows = self._rows
+            for start in range(0, len(rows), self.batch_size):
+                yield rows[start : start + self.batch_size]
+            return
+        position = 0
+        while True:
+            self._fill(position + self.batch_size)
+            chunk = self._buffer[position : position + self.batch_size]
+            if not chunk:
+                return
+            position += len(chunk)
+            yield chunk
 
     def __iter__(self) -> Iterator[Row]:
         for batch in self.batches():
@@ -216,24 +334,39 @@ class ResultSet:
         """
         if n < 0:
             raise ValueError("fetch size must be non-negative")
-        rows = self._materialize()
-        chunk = rows[self._cursor : self._cursor + n]
+        self._start()
+        if self._stream is not None:
+            self._fill(self._cursor + n)
+            chunk = self._buffer[self._cursor : self._cursor + n]
+        else:
+            assert self._rows is not None
+            chunk = self._rows[self._cursor : self._cursor + n]
         self._cursor += len(chunk)
         return chunk
 
     def rewind(self) -> "ResultSet":
-        """Reset the :meth:`fetch` cursor to the first row."""
+        """Reset the :meth:`fetch` cursor to the first row.
+
+        Already-pulled stream rows are buffered, so rewinding never
+        re-executes the query.
+        """
         self._cursor = 0
         return self
 
     def to_rows(self) -> List[Row]:
-        """All (limited) rows as a list, in the deterministic order."""
-        return list(self._materialize())
+        """All (limited) rows as a list (drains a stream to its end)."""
+        return list(self._all_rows())
 
     def __len__(self) -> int:
-        return len(self._materialize())
+        return len(self._all_rows())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = f"{len(self._rows)} rows" if self._rows is not None else "pending"
+        if self._result is None:
+            state = "pending"
+        elif self._stream is not None and not self._complete:
+            state = f"{len(self._buffer)}+ rows"
+        else:
+            rows = self._buffer if self._stream is not None else self._rows
+            state = f"{len(rows or [])} rows"
         limit = f", limit={self.limit}" if self.limit is not None else ""
-        return f"ResultSet(({', '.join(self.columns)}){limit}; {state})"
+        return f"ResultSet(({', '.join(self.columns)}), order={self.order}{limit}; {state})"

@@ -80,6 +80,13 @@ class Strategy:
     #: The query verbs this strategy can serve (exists-only by default;
     #: the engine raises :class:`UnsupportedWorkload` for anything else).
     verbs: Tuple[str, ...] = ("exists",)
+    #: Whether :meth:`lower` accepts the ``select_options`` keyword (a
+    #: :class:`~repro.exec.lower.SelectOptions` pushing limit/order into
+    #: the enumeration program).  The engine only forwards the keyword to
+    #: strategies that opt in — pre-existing overrides keep their old
+    #: signature — and stamps the options onto the optimized program's
+    #: root for everyone else.
+    supports_select_options: bool = False
 
     def supports(self, query: ConjunctiveQuery, verb: str = "exists") -> bool:
         """Whether this strategy can answer the query for the given verb."""
@@ -283,12 +290,14 @@ class YannakakisStrategy(Strategy):
 
     name = "yannakakis"
     verbs = VERBS
+    supports_select_options = True
 
     def supports(self, query, verb="exists"):
         return verb in self.verbs and query.is_acyclic()
 
-    def lower(self, query, database, omega, plan=None, verb="exists"):
-        return lower_yannakakis(query, verb=verb)
+    def lower(self, query, database, omega, plan=None, verb="exists",
+              select_options=None):
+        return lower_yannakakis(query, verb=verb, select_options=select_options)
 
 
 @register_strategy

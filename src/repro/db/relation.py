@@ -484,6 +484,27 @@ class Relation:
             for lo in range(0, count, morsel_size)
         ]
 
+    def row_slice(self, start: int, stop: int) -> "Relation":
+        """The rows at storage positions ``[start, stop)`` as a relation.
+
+        The incremental counterpart of :meth:`split_morsels`, for callers
+        that pull chunks on demand (the VM's streaming enumeration cursor)
+        instead of partitioning up front.  Columnar backends slice their
+        code arrays (zero-copy views sharing the parent's dictionaries and
+        caches); the set backend snapshots its iteration order once —
+        cached on the backend so repeated slices stay O(slice) — and
+        slices the snapshot.  The position order is arbitrary but stable
+        for the lifetime of the relation.
+        """
+        if isinstance(self._backend, ColumnarBackend):
+            return Relation._wrap(self._backend.slice_rows(start, stop), self.name)
+        cache_key = ("rowlist",)
+        ordered = self._backend.cache_get(cache_key)
+        if ordered is None:
+            ordered = list(self._backend.iter_rows())
+            self._backend.cache_put(cache_key, ordered, family_limit=1)
+        return Relation(self.schema, ordered[start:stop], backend=self.backend_kind)
+
     def semijoin_many_morsels(
         self,
         others: Iterable["Relation"],

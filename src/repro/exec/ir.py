@@ -627,32 +627,94 @@ class Count(Operator):
         return f"Count[{', '.join(self.variables_out) or '()'}]"
 
 
+#: Enumeration orders an :class:`Enumerate` sink may declare.  ``sorted``
+#: is the deterministic total order the API has always promised;
+#: ``stream`` emits tuples in discovery order with constant delay.
+ENUMERATION_ORDERS = ("sorted", "stream")
+
+
 @dataclass(frozen=True)
 class Enumerate(Operator):
-    """The enumeration sink: passes its (already distinct) child through.
+    """The enumeration sink: where a ``select`` program emits output tuples.
 
-    A ``select`` program's root.  The child — typically a
-    :class:`Distinct` — already holds the distinct output tuples; this node
-    marks where the engine's :class:`~repro.api.results.ResultSet` attaches
-    to stream them in deterministic order.  Its structural key differs from
-    the child's, so counting/Boolean programs over the same body never
-    collide with enumeration programs in the plan cache, while the child's
-    own key still shares the computed relation through the result cache.
+    Two modes share the node:
+
+    * **Pass-through** (no ``frontiers``): the child — typically a
+      :class:`Distinct` — already holds the distinct output tuples; this
+      node marks where the engine's
+      :class:`~repro.api.results.ResultSet` attaches to stream them.
+    * **Streaming** (``frontiers`` non-empty): the child is the *root* of
+      a calibrated Yannakakis join tree and ``frontiers`` are the
+      remaining calibrated relations in top-down join order.  The VM does
+      not materialize the enumeration join; it hands back a pull-driven
+      cursor that chunks the root, joins each chunk through the frontiers
+      with early projection onto ``variables_out`` plus still-needed join
+      keys, and — when ``order == "stream"`` — stops as soon as ``limit``
+      distinct tuples have been produced.
+
+    ``limit`` and ``order`` are part of the structural key, so programs
+    enumerating different prefixes never collide in any cache; the node
+    itself is exempt from the VM's result cache either way — what caching
+    shares are its *children*, the calibrated (limit-independent) reducer
+    state.
     """
 
     child: Operator
+    frontiers: Tuple[Operator, ...] = ()
+    variables_out: Optional[Schema] = None
+    limit: Optional[int] = None
+    order: str = "sorted"
     empty_short_circuit = 0
 
     def __post_init__(self) -> None:
         _require_relational(self.child, "Enumerate")
+        for frontier in self.frontiers:
+            _require_relational(frontier, "Enumerate frontier")
+        if self.order not in ENUMERATION_ORDERS:
+            raise ValueError(
+                f"Enumerate order must be one of {ENUMERATION_ORDERS}, "
+                f"got {self.order!r}"
+            )
+        if self.limit is not None and self.limit < 0:
+            raise ValueError("Enumerate limit must be non-negative")
+        # The virtual schema of the top-down join (root columns, then each
+        # frontier's new columns in join order) — outputs must live in it.
+        joined = tuple(self.child.schema)
+        shared = []
+        for frontier in self.frontiers:
+            shared.append(_shared_pairs(joined, tuple(frontier.schema)))
+            joined += tuple(v for v in frontier.schema if v not in joined)
+        outputs = (
+            tuple(self.variables_out)
+            if self.variables_out is not None
+            else tuple(self.child.schema)
+        )
+        positions = _positions(joined, outputs, "Enumerate")
         self._derive(
-            schema=self.child.schema,
-            children=(self.child,),
-            skey=("enumerate", self.child.skey),
+            schema=outputs,
+            children=(self.child,) + tuple(self.frontiers),
+            skey=(
+                "enumerate",
+                self.child.skey,
+                tuple(f.skey for f in self.frontiers),
+                tuple(shared),
+                positions,
+                self.order,
+                self.limit,
+            ),
         )
 
+    @property
+    def streaming(self) -> bool:
+        """Whether the VM should hand back a pull cursor instead of a relation."""
+        return bool(self.frontiers) or self.order == "stream" or self.limit is not None
+
     def label(self) -> str:
-        return f"Enumerate[{', '.join(self.schema) or '()'}]"
+        mode = ""
+        if self.streaming:
+            bound = "" if self.limit is None else f" limit={self.limit}"
+            mode = f"; {self.order}{bound}"
+        return f"Enumerate[{', '.join(self.schema) or '()'}{mode}]"
 
 
 # ----------------------------------------------------------------------
@@ -843,7 +905,17 @@ def rename_operator(
     elif isinstance(node, Count):
         renamed = Count(r(node.child), _rename_schema(node.variables_out, m))
     elif isinstance(node, Enumerate):
-        renamed = Enumerate(r(node.child))
+        renamed = Enumerate(
+            r(node.child),
+            tuple(r(x) for x in node.frontiers),
+            (
+                None
+                if node.variables_out is None
+                else _rename_schema(node.variables_out, m)
+            ),
+            node.limit,
+            node.order,
+        )
     elif isinstance(node, NonEmpty):
         renamed = NonEmpty(r(node.child))
     elif isinstance(node, Any_):

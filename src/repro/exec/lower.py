@@ -38,6 +38,7 @@ from ..db.database import Database
 from ..db.query import ConjunctiveQuery
 from ..matmul.cost import triangle_threshold
 from .ir import (
+    ENUMERATION_ORDERS,
     All_,
     Antijoin,
     Any_,
@@ -69,6 +70,54 @@ def check_verb(verb: str) -> None:
     """Reject anything outside the verb vocabulary (shared validation)."""
     if verb not in VERBS:
         raise ValueError(f"unknown query verb {verb!r}; expected one of {VERBS}")
+
+
+@dataclass(frozen=True)
+class SelectOptions:
+    """How a ``select`` run wants its output tuples delivered.
+
+    ``order="stream"`` asks for discovery-order enumeration with constant
+    delay; a non-``None`` ``limit`` bounds how many distinct tuples the
+    caller will pull.  Either one puts the :class:`Enumerate` sink in
+    streaming mode — ``order="sorted"`` with a limit still streams, the
+    result set keeping a bounded candidate selection instead of sorting
+    the full output.
+    """
+
+    limit: Optional[int] = None
+    order: str = "sorted"
+
+    def __post_init__(self) -> None:
+        if self.order not in ENUMERATION_ORDERS:
+            raise ValueError(
+                f"select order must be one of {ENUMERATION_ORDERS}, "
+                f"got {self.order!r}"
+            )
+        if self.limit is not None and self.limit < 0:
+            raise ValueError("limit must be non-negative")
+
+    @property
+    def streaming(self) -> bool:
+        return self.order == "stream" or self.limit is not None
+
+
+def apply_select_options(program: Program, options: SelectOptions) -> Program:
+    """Stamp ``limit``/``order`` onto a select program's Enumerate root.
+
+    Lowerings that are not streaming-aware produce the pass-through
+    Enumerate sink; rebuilding just the root hands the ResultSet/VM the
+    delivery contract without touching the cacheable subprogram beneath.
+    A root that already carries the options is returned unchanged.
+    """
+    root = program.root
+    if not isinstance(root, Enumerate):
+        return program
+    if root.limit == options.limit and root.order == options.order:
+        return program
+    rebuilt = Enumerate(
+        root.child, root.frontiers, root.variables_out, options.limit, options.order
+    )
+    return Program(rebuilt, source=program.source)
 
 
 def _output_sink(node: Operator, query: ConjunctiveQuery, verb: str) -> Operator:
@@ -191,7 +240,11 @@ def lower_generic_join(
 # ----------------------------------------------------------------------
 # Yannakakis
 # ----------------------------------------------------------------------
-def lower_yannakakis(query: ConjunctiveQuery, verb: str = "exists") -> Program:
+def lower_yannakakis(
+    query: ConjunctiveQuery,
+    verb: str = "exists",
+    select_options: Optional[SelectOptions] = None,
+) -> Program:
     """The GYO join tree as a semijoin-reduction program under a verb sink.
 
     Raises ``ValueError`` when the query is cyclic.
@@ -210,6 +263,12 @@ def lower_yannakakis(query: ConjunctiveQuery, verb: str = "exists") -> Program:
     output variables plus the join keys still needed — which is the
     Yannakakis enumeration whose intermediate sizes stay bounded by input
     plus output, finished by the verb's Count/Enumerate sink.
+
+    A ``select`` with streaming :class:`SelectOptions` (a limit, or
+    ``order="stream"``) skips the materialized top-down join entirely: the
+    calibrated frontier relations are handed to a streaming
+    :class:`Enumerate` sink and the VM performs the enumeration join
+    lazily, chunk by chunk, stopping once the limit is reached.
     """
     check_verb(verb)
     from ..db.joins import _gyo_join_tree
@@ -241,6 +300,17 @@ def lower_yannakakis(query: ConjunctiveQuery, verb: str = "exists") -> Program:
     # Top-down enumeration join (root first, parents always before their
     # children), projecting early onto outputs + still-needed join keys.
     sequence = [name for name, _ in reversed(order)]
+    if verb == "select" and select_options is not None and select_options.streaming:
+        return Program(
+            Enumerate(
+                nodes[sequence[0]],
+                tuple(nodes[name] for name in sequence[1:]),
+                tuple(query.output_variables),
+                select_options.limit,
+                select_options.order,
+            ),
+            source="yannakakis",
+        )
     scopes = {atom.relation: atom.variable_set for atom in query.atoms}
     outputs = set(query.output_variables)
     joined = nodes[sequence[0]]

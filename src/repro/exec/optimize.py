@@ -128,7 +128,13 @@ def _rebuild(node: Operator, children: Tuple[Operator, ...]) -> Operator:
     if isinstance(node, Count):
         return Count(children[0], node.variables_out)
     if isinstance(node, Enumerate):
-        return Enumerate(children[0])
+        return Enumerate(
+            children[0],
+            tuple(children[1:]),
+            node.variables_out,
+            node.limit,
+            node.order,
+        )
     if isinstance(node, NonEmpty):
         return NonEmpty(children[0])
     if isinstance(node, Any_):

@@ -108,10 +108,11 @@ from .ir import (
     Wcoj,
 )
 
-#: Operator results: a relation, a Boolean (NonEmpty/Any/All), or an int
-#: (the Count sink).  ``bool`` must be tested before ``int`` everywhere —
-#: Python's bool is an int subclass.
-Payload = TUnion[Relation, bool, int]
+#: Operator results: a relation, a Boolean (NonEmpty/Any/All), an int
+#: (the Count sink), or a pull-driven :class:`EnumerationStream` (the
+#: streaming Enumerate sink).  ``bool`` must be tested before ``int``
+#: everywhere — Python's bool is an int subclass.
+Payload = TUnion[Relation, bool, int, "EnumerationStream"]
 #: A child-payload provider: returns the child's result, raising
 #: :class:`_NotReady` (parallel mode) when it is not available yet.
 Getter = Callable[[Operator], Payload]
@@ -263,6 +264,157 @@ class OpTrace:
         )
 
 
+class EnumerationStream:
+    """A pull-driven cursor over a streaming :class:`~repro.exec.ir.Enumerate` sink.
+
+    Produced by both schedulers when the Enumerate root asks for streaming
+    delivery (a ``limit``, or ``order="stream"``).  By the time the stream
+    exists, the sink's children — the calibrated reducer state — are fully
+    evaluated; that work is the ~``exists``-cost prefix, and calibration is
+    what makes early stopping sound (after the upward/downward semijoin
+    passes every root tuple extends to at least one output tuple).  The
+    top-down enumeration join itself runs lazily inside a generator: the
+    root relation is consumed in geometrically growing morsel chunks, each
+    chunk joined through the calibrated frontier relations with early
+    projection onto the outputs plus still-needed join keys (intermediates
+    stay bounded by chunk × output), deduplicated against everything
+    already emitted, and handed out as one batch.
+
+    ``order="stream"`` stops expanding as soon as ``limit`` distinct
+    tuples exist; ``order="sorted"`` with a limit must see every distinct
+    tuple (the result set keeps a bounded candidate selection) but still
+    never materializes the join.  The run's cancellation token is checked
+    per chunk, and the attached :class:`OpTrace` records the tuples
+    actually emitted, not the full output.
+    """
+
+    #: First chunk size — small so the first batch arrives after O(chunk)
+    #: work (time-to-first-row); later chunks double up to the
+    #: dispatcher's morsel size.  Kept tiny because each root row fans
+    #: out: a calibrated root tuple extends to at least one and often
+    #: many output tuples, so even 8 rows usually cover a small limit.
+    INITIAL_CHUNK = 8
+
+    def __init__(
+        self,
+        node: Enumerate,
+        root: Relation,
+        frontiers: Sequence[Relation],
+        token: Optional[CancellationToken],
+        morsel_size: int,
+    ) -> None:
+        self.schema = node.schema
+        self.limit = node.limit
+        self.order = node.order
+        self._root = root
+        self._frontiers = list(frontiers)
+        self._token = token
+        self._morsel = max(int(morsel_size), self.INITIAL_CHUNK)
+        #: ``stream`` order truncates inside the join; ``sorted`` scans
+        #: every distinct tuple so the caller can pick the smallest k.
+        self._stop = self.limit if self.order == "stream" else None
+        self.kernel = root.backend_kind
+        self.rows_in = len(root) + sum(len(f) for f in self._frontiers)
+        self.emitted = 0
+        self.chunks_scanned = 0
+        self.exhausted = False
+        self._trace: Optional["OpTrace"] = None
+        self._generator = self._produce()
+
+    @property
+    def nonempty(self) -> bool:
+        """Whether the output is nonempty — decided without pulling.
+
+        Free by the full-reducer property: the upward pass already
+        removed every root tuple that extends to no output tuple, so the
+        calibrated root is nonempty iff the query output is.
+        """
+        return not self._root.is_empty()
+
+    def attach_trace(self, trace: "OpTrace") -> None:
+        """Let the sink's trace row count follow the tuples emitted."""
+        self._trace = trace
+        trace.rows_out = self.emitted
+
+    def next_batch(self) -> Optional[List[Row]]:
+        """The next batch of fresh output tuples (``None`` once exhausted).
+
+        Raises :class:`QueryCancelled` when the run's token fires between
+        chunks.  Batches already handed out stay valid, and the calibrated
+        children a completed prefix put in the result cache are correct,
+        so a cancelled stream never poisons later runs.
+        """
+        if self.exhausted:
+            return None
+        try:
+            batch = next(self._generator)
+        except StopIteration:
+            self.exhausted = True
+            return None
+        return batch
+
+    def drain(self) -> Iterator[List[Row]]:
+        """Iterate the remaining batches."""
+        while True:
+            batch = self.next_batch()
+            if batch is None:
+                return
+            yield batch
+
+    def _produce(self) -> Iterator[List[Row]]:
+        if self._stop == 0:
+            return
+        outputs = tuple(self.schema)
+        # The projection wanted after each frontier join: outputs plus the
+        # join keys later frontiers still need.
+        needed_after: List[set] = []
+        acc = set(outputs)
+        for frontier in reversed(self._frontiers):
+            needed_after.append(set(acc))
+            acc |= frontier.variables
+        needed_after.reverse()
+        # A pass-through root (no frontiers, schema already the outputs)
+        # is distinct by construction; chunks are then disjoint.
+        dedup = bool(self._frontiers) or outputs != tuple(self._root.schema)
+        seen: set = set()
+        total = len(self._root)
+        position = 0
+        chunk_rows = min(self.INITIAL_CHUNK, self._morsel)
+        while position < total:
+            if self._token is not None:
+                self._token.check()
+            part = self._root.row_slice(position, position + chunk_rows)
+            position += chunk_rows
+            chunk_rows = min(chunk_rows * 2, self._morsel)
+            self.chunks_scanned += 1
+            for frontier, needed in zip(self._frontiers, needed_after):
+                part = part.join(frontier)
+                keep = [v for v in part.schema if v in needed]
+                if tuple(keep) != part.schema:
+                    part = part.project(keep)
+                if part.is_empty():
+                    break
+            if part.is_empty():
+                continue
+            if tuple(part.schema) != outputs:
+                part = part.project(list(outputs))
+            if dedup:
+                fresh = [row for row in part if row not in seen]
+                seen.update(fresh)
+            else:
+                fresh = list(part)
+            if not fresh:
+                continue
+            if self._stop is not None and self.emitted + len(fresh) > self._stop:
+                fresh = fresh[: self._stop - self.emitted]
+            self.emitted += len(fresh)
+            if self._trace is not None:
+                self._trace.rows_out = self.emitted
+            yield fresh
+            if self._stop is not None and self.emitted >= self._stop:
+                return
+
+
 @dataclass
 class VMResult:
     """What one program run produced: the answer plus full instrumentation."""
@@ -271,6 +423,10 @@ class VMResult:
     relation: Optional[Relation]
     #: The Count sink's scalar (``None`` unless the program root counts).
     row_count: Optional[int] = None
+    #: The streaming Enumerate sink's pull cursor (``None`` unless the
+    #: program root streams).  When set, ``relation`` is ``None`` — the
+    #: output is never materialized inside the VM.
+    stream: Optional[EnumerationStream] = None
     traces: List[OpTrace] = field(default_factory=list)
     seconds: float = 0.0
     cache_hits: int = 0
@@ -559,11 +715,12 @@ class VirtualMachine:
                     exc.traces = list(state.traces)
                     exc.parallelism = 1
                     raise
-                answer, relation, row_count = _interpret_root(payload)
+                answer, relation, row_count, stream = _interpret_root(payload)
                 result = VMResult(
                     answer=answer,
                     relation=relation,
                     row_count=row_count,
+                    stream=stream,
                     traces=state.traces,
                     cache_hits=state.cache_hits,
                     cache_misses=state.cache_misses,
@@ -576,13 +733,19 @@ class VirtualMachine:
         return result
 
 
-def _interpret_root(payload: Payload) -> Tuple[bool, Optional[Relation], Optional[int]]:
-    """``(answer, relation, row_count)`` from a program root's payload."""
+def _interpret_root(
+    payload: Payload,
+) -> Tuple[bool, Optional[Relation], Optional[int], Optional[EnumerationStream]]:
+    """``(answer, relation, row_count, stream)`` from a program root's payload."""
     if isinstance(payload, bool):
-        return payload, None, None
+        return payload, None, None, None
+    if isinstance(payload, EnumerationStream):
+        # The answer is known without pulling a single tuple: the
+        # calibrated root's non-emptiness decides satisfiability.
+        return payload.nonempty, None, None, payload
     if isinstance(payload, int):
-        return payload > 0, None, int(payload)
-    return not payload.is_empty(), payload, None
+        return payload > 0, None, int(payload), None
+    return not payload.is_empty(), payload, None, None
 
 
 # ----------------------------------------------------------------------
@@ -768,7 +931,18 @@ class _EvalContext:
             return count, len(child), extra
 
         if isinstance(node, Enumerate):
-            # The enumeration sink: the child already holds the distinct
+            if node.streaming:
+                # Streaming delivery: pull every child — the calibrated
+                # reducer state — then hand back a cursor that runs the
+                # top-down enumeration join lazily, chunk by chunk.
+                root = self._relation(get, node.child)
+                frontiers = [self._relation(get, f) for f in node.frontiers]
+                stream = EnumerationStream(
+                    node, root, frontiers, self.vm.token, self.dispatcher.morsel_size
+                )
+                extra["kernel"] = stream.kernel
+                return stream, stream.rows_in, extra
+            # Pass-through sink: the child already holds the distinct
             # output tuples; the engine's ResultSet streams them from the
             # run's result relation in deterministic order.
             child = self._relation(get, node.child)
@@ -1109,6 +1283,11 @@ def _build_trace(
     if isinstance(payload, bool):
         rows_out = int(payload)
         kernel = kernel or "bool"
+    elif isinstance(payload, EnumerationStream):
+        # A streaming Enumerate sink: rows_out follows the tuples actually
+        # emitted (the stream updates its attached trace as it drains).
+        rows_out = payload.emitted
+        kernel = kernel or payload.kernel
     elif isinstance(payload, int):
         # A Count sink: rows_out records the count; the kernel override
         # (set by eval_op) names the backend that served the counting.
@@ -1117,7 +1296,7 @@ def _build_trace(
     else:
         rows_out = len(payload)
         kernel = kernel or payload.backend_kind
-    return OpTrace(
+    trace = OpTrace(
         op_id=ids.get(node, 0),
         kind=node.kind(),
         label=node.label(),
@@ -1133,6 +1312,9 @@ def _build_trace(
         morsel_count=morsels,
         wall_seconds=wall_seconds,
     )
+    if isinstance(payload, EnumerationStream):
+        payload.attach_trace(trace)
+    return trace
 
 
 # ----------------------------------------------------------------------
@@ -1233,7 +1415,7 @@ class _ParallelRun:
                 failure.parallelism = self.vm.parallelism
             raise failure
         payload = self.memo[root]
-        answer, relation, row_count = _interpret_root(payload)
+        answer, relation, row_count, stream = _interpret_root(payload)
         needed = self._needed_closure(root)
         traces = sorted(
             (self.records[node] for node in needed if node in self.records),
@@ -1249,6 +1431,7 @@ class _ParallelRun:
             answer=answer,
             relation=relation,
             row_count=row_count,
+            stream=stream,
             traces=traces,
             cache_hits=hits,
             cache_misses=misses,

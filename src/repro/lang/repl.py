@@ -1,26 +1,68 @@
 """An interactive line-oriented REPL over a :class:`Session`.
 
 Reads one statement per line, executes it, prints the rendered
-outcome.  Parse errors render as caret diagnostics pointing at the
-offending span; engine errors (timeouts, unsupported verbs, missing
-relations) print their message and keep the session alive.  Streams are
-injectable so tests (and the console entry point) drive it without a
-TTY.
+outcome.  ``SELECT`` results print *incrementally* — rows appear as the
+engine's enumeration delivers them (a ``LIMIT`` statement streams with
+constant delay) and a ``\\timing``-style ``Time:`` line reports the
+time to the first row alongside the total.  Parse errors render as
+caret diagnostics pointing at the offending span; engine errors
+(timeouts, unsupported verbs, missing relations) print their message
+and keep the session alive — including errors surfacing mid-stream.
+Streams are injectable so tests (and the console entry point) drive it
+without a TTY.
 """
 
 from __future__ import annotations
 
 import sys
-from typing import IO, Optional
+import time
+from typing import IO, Callable, Optional
 
 from ..api.errors import EngineError, QueryTimeout
 from ..db.query import QueryParseError
 from .parser import caret_diagnostic
-from .session import Session
+from .session import REPL_PREVIEW_ROWS, Outcome, Session
 
 __all__ = ["run_repl"]
 
 BANNER = "repro query shell — \\help for syntax, \\quit to leave"
+
+
+def _render_select(
+    outcome: Outcome, emit: Callable[[str], None], started: float
+) -> None:
+    """Print a select outcome incrementally, with first-row timing.
+
+    Rows are emitted batch by batch as the result set's cursor delivers
+    them (up to the REPL preview cap; the remainder is drained only to
+    report the total, which a ``LIMIT`` bounds).  Pull-time errors
+    propagate to the caller's handler after whatever rows already
+    printed.
+    """
+    rows = outcome.result_set
+    assert rows is not None
+    emit(f"({', '.join(rows.columns)})")
+    first_row_ms: Optional[float] = None
+    total = 0
+    for batch in rows.batches():
+        if first_row_ms is None and batch:
+            first_row_ms = (time.perf_counter() - started) * 1000
+        for row in batch:
+            if total < REPL_PREVIEW_ROWS:
+                emit(f"  {row}")
+            total += 1
+    if total > REPL_PREVIEW_ROWS:
+        emit(f"  ... {total - REPL_PREVIEW_ROWS} more rows")
+    result = rows.result
+    emit(
+        f"{total} row{'s' if total != 1 else ''}  "
+        f"[{result.strategy}, {result.seconds * 1000:.2f} ms]"
+    )
+    total_ms = (time.perf_counter() - started) * 1000
+    if first_row_ms is not None:
+        emit(f"Time: first row {first_row_ms:.2f} ms, total {total_ms:.2f} ms")
+    else:
+        emit(f"Time: total {total_ms:.2f} ms")
 
 
 def run_repl(
@@ -56,8 +98,14 @@ def run_repl(
         line = line.strip()
         if not line or line.startswith("#"):
             continue
+        started = time.perf_counter()
         try:
             outcome = session.execute(line, timeout=timeout)
+            if outcome.kind == "select":
+                # Rendered inside the handler: select executes lazily on
+                # the first pull, so timeouts/engine errors fire *here*.
+                _render_select(outcome, emit, started)
+                continue
         except QueryParseError as error:
             emit(caret_diagnostic(error))
             continue

@@ -211,6 +211,9 @@ class Session:
                 "verb": "select",
                 "columns": list(rows.columns),
                 "limit": statement.limit,
+                # "stream" when a LIMIT bounds the statement (constant-
+                # delay enumeration), "sorted" otherwise.
+                "order": rows.order,
             },
             result_set=rows,
         )

@@ -1,8 +1,10 @@
 """An asyncio client for the line-JSON query protocol.
 
-:meth:`QueryClient.execute` sends one statement and collects the full
-response — streamed ``select`` batches are folded into ``rows`` in
-arrival order — returning the final ``result`` document.  Server-side
+:meth:`QueryClient.execute_stream` sends one statement and yields the
+response documents incrementally (``batch`` lines as the server ships
+them, then the final ``result``); :meth:`QueryClient.execute` folds the
+stream — batches into ``rows`` in arrival order — and returns just the
+final ``result`` document.  Server-side
 failures raise :class:`ServerError` carrying the error ``code`` and,
 for ``overloaded`` rejections, the server's ``retry_after`` hint (used
 by :meth:`execute_with_retry`).
@@ -58,14 +60,16 @@ class QueryClient:
             pass
 
     # ------------------------------------------------------------------
-    async def execute(
+    async def execute_stream(
         self, statement: str, *, timeout: Optional[float] = None
-    ) -> Dict[str, Any]:
-        """Run one statement; returns the final ``result`` document.
+    ):
+        """Run one statement, yielding response documents as they arrive.
 
-        ``select`` results carry the streamed rows under ``"rows"``
-        (tuples arrive as lists) and the batch count the server used
-        under ``payload["batches"]``.  Error responses raise
+        An async generator over the server's reply: zero or more
+        ``batch`` documents (each with its ``rows``) the moment the
+        server ships them — so a streaming ``SELECT ... LIMIT k`` hands
+        the caller its first rows without waiting for the rest — then
+        the final ``result`` document.  Error responses raise
         :class:`ServerError`.
         """
         self._request_id += 1
@@ -76,7 +80,6 @@ class QueryClient:
         self._writer.write(encode_message(request))
         await self._writer.drain()
 
-        rows: List[List[Any]] = []
         while True:
             line = await self._reader.readline()
             if not line:
@@ -87,15 +90,35 @@ class QueryClient:
                 continue
             kind = document.get("type")
             if kind == "batch":
-                rows.extend(document.get("rows", []))
+                yield document
                 continue
             if kind == "error":
                 raise ServerError(document)
             if kind == "result":
-                if document.get("kind") == "select":
-                    document["rows"] = rows
-                return document
+                yield document
+                return
             raise ValueError(f"unexpected message type {kind!r}")
+
+    async def execute(
+        self, statement: str, *, timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """Run one statement; returns the final ``result`` document.
+
+        Folds :meth:`execute_stream`: ``select`` results carry the
+        streamed rows under ``"rows"`` (tuples arrive as lists) and the
+        batch count the server used under ``payload["batches"]``.
+        """
+        rows: List[List[Any]] = []
+        final: Optional[Dict[str, Any]] = None
+        async for document in self.execute_stream(statement, timeout=timeout):
+            if document.get("type") == "batch":
+                rows.extend(document.get("rows", []))
+            else:
+                final = document
+        assert final is not None
+        if final.get("kind") == "select":
+            final["rows"] = rows
+        return final
 
     async def execute_with_retry(
         self,

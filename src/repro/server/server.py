@@ -24,7 +24,11 @@ Three load-shedding layers keep the server honest under pressure:
 
 ``select`` responses stream as morsel-sized ``batch`` lines (one JSON
 document per :meth:`~repro.api.results.ResultSet.batches` chunk)
-followed by a final ``result`` line with the totals.
+followed by a final ``result`` line with the totals.  Batches are
+pulled from the result set *incrementally* — a ``SELECT ... LIMIT k``
+runs the engine's constant-delay streaming enumeration, so the first
+batch leaves after O(k) work and the final payload records the
+observed ``time_to_first_row``.
 """
 
 from __future__ import annotations
@@ -305,10 +309,22 @@ class QueryServer:
             if outcome.kind == "select":
                 rows = outcome.result_set
                 assert rows is not None
-                # Execution happens on this pull, under the token.
-                await loop.run_in_executor(self._executor, rows.to_rows)
+                # Pull batch by batch on the executor (execution happens
+                # on the first pull, under the token): a limit-bounded
+                # streaming SELECT ships its first wire batch after O(k)
+                # work instead of draining the full ResultSet up front.
+                batch_iter = rows.batches()
                 batches = 0
-                for batch in rows.batches():
+                first_row_seconds: Optional[float] = None
+                pull_started = time.monotonic()
+                while True:
+                    batch = await loop.run_in_executor(
+                        self._executor, next, batch_iter, None
+                    )
+                    if batch is None:
+                        break
+                    if first_row_seconds is None:
+                        first_row_seconds = time.monotonic() - pull_started
                     await self._send(
                         writer,
                         {
@@ -323,6 +339,7 @@ class QueryServer:
                 payload.update(rows.result.to_dict())
                 payload["row_count"] = len(rows)
                 payload["batches"] = batches
+                payload["time_to_first_row"] = first_row_seconds
                 await self._send(
                     writer, self._result(request_id, "select", payload)
                 )

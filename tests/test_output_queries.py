@@ -137,12 +137,16 @@ def test_select_limit_and_parallel_determinism(shape):
     total = len(full)
     assert total > 0
     for k in (0, 1, 2, total, total + 5):
-        limited = sequential.select(query, limit=k).to_rows()
+        limited = sequential.select(query, limit=k, order="sorted").to_rows()
         assert limited == full[: min(k, total)]
         assert len(limited) == min(k, total)
+        # The default (stream) order keeps the set/cardinality contract.
+        streamed = sequential.select(query, limit=k).to_rows()
+        assert len(streamed) == min(k, total)
+        assert set(streamed) <= set(full)
     with QueryEngine(database, parallelism=4) as parallel:
         assert parallel.select(query).to_rows() == full
-        assert parallel.select(query, limit=3).to_rows() == full[:3]
+        assert parallel.select(query, limit=3, order="sorted").to_rows() == full[:3]
         assert parallel.count(query).row_count == total
 
 
@@ -300,7 +304,9 @@ class TestVerbResolution:
         full = engine.select(query).to_rows()
         assert len(full) == 5
         for k in range(1, 6):
-            assert engine.select(query, limit=k).to_rows() == full[:k]
+            assert (
+                engine.select(query, limit=k, order="sorted").to_rows() == full[:k]
+            )
 
     def test_nan_outputs_keep_the_limit_prefix_contract(self):
         nan = float("nan")
@@ -315,7 +321,8 @@ class TestVerbResolution:
         assert full[:2] == [(0.5,), (2.0,)]
         assert full[2][0] != full[2][0]  # the NaN row
         for k in (1, 2, 3):
-            assert engine.select(query, limit=k).to_rows() == full[:k]
+            limited = engine.select(query, limit=k, order="sorted").to_rows()
+            assert [repr(r) for r in limited] == [repr(r) for r in full[:k]]
 
     def test_auto_exhausted_error_does_not_advise_auto(self):
         registry = StrategyRegistry()  # no verb-capable strategies at all
@@ -382,10 +389,22 @@ class TestVerbBatchesAndCompare:
         assert [r.row_count for r in results] == [expected, expected]
         assert all(r.verb == "count" for r in results)
 
-    def test_ask_many_rejects_select(self):
-        engine = QueryEngine(triangle_instance(10, domain_size=5, seed=0))
+    def test_ask_many_select_returns_lazy_result_sets(self):
+        query = parse_query("Q(X, Z) :- R(X, Y), S(Y, Z)")
+        database = random_database(query, 20, domain_size=5, seed=1)
+        engine = QueryEngine(database)
+        expected = brute_force_outputs(query, database)
+        cursors = engine.ask_many([query, query], verb="select", limit=2)
+        assert all(not cursor.executed for cursor in cursors)
+        for cursor in cursors:
+            rows = cursor.to_rows()
+            assert len(rows) == min(2, len(expected))
+            assert set(rows) <= expected
+        # limit/order are select-only knobs.
         with pytest.raises(ValueError, match="select"):
-            engine.ask_many([parse_query("Q() :- R(X, Y)")], verb="select")
+            engine.ask_many([query], verb="count", limit=2)
+        with pytest.raises(ValueError, match="verbs"):
+            engine.ask_many([query], verb="nonsense")
 
     def test_compare_across_verbs(self):
         query = parse_query("Q(X, Z) :- R(X, Y), S(Y, Z)")
