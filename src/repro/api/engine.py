@@ -158,20 +158,24 @@ class QueryResult:
         trace = []
         if execution is not None:
             for op in execution.operators:
-                trace.append(
-                    {
-                        "op_id": int(op.op_id),
-                        "kind": str(op.kind),
-                        "label": str(op.label),
-                        "rows_in": int(op.rows_in),
-                        "rows_out": int(op.rows_out),
-                        "kernel": str(op.kernel),
-                        "seconds": float(op.seconds),
-                        "cache_hit": bool(op.cache_hit),
-                        "morsel_count": int(op.morsel_count),
-                        "worker": op.worker if op.worker is None else str(op.worker),
-                    }
-                )
+                entry = {
+                    "op_id": int(op.op_id),
+                    "kind": str(op.kind),
+                    "label": str(op.label),
+                    "rows_in": int(op.rows_in),
+                    "rows_out": int(op.rows_out),
+                    "kernel": str(op.kernel),
+                    "seconds": float(op.seconds),
+                    "cache_hit": bool(op.cache_hit),
+                    "morsel_count": int(op.morsel_count),
+                    "worker": op.worker if op.worker is None else str(op.worker),
+                }
+                if op.heap_pops or op.heap_peak:
+                    # Sparse: only ranked Enumerate sinks carry frontier-heap
+                    # accounting, so plain documents keep the v1 golden shape.
+                    entry["heap_peak"] = int(op.heap_peak)
+                    entry["heap_pops"] = int(op.heap_pops)
+                trace.append(entry)
         return {
             "protocol_version": PROTOCOL_VERSION,
             "query": str(self.query),
@@ -231,6 +235,8 @@ class QueryResult:
                     cache_hit=bool(op.get("cache_hit", False)),
                     worker=None if worker is None else str(worker),
                     morsel_count=int(op.get("morsel_count", 0)),
+                    heap_peak=int(op.get("heap_peak", 0)),
+                    heap_pops=int(op.get("heap_pops", 0)),
                 )
             )
         execution = ExecutionResult(
@@ -592,9 +598,14 @@ class QueryEngine:
         contract:
 
         * ``"sorted"`` — the deterministic total order, identical across
-          strategies, storage backends and ``parallelism``; ``limit``
-          takes the first ``min(limit, total)`` tuples of that order,
-          selected with a bounded heap (never a full-output sort).
+          strategies, storage backends and ``parallelism``.  With a small
+          ``limit`` the engine serves it by *ranked (any-k) enumeration*:
+          a frontier heap pops the globally next tuple straight out of the
+          calibrated join, so the first ``k`` tuples cost roughly an
+          ``exists`` plus O(k log n) — never a full-output scan.  Past the
+          dispatcher's ``ranked_limit_cap`` (or with no limit) the output
+          is materialized once and sorted (bounded ``nsmallest`` when a
+          limit exists).
         * ``"stream"`` — tuples in *discovery order* with constant delay:
           a ``limit=k`` select costs roughly the full-reducer passes (an
           ``exists``) plus O(k) enumeration work, and the first batch is
@@ -1143,7 +1154,25 @@ class QueryEngine:
         top-down enumeration join); for every other strategy they are
         stamped onto the optimized program's enumeration root, which
         streams the materialized output without re-sorting it.
+
+        This is also where the dispatcher routes sorted deliveries: a
+        sorted select whose limit fits
+        :meth:`~repro.exec.dispatch.KernelDispatcher.ranked_enumeration`
+        is rewritten to ``order="ranked"`` before lowering, so the
+        strategy hands back an any-k cursor that pops the first ``k``
+        tuples of the deterministic order without scanning the output.
+        (Safe to rewrite here: select programs are never plan-cached.)
+        Sorted selects past the cap — and unlimited ones — stay
+        non-streaming and materialize once.
         """
+        if (
+            verb == "select"
+            and select_options is not None
+            and self.dispatcher.ranked_enumeration(
+                select_options.limit, select_options.order
+            )
+        ):
+            select_options = SelectOptions(select_options.limit, "ranked")
         if verb == "exists":
             program = strategy.lower(query, self.database, omega, plan=plan)
         else:

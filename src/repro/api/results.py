@@ -9,23 +9,36 @@ virtual machine the first time rows are pulled (iteration, :meth:`fetch`,
   output tuples in a total order that depends only on the tuples
   themselves (natural tuple order when the values support it, a
   type-aware keyed order otherwise), identical across storage backends,
-  strategies, and ``parallelism``.  A ``limit`` takes exactly the first
-  ``min(limit, total)`` tuples of that order — and when the run streams,
-  the selection is made with a bounded candidate buffer per batch
-  (``heapq.nsmallest``-style), never a full-output sort.
+  strategies, and ``parallelism``.  With a small ``limit`` the engine
+  serves this through the VM's *ranked* any-k cursor
+  (:class:`~repro.exec.vm.RankedEnumerationStream`) — rows arrive
+  incrementally, already in the deterministic order, after ~``exists`` +
+  O(k log n) work; otherwise the run materializes once and this layer
+  orders it (bounded ``heapq.nsmallest`` when a limit exists).
 * ``order="stream"`` (the default when a ``limit`` is given) — tuples in
   *discovery order*, pulled incrementally from the VM's
   :class:`~repro.exec.vm.EnumerationStream` cursor with constant delay:
   the first rows cost O(first rows), not O(full output).  The tuple *set*
   (and its cardinality) is identical to the sorted order's; only the
   sequence differs and may vary across backends/strategies.
+
+The ordering contract itself (:func:`~repro.db.ordering.row_order_key`
+and friends) lives in :mod:`repro.db.ordering` so the storage layer and
+the VM share it; this module re-exports the public names.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Callable, Iterator, List, Optional, Sequence, Tuple, TYPE_CHECKING
+from typing import Callable, Iterator, List, Optional, Tuple, TYPE_CHECKING
 
+from ..db.ordering import (  # noqa: F401  (re-exported contract)
+    _NATURAL_KINDS,
+    _Ordered,
+    _ordered_rows,
+    _uniform_natural_order,
+    row_order_key,
+    value_order_key,
+)
 from ..exec.ir import ENUMERATION_ORDERS
 from ..exec.vm import EnumerationStream, QueryCancelled
 
@@ -39,128 +52,17 @@ DEFAULT_BATCH_SIZE = 8192
 Row = Tuple[object, ...]
 
 
-class _Ordered:
-    """A comparison wrapper giving any value a total order.
-
-    Natural ``<`` is used when the values support it; values of the same
-    type that do not (complex numbers, arbitrary objects) fall back to
-    comparing their ``repr`` — deterministic, which is all the result
-    order promises.
-    """
-
-    __slots__ = ("value",)
-
-    def __init__(self, value: object) -> None:
-        self.value = value
-
-    def __eq__(self, other: object) -> bool:
-        return isinstance(other, _Ordered) and self.value == other.value
-
-    def __lt__(self, other: "_Ordered") -> bool:
-        try:
-            return self.value < other.value  # type: ignore[operator]
-        except TypeError:
-            return repr(self.value) < repr(other.value)
-
-    def __hash__(self) -> int:  # pragma: no cover - not used as a dict key
-        return hash(self.value)
-
-
-def row_order_key(row: Sequence[object]) -> Tuple:
-    """A total-order sort key over heterogeneous value tuples.
-
-    The fallback comparator behind :func:`_ordered_rows`, used when
-    natural tuple comparison raises: values are compared within their
-    type first (type name, then value), so mixed-type columns — ints next
-    to strings — sort deterministically instead of raising ``TypeError``;
-    same-type values without a natural order fall back to their ``repr``.
-    Booleans are folded into ints the way Python's own ordering treats
-    them.
-    """
-    key = []
-    for value in row:
-        kind = type(value)
-        if kind is bool:
-            kind = int
-        if kind is float:
-            # NaN is not comparable to anything (not even itself), which
-            # would silently break the total order; canonicalize it to a
-            # bucket sorting after every real float.  Distinct rows that
-            # differ only in NaN identity tie — their relative order is
-            # unspecified (they are indistinguishable by value).
-            if value != value:
-                key.append(("float", _Ordered((1, 0.0))))
-            else:
-                key.append(("float", _Ordered((0, value))))
-            continue
-        key.append((kind.__name__, _Ordered(value)))
-    return tuple(key)
-
-
-#: Types whose natural ordering matches :func:`row_order_key` when a
-#: column is type-uniform (bool folds into int in both orders).
-_NATURAL_KINDS = (int, float, str)
-
-
-def _uniform_natural_order(rows) -> bool:
-    """Whether every column holds one natural-ordered type throughout.
-
-    When true, plain tuple comparison is total *and* ranks rows exactly
-    like :func:`row_order_key` (equal type names drop out of every
-    comparison), so the cheap natural sort may be used.  The decision is a
-    function of the value types alone — never of iteration order or of
-    which pairs a particular sort happens to compare — keeping the chosen
-    order deterministic across backends, strategies and limits.
-    """
-    kinds: Optional[List[type]] = None
-    for row in rows:
-        if kinds is None:
-            kinds = [int if type(v) is bool else type(v) for v in row]
-            if any(kind not in _NATURAL_KINDS for kind in kinds):
-                return False
-            if any(value != value for value in row):  # NaN: no total order
-                return False
-        else:
-            for value, kind in zip(row, kinds):
-                value_kind = type(value)
-                if value_kind is bool:
-                    value_kind = int
-                if value_kind is not kind:
-                    return False
-                if value != value:  # NaN anywhere forces the keyed sort
-                    return False
-    return True
-
-
-def _ordered_rows(rows, limit: Optional[int]) -> List[Row]:
-    """The deterministic order of an output-tuple set (limited prefix).
-
-    Natural tuple comparison is ~20x cheaper than the keyed sort (no
-    per-value wrapper allocation), so it is used whenever a type-uniformity
-    scan proves it equivalent to :func:`row_order_key`; mixed-type or
-    unorderable columns take the keyed sort.  The comparator choice
-    depends only on the tuple set, so the same set orders the same way
-    everywhere, and the bounded ``heapq.nsmallest`` path (O(n log k))
-    returns exactly the first-``k`` prefix of the corresponding full sort.
-    """
-    if _uniform_natural_order(rows):
-        if limit is not None:
-            return heapq.nsmallest(limit, rows)
-        return sorted(rows)
-    if limit is not None:
-        return heapq.nsmallest(limit, rows, key=row_order_key)
-    return sorted(rows, key=row_order_key)
-
-
 class ResultSet:
     """The cursor handle returned by :meth:`~repro.api.QueryEngine.select`.
 
     Iterating (or calling :meth:`fetch` / :meth:`batches` / :meth:`to_rows`
     / ``len``) runs the query once; rows are then served in :attr:`order`:
-    ``"sorted"`` fixes the deterministic total order up front, ``"stream"``
-    pulls tuples from the VM's enumeration cursor on demand, so the first
-    batch costs O(its rows) rather than O(full output).  ``limit``
-    truncates either order to the first ``min(limit, total)`` tuples.
+    ``"sorted"`` delivers the deterministic total order — incrementally
+    from a ranked any-k cursor when the engine routed the run that way,
+    otherwise fixed up front — while ``"stream"`` pulls tuples from the
+    VM's enumeration cursor on demand, so the first batch costs O(its
+    rows) rather than O(full output).  ``limit`` truncates either order
+    to the first ``min(limit, total)`` tuples.
     :attr:`result` exposes the full :class:`~repro.api.QueryResult`
     (timings, traces, cache provenance) of the underlying run.
     """
@@ -203,23 +105,35 @@ class ResultSet:
         result = self._run()
         self._result = result
         stream = getattr(result, "stream", None)
-        if stream is not None and self.order == "stream":
-            self._stream = stream  # incremental: rows pulled on demand
+        if stream is not None and (
+            self.order == "stream" or stream.order == "ranked"
+        ):
+            # Incremental delivery: discovery-order pulls, or a ranked
+            # any-k cursor whose batches already arrive in the sorted
+            # contract's order (so no ordering work happens here).
+            self._stream = stream
             return
         if stream is not None:
-            # order="sorted" over a streaming run: bounded candidate
-            # selection per batch instead of a full-output sort.
+            # Defensive fallback: a sorted request answered with a
+            # discovery-order cursor (a custom strategy bypassing the
+            # dispatcher's ranked/materialize routing).  Drain it with a
+            # bounded candidate selection — never a full-output sort.
             self._rows = self._sorted_from_stream(stream)
         else:
             relation = result.relation
-            rows = [] if relation is None else relation.rows
             if self.order == "stream":
                 # Materialized run (e.g. a non-streaming strategy): any
                 # fixed order satisfies the stream contract.
-                rows = list(rows)
+                rows = [] if relation is None else list(relation.rows)
                 self._rows = rows[: self.limit] if self.limit is not None else rows
+            elif relation is not None:
+                # Deterministic order straight off the storage layer: the
+                # columnar backend serves it from its cached vectorized
+                # sort (decoding only the limited prefix), the set
+                # backend from the keyed bounded selection.
+                self._rows = relation.ordered_rows(self.limit)
             else:
-                self._rows = _ordered_rows(rows, self.limit)
+                self._rows = []
         self._complete = True
 
     def _pull(self, stream: EnumerationStream) -> Optional[List[Row]]:
@@ -231,7 +145,7 @@ class ResultSet:
             raise
 
     def _sorted_from_stream(self, stream: EnumerationStream) -> List[Row]:
-        """The deterministic (limited) order without a full-output sort.
+        """The deterministic (limited) order from a discovery-order cursor.
 
         With a limit, at most ``max(4*limit, 4096)`` candidate rows are
         held at once: each time the buffer overflows it is compressed to
@@ -285,8 +199,15 @@ class ResultSet:
 
     @property
     def streaming(self) -> bool:
-        """Whether rows are (or would be) delivered in discovery order."""
-        return self.order == "stream"
+        """Whether rows are (or will be) delivered incrementally.
+
+        ``order="stream"`` always streams; a sorted request streams too
+        once the engine has answered it with a ranked any-k cursor (the
+        rows arrive sorted, so incremental delivery keeps the contract).
+        """
+        if self.order != "sorted":
+            return True
+        return self._stream is not None and self._stream.order == "ranked"
 
     @property
     def result(self) -> "QueryResult":
@@ -344,13 +265,24 @@ class ResultSet:
         self._cursor += len(chunk)
         return chunk
 
-    def rewind(self) -> "ResultSet":
+    def rewind(self, restart: bool = False) -> "ResultSet":
         """Reset the :meth:`fetch` cursor to the first row.
 
-        Already-pulled stream rows are buffered, so rewinding never
-        re-executes the query.
+        Already-pulled stream rows are buffered, so plain rewinding never
+        re-executes the query.  ``restart=True`` additionally discards the
+        buffered rows and the underlying run, so the next pull executes
+        again — a *cheap* re-execution for streaming runs: the calibrated
+        reducer relations the first run put in the engine's result cache
+        are reused (their traces show ``cache_hit``), leaving only the
+        enumeration itself to redo.
         """
         self._cursor = 0
+        if restart:
+            self._result = None
+            self._stream = None
+            self._rows = None
+            self._buffer = []
+            self._complete = False
         return self
 
     def to_rows(self) -> List[Row]:

@@ -41,6 +41,8 @@ from typing import (
 
 import numpy as np
 
+from .ordering import value_order_key
+
 Value = object
 Row = Tuple[Value, ...]
 
@@ -793,6 +795,69 @@ class ColumnarBackend(RelationBackend):
             entry = (keys[order], order)
         self._cache[key] = entry
         return entry
+
+    def value_order_ranks(self, position: int) -> np.ndarray:
+        """Code → rank under the deterministic value order, cached.
+
+        Dictionary codes are *not* value-ordered in general: the
+        ``np.unique`` fast path of :meth:`_Column.from_values` assigns
+        codes in sorted order, but the dict-encoding fallback (mixed
+        types, NaN columns) assigns them first-seen.  This table re-ranks
+        the (small) dictionary by :func:`~repro.db.ordering.value_order_key`
+        so rank comparisons on codes are value comparisons under the
+        ``select(order="sorted")`` contract.  Cost is O(dictionary), not
+        O(rows), and the table is cached per column.
+        """
+        key = ("valranks", position)
+        cached = self._cache.get(key)
+        if cached is None:
+            values = self._columns[position].values
+            order = sorted(range(len(values)), key=lambda c: value_order_key(values[c]))
+            cached = np.empty(len(values), dtype=np.int64)
+            cached[order] = np.arange(len(values), dtype=np.int64)
+            self._cache[key] = cached
+        return cached
+
+    def value_sorted_order(self, positions: Tuple[int, ...]) -> np.ndarray:
+        """Row permutation ordering the rows by value over ``positions``.
+
+        The value-order analogue of :meth:`sorted_composite_keys`: per-
+        column codes are mapped through :meth:`value_order_ranks` and the
+        rank arrays are mixed into one composite key per row with the same
+        dictionary-stride machinery (ranks occupy the same ``[0, |dict|)``
+        space as codes), then argsorted stably; composite-key overflow
+        falls back to ``np.lexsort`` over the rank arrays.  Cached per
+        (relation, column-set), so repeated ranked enumerations over the
+        same calibrated relations re-sort nothing.
+        """
+        key = ("valsort", tuple(positions))
+        cached = self._cache.get(key)
+        if cached is None:
+            ranks = [
+                self.value_order_ranks(p)[self._columns[p].codes] for p in positions
+            ]
+            keys = self._composite_keys(ranks, positions, self._n)
+            if keys is not None:
+                cached = np.argsort(keys, kind="stable")
+            elif ranks:
+                cached = np.lexsort(tuple(reversed(ranks)))
+            else:
+                cached = np.arange(self._n, dtype=np.int64)
+            self._cache[key] = cached
+        return cached
+
+    def ordered_values(self, position: int) -> List[Value]:
+        """One column's distinct values in deterministic value order, cached."""
+        key = ("ordvals", position)
+        cached = self._cache.get(key)
+        if cached is None:
+            column = self._columns[position]
+            codes = column.distinct_codes
+            order = np.argsort(self.value_order_ranks(position)[codes], kind="stable")
+            values = column.values
+            cached = [values[c] for c in codes[order]]
+            self._cache[key] = cached
+        return cached
 
     # -- operators ------------------------------------------------------
     def select_equals(self, items: Sequence[Tuple[int, Value]]) -> "ColumnarBackend":

@@ -55,6 +55,7 @@ from typing import (
 import numpy as np
 
 from ..matmul.boolean import matrix_from_pairs
+from .ordering import _ordered_rows, row_order_key, value_order_key
 from .backends import (
     ColumnarBackend,
     RelationBackend,
@@ -216,6 +217,76 @@ class Relation:
         for position in range(len(self.schema)):
             domain |= self._backend.distinct_values(position)
         return frozenset(domain)
+
+    def sorted_order(self, variables: Sequence[str]) -> Sequence[int]:
+        """Row indices ordering the rows by the deterministic value order.
+
+        The order over ``variables`` (lexicographic per
+        :func:`~repro.db.ordering.row_order_key`, ties broken stably by
+        storage position) is the ``select(order="sorted")`` contract; the
+        indices address the same storage positions :meth:`row_slice`
+        reads.  Columnar backends compute it once per (relation,
+        column-set) from cached per-column value ranks
+        (:meth:`~repro.db.backends.ColumnarBackend.value_sorted_order`);
+        the set backend keys a Python sort over its cached row snapshot.
+        """
+        positions = tuple(self._positions(list(variables)))
+        if isinstance(self._backend, ColumnarBackend):
+            return self._backend.value_sorted_order(positions)
+        cache_key = ("valsort", positions)
+        cached = self._backend.cache_get(cache_key)
+        if cached is None:
+            snapshot = self._backend.cache_get(("rowlist",))
+            if snapshot is None:
+                snapshot = list(self._backend.iter_rows())
+                self._backend.cache_put(("rowlist",), snapshot, family_limit=1)
+            cached = sorted(
+                range(len(snapshot)),
+                key=lambda i: row_order_key([snapshot[i][p] for p in positions]),
+            )
+            self._backend.cache_put(cache_key, cached, family_limit=8)
+        return cached
+
+    def ordered_rows(self, limit: Optional[int] = None) -> List[Row]:
+        """The rows in the deterministic sorted-order contract, vectorized.
+
+        The materialized arm of ``select(order="sorted")``: the first
+        ``limit`` rows (all of them when ``limit`` is ``None``) under the
+        same total order :meth:`sorted_order` indexes.  On the columnar
+        backend the permutation comes from the cached vectorized sort and
+        only the requested prefix is decoded — far cheaper on large
+        outputs than materializing every tuple and sorting in Python.
+        The set backend falls back to the keyed bounded selection.
+        """
+        if isinstance(self._backend, ColumnarBackend):
+            order = self._backend.value_sorted_order(
+                tuple(range(len(self.schema)))
+            )
+            if limit is not None:
+                order = order[:limit]
+            return list(self._backend.take(np.asarray(order)).iter_rows())
+        return _ordered_rows(self.rows, limit)
+
+    def ordered_distinct_values(self, variable: str) -> List[Value]:
+        """One column's distinct values in deterministic value order.
+
+        The candidate feed of the ranked enumeration: on a *calibrated*
+        relation (full-reducer property) these are exactly the values the
+        join output takes for ``variable``, already in output order.
+        Cached per column on the backend, so repeated ranked selects over
+        the same calibrated relations pay the sort once.
+        """
+        position = self._backend.position(variable)
+        if isinstance(self._backend, ColumnarBackend):
+            return list(self._backend.ordered_values(position))
+        cache_key = ("ordvals", position)
+        cached = self._backend.cache_get(cache_key)
+        if cached is None:
+            cached = sorted(
+                self._backend.distinct_values(position), key=value_order_key
+            )
+            self._backend.cache_put(cache_key, cached, family_limit=8)
+        return list(cached)
 
     def _columnar_pair(
         self, other: "Relation"

@@ -58,6 +58,15 @@ DEFAULT_MAX_MORSEL_OUTPUT = 4_000_000
 #: it the generic row loop is cheaper than encoding.
 DEFAULT_CONVERT_THRESHOLD = 2_048
 
+#: Largest ``limit`` a sorted select is served by ranked (any-k)
+#: enumeration.  Each ranked pop is a Python heap operation plus O(tree)
+#: vectorized restriction work, so per-row cost is microseconds — far
+#: cheaper than scanning a huge output, but slower per row than one
+#: bulk materialize + ``nsmallest`` when the caller wants a sizeable
+#: fraction of the output anyway.  One morsel's worth of rows is where
+#: the bulk path's fixed costs stop dominating.
+DEFAULT_RANKED_LIMIT_CAP = DEFAULT_MORSEL_SIZE
+
 
 @dataclass
 class DispatchStats:
@@ -90,6 +99,9 @@ class KernelDispatcher:
         :data:`repro.matmul.cost.STRASSEN_OVERHEAD_FACTOR`).
     max_morsel_output:
         Cap on expected per-chunk join output rows (degree-bound based).
+    ranked_limit_cap:
+        Largest sorted-select ``limit`` served by ranked (any-k)
+        enumeration rather than materialize + bounded sort.
     """
 
     def __init__(
@@ -100,6 +112,7 @@ class KernelDispatcher:
         convert_threshold: int = DEFAULT_CONVERT_THRESHOLD,
         strassen_overhead: float = STRASSEN_OVERHEAD_FACTOR,
         max_morsel_output: int = DEFAULT_MAX_MORSEL_OUTPUT,
+        ranked_limit_cap: int = DEFAULT_RANKED_LIMIT_CAP,
     ) -> None:
         if morsel_size <= 0:
             raise ValueError("morsel_size must be positive")
@@ -111,7 +124,40 @@ class KernelDispatcher:
         self.convert_threshold = convert_threshold
         self.strassen_overhead = strassen_overhead
         self.max_morsel_output = max_morsel_output
+        self.ranked_limit_cap = ranked_limit_cap
         self.stats = DispatchStats()
+
+    # ------------------------------------------------------------------
+    # Select delivery
+    # ------------------------------------------------------------------
+    def ranked_enumeration(
+        self,
+        limit: Optional[int],
+        order: str,
+        output_hint: Optional[int] = None,
+    ) -> bool:
+        """Whether a sorted select should run as ranked (any-k) enumeration.
+
+        The three deliveries a select can get — ``stream`` (discovery
+        order, cursor), ``ranked`` (sorted order, cursor) and materialize
+        + bounded sort — are picked here so both schedulers and every
+        strategy agree.  Ranked wins when the caller asked for sorted
+        order *and* bounded the output: per-popped-row cost is a heap
+        operation plus O(tree) restriction work, so small limits finish
+        in ~``exists`` + O(k log n).  Past ``ranked_limit_cap`` rows (or
+        when ``output_hint`` says the limit covers the whole output) the
+        bulk materialize + ``nsmallest`` path is cheaper per row, and an
+        unlimited sorted select always materializes.  Deterministic by
+        design: the decision reads configuration and statistics, never
+        timing.
+        """
+        if order != "sorted" or limit is None:
+            return False
+        if limit > self.ranked_limit_cap:
+            return False
+        if output_hint is not None and 0 < output_hint <= limit:
+            return False
+        return True
 
     # ------------------------------------------------------------------
     # Morsel partitioning

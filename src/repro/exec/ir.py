@@ -629,8 +629,11 @@ class Count(Operator):
 
 #: Enumeration orders an :class:`Enumerate` sink may declare.  ``sorted``
 #: is the deterministic total order the API has always promised;
-#: ``stream`` emits tuples in discovery order with constant delay.
-ENUMERATION_ORDERS = ("sorted", "stream")
+#: ``stream`` emits tuples in discovery order with constant delay;
+#: ``ranked`` emits tuples *in* the sorted order incrementally — the
+#: any-k frontier-heap enumeration, so a sorted ``limit=k`` costs
+#: ~``exists`` + O(k log n) instead of a full scan.
+ENUMERATION_ORDERS = ("sorted", "stream", "ranked")
 
 
 @dataclass(frozen=True)
@@ -652,6 +655,17 @@ class Enumerate(Operator):
       keys, and — when ``order == "stream"`` — stops as soon as ``limit``
       distinct tuples have been produced.
 
+    ``order == "ranked"`` selects the any-k enumeration instead: the
+    cursor (:class:`~repro.exec.vm.RankedEnumerationStream`) emits the
+    output tuples in the deterministic sorted order directly, popping the
+    globally next tuple off a frontier heap.  The ranking key spec is
+    ``variables_out`` itself — the lexicographic value order over the
+    output columns — and ``parents`` carries the join-tree shape the heap
+    expansions need: for each frontier, the index of its tree parent in
+    the combined ``[child, *frontiers]`` sequence (parents always precede
+    children).  Empty ``parents`` with frontiers present means the VM
+    derives parents from shared variables (hand-built nodes).
+
     ``limit`` and ``order`` are part of the structural key, so programs
     enumerating different prefixes never collide in any cache; the node
     itself is exempt from the VM's result cache either way — what caching
@@ -664,6 +678,7 @@ class Enumerate(Operator):
     variables_out: Optional[Schema] = None
     limit: Optional[int] = None
     order: str = "sorted"
+    parents: Tuple[int, ...] = ()
     empty_short_circuit = 0
 
     def __post_init__(self) -> None:
@@ -677,6 +692,18 @@ class Enumerate(Operator):
             )
         if self.limit is not None and self.limit < 0:
             raise ValueError("Enumerate limit must be non-negative")
+        if self.parents:
+            if len(self.parents) != len(self.frontiers):
+                raise ValueError(
+                    f"Enumerate parents {self.parents} must name one parent "
+                    f"per frontier ({len(self.frontiers)} frontiers)"
+                )
+            for index, parent in enumerate(self.parents):
+                if not 0 <= parent <= index:
+                    raise ValueError(
+                        f"Enumerate parent {parent} of frontier {index} must "
+                        "point at an earlier sequence position"
+                    )
         # The virtual schema of the top-down join (root columns, then each
         # frontier's new columns in join order) — outputs must live in it.
         joined = tuple(self.child.schema)
@@ -701,13 +728,19 @@ class Enumerate(Operator):
                 positions,
                 self.order,
                 self.limit,
+                self.parents,
             ),
         )
 
     @property
     def streaming(self) -> bool:
-        """Whether the VM should hand back a pull cursor instead of a relation."""
-        return bool(self.frontiers) or self.order == "stream" or self.limit is not None
+        """Whether the VM should hand back a pull cursor instead of a relation.
+
+        ``sorted`` delivery always materializes (a sorted *prefix* is the
+        result set's bounded ``nsmallest`` over the materialized output);
+        ``stream``/``ranked`` — and any frontier node — hand back a cursor.
+        """
+        return bool(self.frontiers) or self.order != "sorted"
 
     def label(self) -> str:
         mode = ""
@@ -915,6 +948,7 @@ def rename_operator(
             ),
             node.limit,
             node.order,
+            node.parents,
         )
     elif isinstance(node, NonEmpty):
         renamed = NonEmpty(r(node.child))

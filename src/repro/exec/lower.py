@@ -77,11 +77,12 @@ class SelectOptions:
     """How a ``select`` run wants its output tuples delivered.
 
     ``order="stream"`` asks for discovery-order enumeration with constant
-    delay; a non-``None`` ``limit`` bounds how many distinct tuples the
-    caller will pull.  Either one puts the :class:`Enumerate` sink in
-    streaming mode — ``order="sorted"`` with a limit still streams, the
-    result set keeping a bounded candidate selection instead of sorting
-    the full output.
+    delay; ``order="ranked"`` asks for *sorted*-order enumeration through
+    the any-k frontier heap (the engine picks it for sorted selects with
+    a small limit); a non-``None`` ``limit`` bounds how many distinct
+    tuples the caller will pull.  ``order="sorted"`` always materializes
+    — with a limit the result layer takes the bounded ``nsmallest``
+    prefix, without one it sorts the full output once.
     """
 
     limit: Optional[int] = None
@@ -98,7 +99,7 @@ class SelectOptions:
 
     @property
     def streaming(self) -> bool:
-        return self.order == "stream" or self.limit is not None
+        return self.order != "sorted"
 
 
 def apply_select_options(program: Program, options: SelectOptions) -> Program:
@@ -115,7 +116,12 @@ def apply_select_options(program: Program, options: SelectOptions) -> Program:
     if root.limit == options.limit and root.order == options.order:
         return program
     rebuilt = Enumerate(
-        root.child, root.frontiers, root.variables_out, options.limit, options.order
+        root.child,
+        root.frontiers,
+        root.variables_out,
+        options.limit,
+        options.order,
+        root.parents,
     )
     return Program(rebuilt, source=program.source)
 
@@ -264,11 +270,12 @@ def lower_yannakakis(
     Yannakakis enumeration whose intermediate sizes stay bounded by input
     plus output, finished by the verb's Count/Enumerate sink.
 
-    A ``select`` with streaming :class:`SelectOptions` (a limit, or
-    ``order="stream"``) skips the materialized top-down join entirely: the
+    A ``select`` with streaming :class:`SelectOptions` (``order="stream"``
+    or ``"ranked"``) skips the materialized top-down join entirely: the
     calibrated frontier relations are handed to a streaming
-    :class:`Enumerate` sink and the VM performs the enumeration join
-    lazily, chunk by chunk, stopping once the limit is reached.
+    :class:`Enumerate` sink — carrying the join-tree ``parents`` indices
+    so ranked mode can recalibrate restrictions — and the VM performs the
+    enumeration join lazily, stopping once the limit is reached.
     """
     check_verb(verb)
     from ..db.joins import _gyo_join_tree
@@ -301,6 +308,12 @@ def lower_yannakakis(
     # children), projecting early onto outputs + still-needed join keys.
     sequence = [name for name, _ in reversed(order)]
     if verb == "select" and select_options is not None and select_options.streaming:
+        # Join-tree parents as indices into [root, *frontiers]: the ranked
+        # stream's semijoin recalibration sweeps follow exactly these edges.
+        parent_of = {name: parent for name, parent in order}
+        parents = tuple(
+            sequence.index(parent_of[name]) for name in sequence[1:]
+        )
         return Program(
             Enumerate(
                 nodes[sequence[0]],
@@ -308,6 +321,7 @@ def lower_yannakakis(
                 tuple(query.output_variables),
                 select_options.limit,
                 select_options.order,
+                parents,
             ),
             source="yannakakis",
         )

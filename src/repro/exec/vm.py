@@ -61,6 +61,7 @@ fingerprint, so stale entries are never served.
 
 from __future__ import annotations
 
+import heapq
 import math
 import threading
 import time
@@ -82,6 +83,7 @@ from typing import (
 import numpy as np
 
 from ..db.database import Database
+from ..db.ordering import value_order_key
 from ..db.relation import Relation, Row
 from ..matmul.boolean import boolean_multiply, matrix_from_pairs
 from .dispatch import DEFAULT_DISPATCHER, KernelDispatcher
@@ -246,6 +248,14 @@ class OpTrace:
     #: already materialized, so wall and exclusive coincide — comparing
     #: the two against the run total is how the parallel schedule reads.
     wall_seconds: float = 0.0
+    #: Ranked-enumeration frontier-heap accounting (0 unless the operator
+    #: was a ranked Enumerate sink): the largest heap size the drain
+    #: reached, and how many nodes were popped.  ``heap_pops`` bounds the
+    #: total work — each pop costs one heap operation plus O(join tree)
+    #: restriction work — so ``pops ≈ k × depth`` is the signature of a
+    #: healthy any-k run, while ``peak`` shows the memory high-water mark.
+    heap_peak: int = 0
+    heap_pops: int = 0
 
     def describe(self) -> str:
         flags = " [cached]" if self.cache_hit else ""
@@ -256,6 +266,8 @@ class OpTrace:
         )
         if self.morsel_count:
             extra += f" morsels={self.morsel_count}"
+        if self.heap_pops:
+            extra += f" heap={self.heap_pops}p/{self.heap_peak}max"
         if self.worker is not None:
             extra += f" worker={self.worker}"
         return (
@@ -268,9 +280,10 @@ class EnumerationStream:
     """A pull-driven cursor over a streaming :class:`~repro.exec.ir.Enumerate` sink.
 
     Produced by both schedulers when the Enumerate root asks for streaming
-    delivery (a ``limit``, or ``order="stream"``).  By the time the stream
-    exists, the sink's children — the calibrated reducer state — are fully
-    evaluated; that work is the ~``exists``-cost prefix, and calibration is
+    delivery (``order="stream"``, ``order="ranked"`` — see
+    :class:`RankedEnumerationStream` — or a frontier-carrying sink).  By
+    the time the stream exists, the sink's children — the calibrated
+    reducer state — are fully evaluated; that work is the ~``exists``-cost prefix, and calibration is
     what makes early stopping sound (after the upward/downward semijoin
     passes every root tuple extends to at least one output tuple).  The
     top-down enumeration join itself runs lazily inside a generator: the
@@ -413,6 +426,214 @@ class EnumerationStream:
             yield fresh
             if self._stop is not None and self.emitted >= self._stop:
                 return
+
+
+class RankedEnumerationStream(EnumerationStream):
+    """Any-k ranked enumeration: the globally next tuple per pop.
+
+    The ``order="ranked"`` cursor the dispatcher picks for sorted selects
+    with a small limit.  Instead of scanning the root in discovery order,
+    it walks a *trie of output-variable prefixes* best-first with a
+    frontier priority queue (Lawler-style lazy successor expansion):
+
+    * a heap node is one prefix of output values plus the position of a
+      candidate value for the next variable; its key is the tuple of
+      :func:`~repro.db.ordering.value_order_key` components of the prefix
+      extended by that candidate, so Python's tuple comparison makes a
+      prefix sort before every one of its extensions — exactly the
+      invariant that keeps the minimal heap key a lower bound on every
+      not-yet-emitted output tuple;
+    * popping a node pushes at most two successors — the *sibling* (the
+      next candidate value at the same position, key recomputed in O(1))
+      and the *child* (the relations restricted to the popped value and
+      recalibrated by semijoin sweeps along the join tree's ``parents``
+      edges, with candidates for the next output variable);
+    * candidates at every level come free from the full-reducer property:
+      on calibrated relations the projection of the join onto one
+      variable equals the projection of *any* relation containing it, so
+      the level's value list is
+      :meth:`~repro.db.relation.Relation.ordered_distinct_values` of the
+      smallest such relation — no join is ever materialized.
+
+    A full-depth pop emits its tuple, so tuples stream out in exactly the
+    deterministic sorted order of :func:`~repro.db.ordering.row_order_key`
+    — byte-identical to materialize-and-sort — at a cost of O(log heap) +
+    O(join tree) restriction work per pop.  With a limit ``k`` the drain
+    stops after ``k`` tuples: a sorted-limit select costs the calibrated
+    prefix (~``exists``) plus O(k · depth) pops instead of a full-output
+    scan.  The cancellation token is checked per pop; ``heap_peak`` /
+    ``heap_pops`` land in the attached :class:`OpTrace`.
+    """
+
+    def __init__(
+        self,
+        node: Enumerate,
+        root: Relation,
+        frontiers: Sequence[Relation],
+        token: Optional[CancellationToken],
+        morsel_size: int,
+    ) -> None:
+        super().__init__(node, root, frontiers, token, morsel_size)
+        #: Ranked delivery is already sorted, so the limit truncates the
+        #: drain itself (the base class leaves ``_stop`` unset for any
+        #: order other than ``stream``).
+        self._stop = self.limit
+        self.heap_peak = 0
+        self.heap_pops = 0
+        rels = [root, *frontiers]
+        if node.parents:
+            # parents[i] is the join-tree parent of frontier i as an index
+            # into [child, *frontiers]; pad the root so _parents aligns
+            # with the ``rels`` list.
+            self._parents: Tuple[int, ...] = (0,) + tuple(node.parents)
+        else:
+            # Hand-built nodes may omit parents: fall back to the nearest
+            # earlier relation sharing a variable (the sequence is
+            # root-first, so this reconstructs a valid tree order).
+            derived = [0]
+            for j in range(1, len(rels)):
+                parent = 0
+                for i in range(j - 1, -1, -1):
+                    if rels[i].variables & rels[j].variables:
+                        parent = i
+                        break
+                derived.append(parent)
+            self._parents = tuple(derived)
+
+    def attach_trace(self, trace: "OpTrace") -> None:
+        super().attach_trace(trace)
+        trace.heap_peak = self.heap_peak
+        trace.heap_pops = self.heap_pops
+
+    # -- enumeration helpers -------------------------------------------
+    def _level_candidates(self, rels: List[Relation], variable: str) -> List:
+        """The ordered distinct values ``variable`` takes in the join.
+
+        Exact by calibration: every relation containing the variable
+        agrees on its projection, so the smallest one is scanned.
+        """
+        best: Optional[Relation] = None
+        for rel in rels:
+            if variable in rel.variables and (best is None or len(rel) < len(best)):
+                best = rel
+        if best is None:
+            raise ValueError(
+                f"ranked enumeration: output variable {variable!r} is not "
+                "covered by the enumeration inputs"
+            )
+        return best.ordered_distinct_values(variable)
+
+    def _restrict(
+        self, rels: List[Relation], variable: str, value: object
+    ) -> Optional[List[Relation]]:
+        """``rels`` with ``variable = value``, recalibrated (``None`` if empty).
+
+        Restriction can strand tuples in *other* relations (they joined
+        only with now-removed rows), so the full-reducer sweeps rerun
+        along the join-tree ``parents`` edges: leaves-up semijoins carry
+        the restriction to the root, then a root-down pass calibrates the
+        leaves.  Both sweeps are O(join tree) vectorized kernel calls.
+        """
+        out = list(rels)
+        for i, rel in enumerate(out):
+            if variable in rel.variables:
+                restricted = rel.restrict(variable, (value,))
+                if restricted.is_empty():
+                    return None
+                out[i] = restricted
+        parents = self._parents
+        for i in range(len(out) - 1, 0, -1):
+            reduced = out[parents[i]].semijoin(out[i])
+            if reduced.is_empty():
+                return None
+            out[parents[i]] = reduced
+        for i in range(1, len(out)):
+            out[i] = out[i].semijoin(out[parents[i]])
+        return out
+
+    def _produce(self) -> Iterator[List[Row]]:
+        if self._stop == 0 or self._root.is_empty():
+            return
+        outputs = tuple(self.schema)
+        if not outputs:
+            # Nullary head: the single empty tuple, iff the calibrated
+            # root is nonempty (it is — checked above).
+            self.emitted = 1
+            if self._trace is not None:
+                self._trace.rows_out = 1
+            yield [()]
+            return
+        rels = [self._root, *self._frontiers]
+        last = len(outputs) - 1
+        # Heap nodes: (key, seq, depth, prefix, values, index, rels).
+        # ``seq`` breaks key ties so heapq never compares the payload.
+        heap: List[Tuple] = []
+        seq = 0
+        values = self._level_candidates(rels, outputs[0])
+        if not values:
+            return
+        heap.append(((value_order_key(values[0]),), seq, 0, (), values, 0, rels))
+        seq += 1
+        self.heap_peak = 1
+        batch: List[Row] = []
+        batch_cap = min(self.INITIAL_CHUNK * 2, self._morsel)
+        while heap:
+            if self._token is not None:
+                # Per-pop cancellation: a deadline fires within one heap
+                # operation even mid-drain.
+                self._token.check()
+            key, _, depth, prefix, level, index, cur = heapq.heappop(heap)
+            self.heap_pops += 1
+            value = level[index]
+            if index + 1 < len(level):
+                # Sibling: same prefix, next candidate — O(1) key update.
+                sibling_key = key[:-1] + (value_order_key(level[index + 1]),)
+                heapq.heappush(
+                    heap, (sibling_key, seq, depth, prefix, level, index + 1, cur)
+                )
+                seq += 1
+            if depth == last:
+                batch.append(prefix + (value,))
+                self.emitted += 1
+                if self._trace is not None:
+                    self._trace.rows_out = self.emitted
+                    self._trace.heap_peak = self.heap_peak
+                    self._trace.heap_pops = self.heap_pops
+                done = self._stop is not None and self.emitted >= self._stop
+                if done or len(batch) >= batch_cap:
+                    yield batch
+                    batch = []
+                    batch_cap = min(batch_cap * 2, self._morsel, 4096)
+                    if done:
+                        return
+            else:
+                child_rels = self._restrict(cur, outputs[depth], value)
+                if child_rels is not None:
+                    child_values = self._level_candidates(
+                        child_rels, outputs[depth + 1]
+                    )
+                    if child_values:
+                        child_key = key + (value_order_key(child_values[0]),)
+                        heapq.heappush(
+                            heap,
+                            (
+                                child_key,
+                                seq,
+                                depth + 1,
+                                prefix + (value,),
+                                child_values,
+                                0,
+                                child_rels,
+                            ),
+                        )
+                        seq += 1
+            if len(heap) > self.heap_peak:
+                self.heap_peak = len(heap)
+        if self._trace is not None:
+            self._trace.heap_peak = self.heap_peak
+            self._trace.heap_pops = self.heap_pops
+        if batch:
+            yield batch
 
 
 @dataclass
@@ -933,11 +1154,17 @@ class _EvalContext:
         if isinstance(node, Enumerate):
             if node.streaming:
                 # Streaming delivery: pull every child — the calibrated
-                # reducer state — then hand back a cursor that runs the
-                # top-down enumeration join lazily, chunk by chunk.
+                # reducer state — then hand back a cursor.  Discovery
+                # order runs the top-down enumeration join lazily, chunk
+                # by chunk; ranked order drains the any-k frontier heap.
                 root = self._relation(get, node.child)
                 frontiers = [self._relation(get, f) for f in node.frontiers]
-                stream = EnumerationStream(
+                stream_cls = (
+                    RankedEnumerationStream
+                    if node.order == "ranked"
+                    else EnumerationStream
+                )
+                stream = stream_cls(
                     node, root, frontiers, self.vm.token, self.dispatcher.morsel_size
                 )
                 extra["kernel"] = stream.kernel

@@ -170,20 +170,30 @@ def test_streaming_limit_scans_a_prefix_not_the_output():
         assert op.rows_out <= largest_input, op.label
 
 
-def test_sorted_limit_streams_instead_of_full_sorting():
+def test_sorted_limit_runs_ranked_instead_of_full_sorting():
     database = _chain_database(600)
     engine = QueryEngine(database)
     full = engine.select(CHAIN, order="sorted").to_rows()
     result_set = engine.select(CHAIN, limit=4, order="sorted")
     assert result_set.to_rows() == full[:4]
     result = result_set.result
-    # The run streamed (no full output relation was materialized in the
-    # VM); the bounded-heap selection happened on the pull side.
+    # The run was served by the ranked any-k cursor (no full output
+    # relation was materialized in the VM) and emitted exactly k tuples —
+    # never the whole output.
     assert result.stream is not None
+    assert result.stream.order == "ranked"
     assert result.relation is None
     assert result.row_count is None
-    # sorted must see every distinct tuple to pick the smallest k.
-    assert result.stream.emitted == len(full)
+    assert result.stream.emitted == 4
+    assert result_set.streaming
+    # The sink's trace carries the frontier-heap accounting.
+    enumerate_ops = [
+        op for op in result.execution.operators if op.kind == "enumerate"
+    ]
+    assert len(enumerate_ops) == 1
+    assert enumerate_ops[0].rows_out == 4
+    assert enumerate_ops[0].heap_pops >= 4
+    assert enumerate_ops[0].heap_peak >= 1
 
 
 def test_first_fetch_pulls_one_chunk_only():
