@@ -12,9 +12,20 @@ serves every query isomorphic to the one that was planned.  Keys combine
   the query head, so the output slot is normalized to ``()`` there —
   differently-headed queries over one body share a single cached plan,
 * the strategy name and the ω exponent the plan was costed with, and
-* the database statistics fingerprint — any mutation of the database bumps
-  its version and therefore misses the cache, which is how invalidation
-  works without an observer protocol.
+* the *per-relation plan fingerprint* of only the relations the query's
+  atoms touch (:meth:`~repro.db.Database.plan_fingerprint_for`) — mutating
+  relation ``R`` therefore never evicts cached plans for queries that do
+  not read ``R``, and because the fingerprint is built from statistics
+  *epochs* (bumped on structural changes, not on small deltas), a stream
+  of single-tuple inserts keeps hitting one cached plan.  Invalidation
+  still needs no observer protocol: stale keys simply stop being asked
+  for and age out of the LRU.
+
+This module also hosts :class:`IncrementalResultStore`, the bounded store
+behind the engine's delta patching of whole-query ``exists``/``count``
+answers: each entry remembers the answer plus the per-relation versions it
+was computed at, so the engine can replay the delta log forward instead of
+re-executing (see :meth:`~repro.api.QueryEngine.insert`).
 
 Since the unified execution layer landed, the engine stores a
 :class:`CachedPlanEntry` — the plan *plus* its optimized physical-operator
@@ -37,7 +48,7 @@ from typing import Hashable, Optional, Tuple
 from ..core.plan import OmegaQueryPlan
 
 #: (strategy name, (shape signature, output signature, verb, atom sizes),
-#: omega, database fingerprint)
+#: omega, per-relation plan fingerprint of the atoms' relations)
 PlanCacheKey = Tuple[str, Hashable, float, Hashable]
 
 
@@ -136,3 +147,96 @@ class PlanCache:
                 size=len(self._entries),
                 maxsize=self.maxsize,
             )
+
+
+@dataclass
+class IncrementalEntry:
+    """One patched whole-query answer and the state it is valid at.
+
+    ``answer`` is the Boolean for ``exists`` entries and the distinct
+    output count for ``count`` entries.  ``versions`` maps every relation
+    the query reads to the :meth:`~repro.db.Database.relation_version` the
+    answer was computed (or last patched) at; the engine advances both in
+    place as it applies deltas.
+    """
+
+    answer: object
+    versions: dict
+    db_uid: int
+
+
+class IncrementalResultStore:
+    """A bounded LRU of whole-query answers for delta patching.
+
+    Keyed by the exact query identity — ``(sorted (relation, variables)
+    atom bindings, output variables, verb)`` — unlike the plan/result
+    caches this store is *name-sensitive*: a patched count is only sound
+    for the very query it was computed for.  ``maxsize <= 0`` disables the
+    store (the engine then always re-executes).  Thread-safe for the same
+    reason as :class:`PlanCache`: ``ask_many`` shards run concurrently.
+    """
+
+    def __init__(self, maxsize: int = 256) -> None:
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[Hashable, IncrementalEntry]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._patched = 0
+        self._reused = 0
+        self._stored = 0
+        self._dropped = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.maxsize > 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: Hashable) -> Optional[IncrementalEntry]:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+            return entry
+
+    def put(self, key: Hashable, entry: IncrementalEntry) -> None:
+        with self._lock:
+            if not self.enabled:
+                return
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            self._stored += 1
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+
+    def drop(self, key: Hashable) -> None:
+        """Remove an entry whose delta replay turned out unavailable."""
+        with self._lock:
+            if self._entries.pop(key, None) is not None:
+                self._dropped += 1
+
+    def record_patch(self) -> None:
+        with self._lock:
+            self._patched += 1
+
+    def record_reuse(self) -> None:
+        """An entry answered as-is: every touched relation unchanged."""
+        with self._lock:
+            self._reused += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict:
+        """Counters for tests and observability (plain dict, JSON-safe)."""
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "maxsize": self.maxsize,
+                "stored": self._stored,
+                "patched": self._patched,
+                "reused": self._reused,
+                "dropped": self._dropped,
+            }

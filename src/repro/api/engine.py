@@ -3,17 +3,27 @@
 Where the seed exposed one free function that re-planned on every call, the
 engine owns a :class:`~repro.db.database.Database`, resolves strategies
 through a registry, and memoizes ω-query plans in an LRU cache keyed by
-(canonical query shape, strategy, ω, database statistics fingerprint).  The
-second ask of any previously seen query shape therefore skips planning
-entirely — including asks of *isomorphic* queries with different variable
-or relation names — and batches (:meth:`QueryEngine.ask_many`) share plans
-across isomorphic group members even with the cache disabled.
+(canonical query shape, strategy, ω, per-relation plan fingerprint of the
+relations the query touches).  The second ask of any previously seen query
+shape therefore skips planning entirely — including asks of *isomorphic*
+queries with different variable or relation names — and batches
+(:meth:`QueryEngine.ask_many`) share plans across isomorphic group members
+even with the cache disabled.
+
+The engine is also the front door for *incremental maintenance*:
+:meth:`QueryEngine.insert` / :meth:`QueryEngine.delete` route mutations
+through the database's delta log, and repeated ``exists``/``count`` asks
+are answered by *patching* the previously computed answer with the
+logged deltas (monotone short-circuits for ``exists``, delta counting for
+``count``) instead of re-executing — falling back to full evaluation
+whenever a patch rule's soundness conditions do not hold.
 """
 
 from __future__ import annotations
 
 import os
 import time
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, Iterable, List, NoReturn, Optional, Sequence, Tuple
 
@@ -37,7 +47,14 @@ from ..exec.vm import (
     VirtualMachine,
     WorkerPool,
 )
-from .cache import CachedPlanEntry, CacheStats, PlanCache, PlanCacheKey
+from .cache import (
+    CachedPlanEntry,
+    CacheStats,
+    IncrementalEntry,
+    IncrementalResultStore,
+    PlanCache,
+    PlanCacheKey,
+)
 from .errors import (
     QueryCancelledError,
     QueryTimeout,
@@ -85,11 +102,14 @@ class QueryResult:
       tuples for ``count``/``select`` runs (``None`` for ``exists``).
     * ``plan_seconds`` / ``execute_seconds`` — where the time went;
       ``seconds`` is the end-to-end wall clock including dispatch.
-    * ``cache_hit`` — whether the plan came from the engine's plan cache.
+    * ``cache_hit`` — whether the plan came from the engine's plan cache
+      (or, for ``plan_source == "incremental"``, whether the answer was
+      served verbatim from the incremental store with zero deltas).
     * ``plan_source`` — ``"none"`` (strategy does not plan), ``"planner"``
       (freshly planned), ``"cache"`` (LRU hit), ``"batch"`` (shared within
-      an :meth:`QueryEngine.ask_many` isomorphism group) or ``"given"``
-      (caller-supplied plan).
+      an :meth:`QueryEngine.ask_many` isomorphism group), ``"given"``
+      (caller-supplied plan) or ``"incremental"`` (no plan ran at all: the
+      answer was patched from a previous ask via the delta log).
     """
 
     query: ConjunctiveQuery
@@ -368,6 +388,15 @@ class QueryEngine:
         the adaptive kernel-choice policy (morsel size, mixed-backend
         conversion threshold, Strassen-vs-BLAS overhead factor).  By
         default the engine builds one parameterised by its ω.
+    incremental:
+        When ``True`` (the default) the engine keeps a bounded store of
+        whole-query ``exists``/``count`` answers and *patches* them under
+        :meth:`insert`/:meth:`delete` deltas instead of re-executing —
+        a monotone ``exists`` survives inserts in O(1), a ``count`` is
+        adjusted by counting only the delta's contribution.  Patched
+        results report ``plan_source == "incremental"``.  ``False``
+        disables the store (every ask re-executes; the per-relation
+        cache keys still apply).
     """
 
     def __init__(
@@ -381,6 +410,7 @@ class QueryEngine:
         backend: Optional[str] = None,
         parallelism: Optional[int] = None,
         dispatcher: Optional[KernelDispatcher] = None,
+        incremental: bool = True,
     ) -> None:
         if backend is not None:
             database.convert_backend(backend)
@@ -401,6 +431,13 @@ class QueryEngine:
         self._pool: Optional[WorkerPool] = (
             WorkerPool(self.parallelism) if self.parallelism > 1 else None
         )
+        self._incremental = bool(incremental)
+        self._incremental_store = IncrementalResultStore(
+            256 if self._incremental else 0
+        )
+        #: A lazily built sibling engine evaluating the tiny delta queries
+        #: the patch rules need (Q with one relation replaced by its delta).
+        self._patch_engine: Optional["QueryEngine"] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -411,12 +448,42 @@ class QueryEngine:
             self._pool.shutdown()
             self._pool = None
             self.parallelism = 1
+        if self._patch_engine is not None:
+            self._patch_engine.close()
+            self._patch_engine = None
 
     def __enter__(self) -> "QueryEngine":
         return self
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+    # ------------------------------------------------------------------
+    # Mutation: the incremental-maintenance front door
+    # ------------------------------------------------------------------
+    def insert(self, relation: str, rows: Iterable[Sequence[object]]) -> int:
+        """Insert ``rows`` into ``relation``; returns how many were new.
+
+        Delegates to :meth:`Database.insert`: the backend appends in O(Δ),
+        the exact delta lands in the relation's bounded log, and only that
+        relation's version bumps — cached plans, cached subplan results
+        and stored whole-query answers for queries that never read
+        ``relation`` all survive.  Subsequent ``exists``/``count`` asks of
+        queries that *do* read it are patched from the log where sound.
+        """
+        return self.database.insert(relation, rows)
+
+    def delete(self, relation: str, rows: Iterable[Sequence[object]]) -> int:
+        """Delete ``rows`` from ``relation``; returns how many existed.
+
+        The mirror of :meth:`insert`; see there for the maintenance
+        semantics.
+        """
+        return self.database.delete(relation, rows)
+
+    def incremental_info(self) -> Dict[str, int]:
+        """Counters of the incremental answer store (stored/patched/dropped)."""
+        return self._incremental_store.stats()
 
     # ------------------------------------------------------------------
     # Strategy resolution
@@ -752,6 +819,30 @@ class QueryEngine:
             # (timeout=0) fails deterministically before any work.
             self._check_token(token, query, verb, strategy_key, start, timeout)
 
+        incremental_key = None
+        versions_before: Optional[Dict[str, int]] = None
+        if (
+            self._incremental
+            and self._incremental_store.enabled
+            and verb in ("exists", "count")
+            and strategy == "auto"
+            and plan is None
+            and select_options is None
+        ):
+            # Only "auto" asks use the store: naming a strategy is a
+            # request about *how* to execute (plan provenance, strategy
+            # comparison, differential tests), so it always runs live.
+            incremental_key = self._incremental_key(query, verb)
+            patched = self._try_patch(
+                incremental_key, query, verb, strategy_key, start
+            )
+            if patched is not None:
+                return patched
+            versions_before = {
+                atom.relation: self.database.relation_version(atom.relation)
+                for atom in query.atoms
+            }
+
         planned: Optional[PlannedQuery] = None
         plan_seconds = 0.0
         cache_hit = False
@@ -819,6 +910,22 @@ class QueryEngine:
         execute_seconds = time.perf_counter() - execute_start
         if outcome.planned is not None:
             planned = outcome.planned
+        if incremental_key is not None and versions_before is not None:
+            current = {
+                name: self.database.relation_version(name)
+                for name in versions_before
+            }
+            # A mutation racing the execution makes the answer's base
+            # version ambiguous — store nothing rather than something a
+            # later patch could replay deltas onto twice.
+            if current == versions_before and (
+                verb == "exists" or row_count is not None
+            ):
+                answer_value = outcome.answer if verb == "exists" else row_count
+                self._incremental_store.put(
+                    incremental_key,
+                    IncrementalEntry(answer_value, current, self.database.uid),
+                )
         return QueryResult(
             query=query,
             answer=outcome.answer,
@@ -1115,21 +1222,231 @@ class QueryEngine:
     def clear_result_cache(self) -> None:
         self._result_cache.clear()
 
+    # ------------------------------------------------------------------
+    # Incremental answer patching (exists/count under logged deltas)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _incremental_key(query: ConjunctiveQuery, verb: str) -> Hashable:
+        """Exact query identity: atom bindings + output head + verb.
+
+        Deliberately name-*sensitive* (unlike plan/result cache keys): a
+        patched count is only sound for the very query it was computed
+        for, relations, variable wiring and head included.
+        """
+        return (
+            tuple(
+                sorted(
+                    (atom.relation, tuple(atom.variables)) for atom in query.atoms
+                )
+            ),
+            tuple(query.output_variables),
+            verb,
+        )
+
+    def _try_patch(
+        self,
+        key: Hashable,
+        query: ConjunctiveQuery,
+        verb: str,
+        strategy_key: str,
+        start: float,
+    ) -> Optional[QueryResult]:
+        """Answer from the incremental store by replaying logged deltas.
+
+        Returns a finished :class:`QueryResult` (``plan_source ==
+        "incremental"``) when every touched relation is unchanged (the
+        stored answer is returned as-is, O(1)) or a sound patch rule
+        applies to the logged deltas; ``None`` falls through to full
+        evaluation — no stored entry, a truncated delta log (entry
+        dropped), or deltas violating a rule's soundness conditions.
+        """
+        entry = self._incremental_store.get(key)
+        if entry is None or entry.db_uid != self.database.uid:
+            return None
+        names = {atom.relation for atom in query.atoms}
+        deltas: Dict[str, Tuple] = {}
+        for name in sorted(names):
+            base = entry.versions.get(name)
+            replay = (
+                None if base is None else self.database.deltas_since(name, base)
+            )
+            if replay is None:
+                self._incremental_store.drop(key)
+                return None
+            if replay:
+                deltas[name] = replay
+        if not deltas:
+            # Versions bump on every mutation, so all-equal versions mean
+            # the query's relations are bit-for-bit unchanged: the stored
+            # answer holds verbatim.  Mutations to *other* relations land
+            # here — per-relation keys make them invisible.
+            self._incremental_store.record_reuse()
+            answer = entry.answer
+            return QueryResult(
+                query=query,
+                answer=bool(answer) if verb == "exists" else int(answer) > 0,
+                strategy=strategy_key,
+                seconds=time.perf_counter() - start,
+                verb=verb,
+                output_variables=tuple(query.output_variables),
+                row_count=None if verb == "exists" else int(answer),
+                cache_hit=True,
+                plan_source="incremental",
+            )
+        if verb == "exists":
+            patched = self._patch_exists(entry, deltas, query)
+        else:
+            patched = self._patch_count(entry, deltas, query)
+        if patched is None:
+            return None
+        versions = {name: self.database.relation_version(name) for name in names}
+        self._incremental_store.put(
+            key, IncrementalEntry(patched, versions, self.database.uid)
+        )
+        self._incremental_store.record_patch()
+        if verb == "exists":
+            answer, row_count = bool(patched), None
+        else:
+            answer, row_count = int(patched) > 0, int(patched)
+        return QueryResult(
+            query=query,
+            answer=answer,
+            strategy=strategy_key,
+            seconds=time.perf_counter() - start,
+            verb=verb,
+            output_variables=tuple(query.output_variables),
+            row_count=row_count,
+            plan_source="incremental",
+        )
+
+    def _patch_exists(
+        self,
+        entry: IncrementalEntry,
+        deltas: Dict[str, Tuple],
+        query: ConjunctiveQuery,
+    ) -> Optional[bool]:
+        """Patch a Boolean answer, or ``None`` when no rule is sound.
+
+        ``exists`` is monotone: inserts can only flip ``False → True`` and
+        deletes only ``True → False``, so a ``True`` under pure inserts
+        (and a ``False`` under pure deletes) is free.  A ``False`` under
+        pure inserts needs work, but only on the deltas: any new witness
+        must use at least one inserted tuple, so ``Q(old ∪ Δ) = ∨_R
+        Q[R := Δ_R, others := current]`` — each disjunct a query with one
+        tiny relation.  That decomposition replaces *relations*, not
+        atoms, so it is only sound when each mutated relation feeds a
+        single atom (a self-join could pair a delta tuple in one atom
+        with an old tuple in another); otherwise we bail.
+        """
+        kinds = {kind for replay in deltas.values() for kind, _ in replay}
+        if entry.answer is True and kinds == {"insert"}:
+            return True
+        if entry.answer is False and kinds == {"delete"}:
+            return False
+        if entry.answer is False and kinds == {"insert"}:
+            atom_counts = Counter(atom.relation for atom in query.atoms)
+            if any(atom_counts[name] != 1 for name in deltas):
+                return None
+            for name, replay in deltas.items():
+                rows = [row for _, batch in replay for row in batch]
+                if self._patch_ask(query, "exists", name, rows).answer:
+                    return True
+            return False
+        return None
+
+    def _patch_count(
+        self,
+        entry: IncrementalEntry,
+        deltas: Dict[str, Tuple],
+        query: ConjunctiveQuery,
+    ) -> Optional[int]:
+        """Patch a distinct-output count, or ``None`` when not sound.
+
+        Delta counting needs every output tuple to pin the mutated
+        relation's row, so contributions never collide: exactly one
+        relation mutated, feeding exactly one atom, and that atom's
+        variables all appear in the output head.  Then each logged batch
+        Δᵢ contributes ``±count(Q[R := Δᵢ, others := current])`` — the
+        batches replay chronologically, the backends log exact deltas
+        (set semantics), and the other relations are unchanged, so an
+        output tuple is added/removed exactly when its pinned R-row
+        appears/disappears.
+        """
+        if len(deltas) != 1:
+            return None
+        ((name, replay),) = deltas.items()
+        atoms = [atom for atom in query.atoms if atom.relation == name]
+        if len(atoms) != 1:
+            return None
+        if not set(atoms[0].variables) <= set(query.output_variables):
+            return None
+        count = int(entry.answer)
+        for kind, batch in replay:
+            contribution = self._patch_ask(
+                query, "count", name, list(batch)
+            ).row_count
+            if contribution is None:  # pragma: no cover - defensive
+                return None
+            count += contribution if kind == "insert" else -contribution
+        return count
+
+    def _ensure_patch_engine(self) -> "QueryEngine":
+        if self._patch_engine is None:
+            self._patch_engine = QueryEngine(
+                Database(),
+                omega=self.omega,
+                registry=self.registry,
+                parallelism=1,
+                incremental=False,
+            )
+        return self._patch_engine
+
+    def _patch_ask(
+        self,
+        query: ConjunctiveQuery,
+        verb: str,
+        delta_name: str,
+        rows: List,
+    ) -> QueryResult:
+        """Evaluate ``Q[delta_name := rows, others := current]``.
+
+        Runs on a persistent sibling engine whose database swaps relations
+        via the epoch-stable ``_set_for_patch`` hook: one cached plan
+        serves every patch evaluation, and unchanged relations keep their
+        version (their object identity is checked before swapping) so the
+        patch VM's result cache reuses calibrated subtrees across patches.
+        """
+        engine = self._ensure_patch_engine()
+        patch_db = engine.database
+        for name in {atom.relation for atom in query.atoms}:
+            if name == delta_name:
+                relation = Relation(self.database[name].schema, rows)
+            else:
+                relation = self.database[name]
+                if patch_db._relations.get(name) is relation:
+                    continue
+            patch_db._set_for_patch(name, relation)
+        return engine._ask(query, "auto", verb=verb)
+
     def _atom_sizes(self, query: ConjunctiveQuery) -> Tuple[Tuple[Tuple[str, ...], int], ...]:
-        """Per-atom relation sizes in canonical variable space.
+        """Per-atom relation *size classes* in canonical variable space.
 
         The shape signature deliberately forgets which relations the atoms
         bind to (so renamed isomorphic queries share plans), but plans are
         *costed* against the actual relation statistics — the cache key and
         the batch grouping include these sizes so two same-shaped queries
-        over differently-sized relations are planned separately.
+        over differently-sized relations are planned separately.  Sizes
+        enter as log₂ buckets (``bit_length``), not exact counts: a plan
+        costed for 100 rows serves 101 rows just as well, and bucketing is
+        what keeps plan-cache keys stable across a stream of small
+        insert/delete deltas (which bump versions but not epochs).
         """
         mapping = query.canonical_mapping()
         return tuple(
             sorted(
                 (
                     tuple(sorted(mapping[v] for v in atom.variables)),
-                    len(self.database[atom.relation]),
+                    len(self.database[atom.relation]).bit_length(),
                 )
                 for atom in query.atoms
             )
@@ -1199,6 +1516,31 @@ class QueryEngine:
             program = apply_select_options(program, select_options)
         return program
 
+    def _plan_fingerprint(self, query: ConjunctiveQuery) -> Hashable:
+        """Epochs of the query's relations, keyed by canonical atom scope.
+
+        Like :meth:`~repro.db.Database.plan_fingerprint_for` but
+        name-*insensitive*: isomorphic queries over different relations
+        with equal epochs still share a cached plan (the binding check in
+        :meth:`_obtain_plan` re-lowers when the atom→relation wiring
+        differs), while a structural mutation of any touched relation
+        bumps its epoch and misses.  Relations the query never reads are
+        absent entirely, so mutating them evicts nothing.
+        """
+        mapping = query.canonical_mapping()
+        return (
+            self.database.uid,
+            tuple(
+                sorted(
+                    (
+                        tuple(sorted(mapping[v] for v in atom.variables)),
+                        self.database.relation_epoch(atom.relation),
+                    )
+                    for atom in query.atoms
+                )
+            ),
+        )
+
     def _canonical_binding(
         self, query: ConjunctiveQuery, mapping: Dict[str, str]
     ) -> Tuple:
@@ -1247,7 +1589,10 @@ class QueryEngine:
             strategy_key,
             (query.shape_signature(), (), "exists", self._atom_sizes(query)),
             omega,
-            self.database.statistics_fingerprint(),
+            # Only the touched relations' epochs: mutating an unrelated
+            # relation no longer evicts this entry, and small deltas (which
+            # bump versions, not epochs) keep hitting it.
+            self._plan_fingerprint(query),
         )
         binding = self._canonical_binding(query, mapping)
         cached = self._plan_cache.get(key)

@@ -23,6 +23,22 @@ Both backends expose a :class:`RelationStats` view — the textbook
 cached on the backend (and shared across renames, which reuse the
 underlying storage), so the planner reads real statistics instead of
 re-scanning relations on every candidate order.
+
+**Mutation kernels.**  Both backends support :meth:`append_rows` and
+:meth:`delete_rows` — the primitives behind the database's delta-based
+``insert``/``delete`` path.  Appends extend the dictionary encoding (new
+values mint an *extended* dictionary rather than mutating the shared one,
+so composite-key strides cached by other relations stay valid) and seed
+the new backend's statistics incrementally: the row set, per-column
+distinct indexes and the stats fingerprint are adjusted in O(Δ) instead
+of recomputed, and cached max-degree entries become sound upper bounds
+(``old + |Δ|``).  Deletes are tombstone kernels: the surviving backend
+carries a Boolean tombstone mask and compacts **lazily** on first kernel
+access, so a delete whose relation is never probed again costs only the
+membership scan.  Caches whose values feed *answers* (``ndistinct``,
+order/probe/sjprobe structures) are never seeded — they rebuild lazily —
+while the answer-exact ones (``row_set``, ``distinct``) are patched in
+place.
 """
 
 from __future__ import annotations
@@ -206,6 +222,41 @@ class RelationBackend:
         """Same data under new column names (shares storage and caches)."""
         raise NotImplementedError
 
+    # -- mutation kernels -------------------------------------------------
+    def append_rows(
+        self, rows: Iterable[Sequence[Value]]
+    ) -> Tuple["RelationBackend", Tuple[Row, ...]]:
+        """A new backend with ``rows`` appended (set semantics).
+
+        Returns ``(backend, added)`` where ``added`` are the rows that were
+        genuinely new — already-present rows are dropped, so the returned
+        delta is exact (the database's delta log depends on this).  When
+        nothing is new the receiver itself is returned unchanged.
+        """
+        raise NotImplementedError
+
+    def delete_rows(
+        self, rows: Iterable[Sequence[Value]]
+    ) -> Tuple["RelationBackend", Tuple[Row, ...]]:
+        """A new backend with ``rows`` removed.
+
+        Returns ``(backend, removed)`` where ``removed`` are the rows that
+        were actually present (absent rows are ignored); the receiver is
+        returned unchanged when nothing matched.
+        """
+        raise NotImplementedError
+
+    def with_fresh_statistics(self) -> "RelationBackend":
+        """The same rows behind a fresh statistics cache.
+
+        The delta-threshold fallback: past the configured delta budget the
+        database swaps in this backend, so every statistic (including the
+        upper-bound degree entries seeded by :meth:`append_rows`) is
+        recomputed exactly on next read — worst-case behavior identical to
+        a from-scratch rebuild, without re-encoding the storage.
+        """
+        raise NotImplementedError
+
     def position(self, variable: str) -> int:
         try:
             return self.schema.index(variable)
@@ -330,6 +381,61 @@ class SetBackend(RelationBackend):
 
     def rename(self, schema: Tuple[str, ...]) -> "SetBackend":
         return SetBackend(schema, self._rows, self._cache)
+
+    # -- mutation kernels -------------------------------------------------
+    def append_rows(self, rows):
+        width = len(self.schema)
+        added: List[Row] = []
+        seen = set()
+        for row in rows:
+            row_tuple = tuple(row)
+            if len(row_tuple) != width:
+                raise ValueError(
+                    f"row {row_tuple} does not match schema of width {width}"
+                )
+            if row_tuple in self._rows or row_tuple in seen:
+                continue
+            seen.add(row_tuple)
+            added.append(row_tuple)
+        if not added:
+            return self, ()
+        out = SetBackend(self.schema, self._rows | seen)
+        # Incremental statistics: appends only ever *add* values, so the
+        # distinct indexes stay exact under a union; cached max-degree
+        # entries become sound upper bounds (a key gains at most |added|).
+        for key, value in self._cache.items():
+            if isinstance(key, tuple) and key and key[0] == "distinct":
+                out._cache[key] = value | frozenset(r[key[1]] for r in added)
+            elif isinstance(key, tuple) and key and key[0] == "degree":
+                out._cache[key] = value + len(added)
+        return out, tuple(added)
+
+    def delete_rows(self, rows):
+        width = len(self.schema)
+        removed: List[Row] = []
+        seen = set()
+        for row in rows:
+            row_tuple = tuple(row)
+            if len(row_tuple) != width:
+                raise ValueError(
+                    f"row {row_tuple} does not match schema of width {width}"
+                )
+            if row_tuple in self._rows and row_tuple not in seen:
+                seen.add(row_tuple)
+                removed.append(row_tuple)
+        if not removed:
+            return self, ()
+        out = SetBackend(self.schema, self._rows - seen)
+        # Deletions can shrink distinct sets and degrees in ways a delta
+        # can't witness without multiplicities, so only the (still sound)
+        # degree upper bounds carry over; everything else rebuilds lazily.
+        for key, value in self._cache.items():
+            if isinstance(key, tuple) and key and key[0] == "degree":
+                out._cache[key] = value
+        return out, tuple(removed)
+
+    def with_fresh_statistics(self) -> "SetBackend":
+        return SetBackend(self.schema, self._rows)
 
     # -- statistics -----------------------------------------------------
     def distinct_values(self, position: int) -> FrozenSet[Value]:
@@ -530,7 +636,7 @@ class ColumnarBackend(RelationBackend):
     """
 
     kind = "columnar"
-    __slots__ = ("schema", "_columns", "_n", "_cache")
+    __slots__ = ("schema", "_cols", "_n", "_cache", "_tombstones")
 
     def __init__(
         self,
@@ -538,11 +644,33 @@ class ColumnarBackend(RelationBackend):
         columns: Sequence[_Column],
         n_rows: int,
         cache: Optional[dict] = None,
+        tombstones: Optional[np.ndarray] = None,
     ) -> None:
         self.schema = schema
-        self._columns = tuple(columns)
+        self._cols = tuple(columns)
         self._n = n_rows
         self._cache: dict = cache if cache is not None else {}
+        #: Pending-delete mask over the *stored* code arrays (which may be
+        #: longer than ``n_rows``); compaction is deferred to the first
+        #: kernel access — see :attr:`_columns`.
+        self._tombstones = tombstones
+
+    @property
+    def _columns(self) -> Tuple[_Column, ...]:
+        """The live columns, compacting pending tombstones on first access.
+
+        ``delete_rows`` marks victims in a Boolean mask instead of
+        gathering survivors eagerly; every kernel reads columns through
+        this one choke point, so the gather happens at most once — and not
+        at all for a relation that is deleted from but never probed again.
+        The benign race under concurrent VM workers recomputes the same
+        compaction (columns are immutable), it cannot corrupt.
+        """
+        if self._tombstones is not None:
+            keep = np.nonzero(~self._tombstones)[0]
+            self._cols = tuple(column.take(keep) for column in self._cols)
+            self._tombstones = None
+        return self._cols
 
     # -- constructors ---------------------------------------------------
     @classmethod
@@ -671,6 +799,155 @@ class ColumnarBackend(RelationBackend):
         if dedup:
             return cls._from_encoded(base.schema, columns)
         return cls(base.schema, columns, len(columns[0].codes))
+
+    # -- mutation kernels -------------------------------------------------
+    def append_rows(self, rows):
+        width = len(self.schema)
+        existing = self.row_set()
+        added: List[Row] = []
+        seen = set()
+        for row in rows:
+            row_tuple = tuple(row)
+            if len(row_tuple) != width:
+                raise ValueError(
+                    f"row {row_tuple} does not match schema of width {width}"
+                )
+            if row_tuple in existing or row_tuple in seen:
+                continue
+            seen.add(row_tuple)
+            added.append(row_tuple)
+        if not added:
+            return self, ()
+        if not self.schema:
+            out = ColumnarBackend(self.schema, (), 1)
+            out._cache["row_set"] = frozenset([()])
+            return out, ((),)
+        old_columns = self._columns
+        new_columns: List[_Column] = []
+        for position in range(width):
+            own = old_columns[position]
+            # The union() dictionary-extension idiom: never mutate the
+            # shared dictionary in place — other backends sharing it have
+            # composite-key caches whose strides bake in its current size.
+            index = dict(own.index)
+            extension: List[Value] = []
+            fresh = np.empty(len(added), dtype=np.int64)
+            for i, row_tuple in enumerate(added):
+                value = row_tuple[position]
+                code = index.get(value)
+                if code is None:
+                    code = len(index)
+                    index[value] = code
+                    extension.append(value)
+                fresh[i] = code
+            codes = np.concatenate([own.codes, fresh])
+            if extension:
+                values = np.empty(len(index), dtype=object)
+                values[: len(own.values)] = own.values
+                values[len(own.values):] = extension
+                column = _Column(codes, values, index)
+            else:
+                column = _Column(codes, own.dictionary)
+            # Distinct codes stay exact under appends: old codes survive
+            # unchanged (the extended dictionary is a superset) and the
+            # fresh codes are unioned in — O(Δ + |distinct|), not O(n).
+            if own._distinct_codes is not None:
+                column._distinct_codes = np.union1d(own._distinct_codes, fresh)
+            new_columns.append(column)
+        out = ColumnarBackend(self.schema, new_columns, self._n + len(added))
+        out._cache["row_set"] = existing | seen
+        for key, value in self._cache.items():
+            if isinstance(key, tuple) and key and key[0] == "distinct":
+                out._cache[key] = value | frozenset(r[key[1]] for r in added)
+            elif isinstance(key, tuple) and key and key[0] == "degree":
+                # A group key gains at most |added| distinct targets: keep
+                # the entry as a sound upper bound for the cost model.
+                out._cache[key] = value + len(added)
+        return out, tuple(added)
+
+    def delete_rows(self, rows):
+        width = len(self.schema)
+        candidates: List[Tuple[int, ...]] = []
+        seen_keys = set()
+        for row in rows:
+            row_tuple = tuple(row)
+            if len(row_tuple) != width:
+                raise ValueError(
+                    f"row {row_tuple} does not match schema of width {width}"
+                )
+            codes = tuple(
+                self.lookup_code(position, value)
+                for position, value in enumerate(row_tuple)
+            )
+            # A value missing from a dictionary can't be stored here.
+            if any(code is None for code in codes) or codes in seen_keys:
+                continue
+            seen_keys.add(codes)
+            candidates.append(codes)
+        if not candidates or self._n == 0:
+            return self, ()
+        if not self.schema:
+            out = ColumnarBackend(self.schema, (), 0)
+            out._cache["row_set"] = frozenset()
+            return out, ((),)
+        columns = self._columns
+        positions = tuple(range(width))
+        row_keys = self._composite_keys(self._codes(positions), positions, self._n)
+        if row_keys is not None:
+            target_arrays = [
+                np.asarray([c[p] for c in candidates], dtype=np.int64)
+                for p in positions
+            ]
+            target_keys = self._composite_keys(
+                target_arrays, positions, len(candidates)
+            )
+        else:
+            target_keys = None
+        if row_keys is not None and target_keys is not None:
+            mask = np.isin(row_keys, target_keys)
+            hit = np.isin(target_keys, row_keys)
+            removed = [
+                tuple(columns[p].values[c[p]] for p in positions)
+                for c, present in zip(candidates, hit)
+                if present
+            ]
+        else:  # composite overflow: one generic pass over the rows
+            victim_keys = seen_keys
+            mask = np.fromiter(
+                (
+                    tuple(int(columns[p].codes[i]) for p in positions) in victim_keys
+                    for i in range(self._n)
+                ),
+                dtype=bool,
+                count=self._n,
+            )
+            present = {
+                tuple(int(columns[p].codes[i]) for p in positions)
+                for i in np.nonzero(mask)[0]
+            }
+            removed = [
+                tuple(columns[p].values[c[p]] for p in positions)
+                for c in candidates
+                if c in present
+            ]
+        count = int(mask.sum())
+        if not count:
+            return self, ()
+        # Tombstone, don't gather: the new backend shares the stored code
+        # arrays and compacts lazily on first kernel access (_columns).
+        out = ColumnarBackend(
+            self.schema, columns, self._n - count, tombstones=mask
+        )
+        cached_rows = self._cache.get("row_set")
+        if cached_rows is not None:
+            out._cache["row_set"] = cached_rows - frozenset(removed)
+        for key, value in self._cache.items():
+            if isinstance(key, tuple) and key and key[0] == "degree":
+                out._cache[key] = value  # still a sound upper bound
+        return out, tuple(removed)
+
+    def with_fresh_statistics(self) -> "ColumnarBackend":
+        return ColumnarBackend(self.schema, self._columns, self._n)
 
     # -- statistics -----------------------------------------------------
     def distinct_count(self, position: int) -> int:

@@ -1,16 +1,62 @@
-"""Databases: named relations plus validation against a query."""
+"""Databases: named relations plus validation against a query.
+
+**Versioning model.**  Every relation carries its own mutation counter
+(:meth:`Database.relation_version`) and a coarser *statistics epoch*
+(:meth:`Database.relation_epoch`).  The version bumps on every mutation of
+that relation — assignment, :meth:`Database.insert`, :meth:`Database.delete`
+— and is what result caches key on (:meth:`Database.fingerprint_for`).  The
+epoch bumps only on *structural* changes: wholesale replacement, deletion,
+backend conversion, or a delta stream crossing the fallback threshold.
+Plan caches key on epochs (:meth:`Database.plan_fingerprint_for`) because a
+plan stays *correct* under small deltas — only its cost optimality can
+drift — so a thousand single-tuple inserts reuse one cached plan instead of
+re-planning a thousand times.
+
+**Delta log.**  :meth:`insert` / :meth:`delete` route through the storage
+backends' append/tombstone kernels (O(Δ) instead of a full re-encode) and
+append the *exact* delta — only the rows that genuinely changed under set
+semantics — to a bounded per-relation log.  Consumers that cached a result
+at version ``v`` call :meth:`deltas_since` to obtain the contiguous batch
+list replaying ``v → current``, or ``None`` when the log has been truncated
+(then they must fall back to full re-evaluation).  When the cumulative
+delta volume since the last epoch exceeds the configured threshold
+(``max(delta_threshold_rows, delta_threshold_fraction · |R|)``), the
+relation's statistics caches are rebuilt fresh, the epoch bumps, and the
+log clears — worst-case behavior is exactly the old full invalidation.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Iterator, Mapping, Optional, Tuple, Union
+import itertools
+from typing import (
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
-from .backends import RelationStats, resolve_backend
+from .backends import RelationStats, Row, Value, resolve_backend
 from .query import ConjunctiveQuery
 from .relation import Relation
 
 #: A relation spec accepted by :meth:`Database.bulk_load`: either a built
 #: :class:`Relation` or a ``(schema, rows)`` pair.
 RelationSpec = Union[Relation, Tuple[Iterable[str], Iterable]]
+
+#: One delta-log entry: ``(version_after, kind, rows)`` where ``kind`` is
+#: ``"insert"`` or ``"delete"`` and ``rows`` is the exact changed set.
+DeltaEntry = Tuple[int, str, Tuple[Row, ...]]
+
+# Database instances get process-unique ids so fingerprints from different
+# databases (whose per-relation counters evolve independently) can never
+# collide in a shared plan/result cache.
+_DB_UIDS = itertools.count(1)
 
 
 class Database:
@@ -28,6 +74,15 @@ class Database:
         the database — at construction and through later assignments — is
         converted to that storage backend; ``None`` keeps whatever backend
         each relation already uses.
+    delta_log_limit:
+        Maximum number of delta batches retained per relation; older
+        entries are dropped and :meth:`deltas_since` reports truncation.
+    delta_threshold_rows / delta_threshold_fraction:
+        Fallback threshold for incremental maintenance: once the
+        cumulative delta volume since the last statistics epoch exceeds
+        ``max(delta_threshold_rows, delta_threshold_fraction · |R|)``,
+        the relation's statistics are recomputed fresh and its epoch
+        bumps (full invalidation for that relation only).
     """
 
     def __init__(
@@ -35,9 +90,24 @@ class Database:
         relations: Union[Mapping[str, Relation], Iterable[Tuple[str, Relation]]] = (),
         *,
         backend: Optional[str] = None,
+        delta_log_limit: int = 32,
+        delta_threshold_rows: int = 512,
+        delta_threshold_fraction: float = 0.05,
     ):
         self._relations: Dict[str, Relation] = {}
         self._version = 0
+        self._uid = next(_DB_UIDS)
+        # Per-relation counters survive delete + re-add (entries are never
+        # removed), so a stale fingerprint can never collide with a fresh
+        # relation that happens to reuse the name.
+        self._versions: Dict[str, int] = {}
+        self._epochs: Dict[str, int] = {}
+        self._deltas: Dict[str, List[DeltaEntry]] = {}
+        self._delta_base: Dict[str, int] = {}
+        self._pending_rows: Dict[str, int] = {}
+        self.delta_log_limit = int(delta_log_limit)
+        self.delta_threshold_rows = int(delta_threshold_rows)
+        self.delta_threshold_fraction = float(delta_threshold_fraction)
         if backend is not None:
             resolve_backend(backend)  # validate the name up front
         self.backend = backend
@@ -46,18 +116,43 @@ class Database:
             self[name] = relation
 
     # ------------------------------------------------------------------
+    # Internal bookkeeping
+    # ------------------------------------------------------------------
+    def _bump_version(self, name: str) -> int:
+        version = self._versions.get(name, 0) + 1
+        self._versions[name] = version
+        self._version += 1
+        return version
+
+    def _bump_epoch(self, name: str) -> None:
+        self._epochs[name] = self._epochs.get(name, 0) + 1
+
+    def _clear_deltas(self, name: str) -> None:
+        self._deltas[name] = []
+        self._delta_base[name] = self._versions.get(name, 0)
+        self._pending_rows[name] = 0
+
+    def _replace(self, name: str, relation: Relation) -> None:
+        """Wholesale replacement: version + epoch bump, delta log reset."""
+        self._relations[name] = relation
+        self._bump_version(name)
+        self._bump_epoch(name)
+        self._clear_deltas(name)
+
+    # ------------------------------------------------------------------
     def __setitem__(self, name: str, relation: Relation) -> None:
         if not isinstance(relation, Relation):
             raise TypeError("databases store Relation objects")
-        self._relations[name] = relation.with_backend(self.backend).with_name(name)
-        self._version += 1
+        self._replace(name, relation.with_backend(self.backend).with_name(name))
 
     def __delitem__(self, name: str) -> None:
         if name not in self._relations:
             known = ", ".join(sorted(self._relations))
             raise KeyError(f"no relation {name!r}; known relations: {known}")
         del self._relations[name]
-        self._version += 1
+        self._bump_version(name)
+        self._bump_epoch(name)
+        self._clear_deltas(name)
 
     def __getitem__(self, name: str) -> Relation:
         try:
@@ -79,6 +174,157 @@ class Database:
         return sorted(self._relations.items())
 
     # ------------------------------------------------------------------
+    # Incremental mutation (the delta front door)
+    # ------------------------------------------------------------------
+    def insert(self, name: str, rows: Iterable[Sequence[Value]]) -> int:
+        """Insert ``rows`` into relation ``name``; returns how many were new.
+
+        Routes through the backend's ``append_rows`` kernel (dictionary
+        extension + O(Δ) statistics seeding, no re-encode of existing
+        data), logs the exact delta, and bumps only this relation's
+        version — cached work for queries that never read ``name``
+        survives untouched.  Inserting rows that are already present is a
+        no-op (set semantics): nothing is logged and no cache is
+        invalidated.  Raises :class:`KeyError` when the relation does not
+        exist.
+        """
+        relation = self[name]  # KeyError with the known-relations hint
+        updated, added = relation.insert_rows(rows)
+        if not added:
+            return 0
+        self._apply_delta(name, updated, "insert", added)
+        return len(added)
+
+    def delete(self, name: str, rows: Iterable[Sequence[Value]]) -> int:
+        """Delete ``rows`` from relation ``name``; returns how many existed.
+
+        The columnar backend tombstones the victims and compacts lazily;
+        only the rows actually present are logged as the delta.  Deleting
+        absent rows is a no-op.  Raises :class:`KeyError` when the
+        relation does not exist.
+        """
+        relation = self[name]
+        updated, removed = relation.delete_rows(rows)
+        if not removed:
+            return 0
+        self._apply_delta(name, updated, "delete", removed)
+        return len(removed)
+
+    def _apply_delta(
+        self, name: str, relation: Relation, kind: str, rows: Tuple[Row, ...]
+    ) -> None:
+        self._relations[name] = relation
+        version = self._bump_version(name)
+        log = self._deltas.setdefault(name, [])
+        if name not in self._delta_base:
+            self._delta_base[name] = version - 1
+        log.append((version, kind, rows))
+        while len(log) > self.delta_log_limit:
+            dropped_version, _, _ = log.pop(0)
+            self._delta_base[name] = dropped_version
+        pending = self._pending_rows.get(name, 0) + len(rows)
+        self._pending_rows[name] = pending
+        threshold = max(
+            self.delta_threshold_rows,
+            int(self.delta_threshold_fraction * len(relation)),
+        )
+        if pending > threshold:
+            # Fallback: rebuild statistics fresh (the seeded degree caches
+            # are upper bounds that drift under sustained deltas), bump the
+            # epoch so plans re-cost, and clear the log — exactly the old
+            # full-invalidation behavior, scoped to this one relation.
+            self._relations[name] = relation.with_fresh_statistics()
+            self._bump_epoch(name)
+            self._clear_deltas(name)
+
+    def _set_for_patch(self, name: str, relation: Relation) -> None:
+        """Swap a relation in place *without* bumping its epoch.
+
+        Internal hook for the engine's patch evaluator: the patch database
+        swaps delta relations in and out between evaluations, and keeping
+        the epoch stable lets one cached plan serve every patch.  The
+        version still bumps so result caches never serve stale answers.
+        """
+        if not isinstance(relation, Relation):
+            raise TypeError("databases store Relation objects")
+        converted = relation.with_backend(self.backend)
+        if converted.name != name:
+            converted = converted.with_name(name)
+        # Identity-preserving on purpose: the engine's patch evaluator skips
+        # the swap when the very same relation object is already stored, so
+        # unchanged relations keep their version (and their cached subplans).
+        self._relations[name] = converted
+        self._bump_version(name)
+        self._clear_deltas(name)
+
+    def deltas_since(
+        self, name: str, version: int
+    ) -> Optional[Tuple[Tuple[str, Tuple[Row, ...]], ...]]:
+        """The contiguous delta batches replaying ``version`` → current.
+
+        Returns ``((kind, rows), ...)`` in chronological order — empty when
+        ``version`` is already current — or ``None`` when the replay is
+        unavailable: the log was truncated past ``version``, the relation
+        was replaced or crossed the fallback threshold (log cleared), or
+        ``version`` is from a different timeline.
+        """
+        if name not in self._relations:
+            return None
+        current = self._versions.get(name, 0)
+        if version == current:
+            return ()
+        if version > current or version < self._delta_base.get(name, current):
+            return None
+        return tuple(
+            (kind, rows)
+            for entry_version, kind, rows in self._deltas.get(name, ())
+            if entry_version > version
+        )
+
+    # ------------------------------------------------------------------
+    # Fingerprints
+    # ------------------------------------------------------------------
+    @property
+    def uid(self) -> int:
+        """Process-unique database id embedded in every fingerprint."""
+        return self._uid
+
+    def relation_version(self, name: str) -> int:
+        """Mutation counter for one relation (0 when never stored)."""
+        return self._versions.get(name, 0)
+
+    def relation_epoch(self, name: str) -> int:
+        """Statistics epoch for one relation (bumps only on structural change)."""
+        return self._epochs.get(name, 0)
+
+    def fingerprint_for(self, names: Iterable[str]) -> Hashable:
+        """Result-cache fingerprint covering only the named relations.
+
+        Two calls return equal fingerprints iff none of the named
+        relations changed in between — mutations to *other* relations
+        leave it stable, which is what lets per-query cache entries
+        survive unrelated writes.
+        """
+        return (
+            self._uid,
+            tuple(
+                (name, self._versions.get(name, 0)) for name in sorted(set(names))
+            ),
+        )
+
+    def plan_fingerprint_for(self, names: Iterable[str]) -> Hashable:
+        """Plan-cache fingerprint: epochs (not versions) of the named relations.
+
+        Plans stay correct under small deltas, so this only changes on
+        structural mutations — replacement, deletion, backend conversion,
+        or a threshold fallback.
+        """
+        return (
+            self._uid,
+            tuple((name, self._epochs.get(name, 0)) for name in sorted(set(names))),
+        )
+
+    # ------------------------------------------------------------------
     # Bulk construction and backend management
     # ------------------------------------------------------------------
     def bulk_load(
@@ -86,16 +332,17 @@ class Database:
         tables: Union[Mapping[str, RelationSpec], Iterable[Tuple[str, RelationSpec]]] = (),
         **named: RelationSpec,
     ) -> "Database":
-        """Load many relations at once (single version bump, batch coercion).
+        """Load many relations at once (batch coercion to the database backend).
 
         Each value is either a :class:`Relation` or a ``(schema, rows)``
-        pair; everything is converted to the database backend.  Compared to
-        per-relation assignment this bumps the mutation counter once, so
-        plan caches are invalidated a single time per batch.  Returns
-        ``self`` for chaining.
+        pair; everything is converted to the database backend.  Compared
+        to per-relation assignment the *global* mutation counter bumps
+        once per batch (each relation's own version/epoch still advances
+        individually).  Returns ``self`` for chaining.
         """
         items = list(tables.items() if isinstance(tables, Mapping) else tables)
         items.extend(named.items())
+        version_before = self._version
         for name, spec in items:
             if not isinstance(spec, Relation):
                 if isinstance(spec, (str, bytes)) or not isinstance(
@@ -109,9 +356,9 @@ class Database:
                 # Build directly in the target backend (one encode, no
                 # intermediate row-store materialization).
                 spec = Relation(schema, rows, backend=self.backend)
-            self._relations[name] = spec.with_backend(self.backend).with_name(name)
+            self._replace(name, spec.with_backend(self.backend).with_name(name))
         if items:
-            self._version += 1
+            self._version = version_before + 1
         return self
 
     def load_csv(
@@ -152,11 +399,9 @@ class Database:
             name: relation.with_backend(backend)
             for name, relation in self._relations.items()
         }
-        if any(
-            converted[name] is not self._relations[name] for name in converted
-        ):
-            self._relations = converted
-            self._version += 1
+        for name in converted:
+            if converted[name] is not self._relations[name]:
+                self._replace(name, converted[name])
         return self
 
     # ------------------------------------------------------------------
@@ -167,10 +412,12 @@ class Database:
 
     @property
     def version(self) -> int:
-        """A counter bumped by every mutation (relation set or deleted).
+        """A counter bumped by every mutation (relation set, changed, deleted).
 
-        Plan caches key on :meth:`statistics_fingerprint`, which embeds
-        this counter, so any mutation invalidates previously cached plans.
+        Kept for back-compat observability; the caches now key on the
+        *per-relation* counters via :meth:`fingerprint_for` /
+        :meth:`plan_fingerprint_for`, so this global counter no longer
+        drives invalidation.
         """
         return self._version
 
@@ -184,25 +431,29 @@ class Database:
         return {name: relation.stats for name, relation in self.items()}
 
     def statistics_fingerprint(self) -> Hashable:
-        """A hashable fingerprint of the database statistics.
+        """A hashable fingerprint of the entire database state.
 
-        The mutation counter is the authoritative component: two calls on
-        the same database return equal fingerprints iff no mutation
-        happened in between.  The per-relation statistics fingerprints
-        (cardinality + per-column distinct counts, cached on the storage
-        backends) ride along so fingerprints from *different* database
-        objects (whose counters evolve independently) are unlikely to
-        collide in a shared plan cache.
+        Two calls on the same database return equal fingerprints iff no
+        mutation happened in between.  Per-relation statistics
+        fingerprints ride along for compatibility with callers that key
+        on data content; the hot paths use the cheaper
+        :meth:`fingerprint_for` instead.
         """
         return (
-            self._version,
+            (self._uid, self._version),
             tuple(
                 (name, relation.stats.fingerprint()) for name, relation in self.items()
             ),
         )
 
     def copy(self) -> "Database":
-        return Database(dict(self._relations), backend=self.backend)
+        return Database(
+            dict(self._relations),
+            backend=self.backend,
+            delta_log_limit=self.delta_log_limit,
+            delta_threshold_rows=self.delta_threshold_rows,
+            delta_threshold_fraction=self.delta_threshold_fraction,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         parts = ", ".join(f"{name}[{len(rel)}]" for name, rel in self.items())

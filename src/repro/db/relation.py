@@ -202,6 +202,46 @@ class Relation:
         return Relation._wrap(self._backend, name)
 
     # ------------------------------------------------------------------
+    # Mutation (delta-producing; relations themselves stay immutable)
+    # ------------------------------------------------------------------
+    def insert_rows(
+        self, rows: Iterable[Sequence[Value]]
+    ) -> Tuple["Relation", Tuple[Row, ...]]:
+        """A new relation with ``rows`` added, plus the exact delta.
+
+        Returns ``(relation, added)`` where ``added`` holds only the rows
+        that were genuinely new (set semantics) — the delta the database
+        logs for incremental maintenance.  The backend appends in place of
+        re-encoding: dictionaries grow by extension and statistics are
+        seeded incrementally (see
+        :meth:`~repro.db.backends.RelationBackend.append_rows`).  When no
+        row is new, ``self`` is returned unchanged.
+        """
+        backend, added = self._backend.append_rows(rows)
+        if not added:
+            return self, ()
+        return Relation._wrap(backend, self.name), added
+
+    def delete_rows(
+        self, rows: Iterable[Sequence[Value]]
+    ) -> Tuple["Relation", Tuple[Row, ...]]:
+        """A new relation with ``rows`` removed, plus the exact delta.
+
+        Returns ``(relation, removed)`` where ``removed`` holds only the
+        rows that were actually present.  Columnar backends tombstone the
+        victims and compact lazily on first kernel access.  When nothing
+        matched, ``self`` is returned unchanged.
+        """
+        backend, removed = self._backend.delete_rows(rows)
+        if not removed:
+            return self, ()
+        return Relation._wrap(backend, self.name), removed
+
+    def with_fresh_statistics(self) -> "Relation":
+        """The same rows behind a fresh statistics cache (threshold fallback)."""
+        return Relation._wrap(self._backend.with_fresh_statistics(), self.name)
+
+    # ------------------------------------------------------------------
     # Column helpers
     # ------------------------------------------------------------------
     def _positions(self, variables: Sequence[str]) -> List[int]:

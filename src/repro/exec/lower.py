@@ -26,6 +26,13 @@ sinks over the query's free variables:
 Lowerings that mirror an instrumented report (triangle, 4-cycle, ω-plans)
 also return *role* records pointing at the operators whose traces
 reconstruct the legacy diagnostics.
+
+Programs lowered here are *pure* in the relations they scan, which is
+what makes incremental maintenance work downstream: the VM keys each
+operator's result-cache entry on the fingerprints of the relations in
+the operator's scan closure, so after a small delta only the join-tree
+paths whose closure contains the mutated relation re-execute — the
+calibrated semijoin state of untouched subtrees is reused as-is.
 """
 
 from __future__ import annotations

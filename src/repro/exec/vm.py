@@ -51,12 +51,21 @@ small the pools are.
 Cross-query sharing
 -------------------
 The VM consults an optional bounded :class:`ResultCache` keyed by
-``(operator structural key, database statistics fingerprint)``.  Because
+``(operator structural key, per-relation fingerprint)``.  Because
 structural keys are name-insensitive (see :mod:`repro.exec.ir`), isomorphic
 queries in an :meth:`~repro.api.QueryEngine.ask_many` batch share every
 common subplan: the cached relation is renamed — an O(1) schema swap — into
-the requesting operator's columns.  Any database mutation bumps the
-fingerprint, so stale entries are never served.
+the requesting operator's columns.
+
+The fingerprint is *per operator*: each node keys on the versions of only
+the relations in its scan closure (the Scans reachable beneath it), via
+:meth:`~repro.db.Database.fingerprint_for`.  Mutating relation ``R``
+therefore invalidates exactly the subplans that read ``R`` — after a
+single-tuple delta, a re-run recomputes only the operators along the
+join-tree path touched by the delta'd relation while every untouched
+calibrated subtree is served from cache.  Structural keys embed the scan
+relation names transitively, so two nodes with equal skeys always have
+equal scan closures and the sharing stays sound.
 """
 
 from __future__ import annotations
@@ -701,7 +710,9 @@ class ResultCacheStats:
 class ResultCache:
     """A bounded LRU of operator results shared across VM runs.
 
-    Keys are ``(structural key, database fingerprint)``; values are the
+    Keys are ``(structural key, scan-closure fingerprint)`` — the
+    fingerprint covers only the relations the operator actually reads
+    (see :func:`_node_fingerprints`); values are the
     operator's declared schema plus its payload (a relation or a Boolean).
     ``maxsize <= 0`` disables the cache.  Memory is bounded two ways: a
     relation wider than ``max_entry_rows`` is never stored (the entry
@@ -919,13 +930,13 @@ class VirtualMachine:
     def run(self, program: Program) -> VMResult:
         start = time.perf_counter()
         ids = program.node_ids()
-        fingerprint = self.database.statistics_fingerprint()
+        fingerprints = _node_fingerprints(program, self.database)
         context = _EvalContext(self)
         try:
             if self.pool is not None and self.dag_scheduling and self.parallelism > 1:
-                result = _ParallelRun(self, program, ids, fingerprint, context).execute()
+                result = _ParallelRun(self, program, ids, fingerprints, context).execute()
             else:
-                state = _RunState(self, ids, fingerprint, context)
+                state = _RunState(self, ids, fingerprints, context)
                 try:
                     payload = state.eval(program.root)
                 except QueryCancelled as exc:
@@ -952,6 +963,34 @@ class VirtualMachine:
             raise
         result.seconds = time.perf_counter() - start
         return result
+
+
+def _node_fingerprints(
+    program: Program, database: Database
+) -> Dict[Operator, Hashable]:
+    """Per-operator result-cache fingerprints from each node's scan closure.
+
+    Computed in one topological pass (children first): a node's closure is
+    the union of its children's closures plus its own relation when it is a
+    :class:`Scan`.  The fingerprint covers only those relations'
+    per-relation versions, so a cached subplan survives mutations to every
+    relation it never reads.  Distinct closures are fingerprinted once per
+    run (join-tree siblings typically share most of them).
+    """
+    closures: Dict[Operator, frozenset] = {}
+    memo: Dict[frozenset, Hashable] = {}
+    fingerprints: Dict[Operator, Hashable] = {}
+    for node in program.nodes():
+        names = {node.relation} if isinstance(node, Scan) else set()
+        for child in node.children:
+            names.update(closures[child])
+        closure = frozenset(names)
+        closures[node] = closure
+        fingerprint = memo.get(closure)
+        if fingerprint is None:
+            fingerprint = memo[closure] = database.fingerprint_for(closure)
+        fingerprints[node] = fingerprint
+    return fingerprints
 
 
 def _interpret_root(
@@ -1402,12 +1441,12 @@ class _RunState:
         self,
         vm: VirtualMachine,
         ids: Dict[Operator, int],
-        fingerprint: Hashable,
+        fingerprints: Dict[Operator, Hashable],
         context: _EvalContext,
     ) -> None:
         self.vm = vm
         self.ids = ids
-        self.fingerprint = fingerprint
+        self.fingerprints = fingerprints
         self.context = context
         self.memo: Dict[Operator, Payload] = {}
         self.traces: List[OpTrace] = []
@@ -1432,7 +1471,7 @@ class _RunState:
         # child's relation through unchanged — caching either would only
         # duplicate rows the cache already holds (or can rebuild for free).
         if cache is not None and cache.enabled and not isinstance(node, (Scan, Enumerate)):
-            cache_key = (node.skey, self.fingerprint)
+            cache_key = (node.skey, self.fingerprints[node])
             hit = cache.get(cache_key)
             if hit is not None:
                 stored_schema, payload = hit
@@ -1577,13 +1616,13 @@ class _ParallelRun:
         vm: VirtualMachine,
         program: Program,
         ids: Dict[Operator, int],
-        fingerprint: Hashable,
+        fingerprints: Dict[Operator, Hashable],
         context: _EvalContext,
     ) -> None:
         self.vm = vm
         self.program = program
         self.ids = ids
-        self.fingerprint = fingerprint
+        self.fingerprints = fingerprints
         self.context = context
         self.pool = vm.pool
         assert self.pool is not None
@@ -1783,7 +1822,7 @@ class _ParallelRun:
         # pass-through Enumerate never enter the result cache.
         if cache is not None and cache.enabled and not isinstance(node, (Scan, Enumerate)):
             checked = True
-            hit = cache.get((node.skey, self.fingerprint))
+            hit = cache.get((node.skey, self.fingerprints[node]))
             if hit is not None:
                 stored_schema, payload = hit
                 if isinstance(payload, Relation):
@@ -1803,7 +1842,7 @@ class _ParallelRun:
         )
         span = time.perf_counter() - start
         if checked:
-            cache.put((node.skey, self.fingerprint), node.schema, payload)
+            cache.put((node.skey, self.fingerprints[node]), node.schema, payload)
         trace = _build_trace(
             node, self.ids, payload,
             rows_in=rows_in, seconds=span, wall_seconds=span,

@@ -10,6 +10,8 @@ statement forms for interactive and networked use::
     COUNT Q(X) :- R(X, Y)
     SELECT Q(X, Z) :- R(X, Y), S(Y, Z) LIMIT 10
     EXPLAIN Q(X, Z) :- R(X, Y), S(Y, Z)
+    INSERT edges(7, 8), (8, 9)         -- incremental row updates
+    DELETE edges(1, 2)
     \\stats  \\strategies  \\relations    -- meta commands
 
 A plain rule defaults to ``exists`` for a Boolean head and ``select``
@@ -25,6 +27,7 @@ from .ast import (
     MetaStatement,
     QueryStatement,
     Statement,
+    UpdateStatement,
 )
 from .lexer import Token, tokenize
 from .parser import (
@@ -42,6 +45,7 @@ __all__ = [
     "Session",
     "Statement",
     "Token",
+    "UpdateStatement",
     "caret_diagnostic",
     "parse_query_text",
     "parse_statement",

@@ -7,6 +7,8 @@ logs can echo what was actually typed:
   run it under (``exists``/``count``/``select``), an optional ``LIMIT``
   and an ``EXPLAIN`` flag;
 * :class:`LoadStatement` — ``LOAD <relation> FROM '<path>'``;
+* :class:`UpdateStatement` — ``INSERT``/``DELETE`` of literal tuples
+  into/from a named relation (the incremental-maintenance front door);
 * :class:`MetaStatement` — backslash commands (``\\stats`` …).
 """
 
@@ -17,7 +19,13 @@ from typing import Optional, Tuple
 
 from ..db.query import ConjunctiveQuery
 
-__all__ = ["LoadStatement", "MetaStatement", "QueryStatement", "Statement"]
+__all__ = [
+    "LoadStatement",
+    "MetaStatement",
+    "QueryStatement",
+    "Statement",
+    "UpdateStatement",
+]
 
 
 @dataclass(frozen=True)
@@ -49,6 +57,21 @@ class LoadStatement(Statement):
 
     relation: str = ""
     path: str = ""
+
+
+@dataclass(frozen=True)
+class UpdateStatement(Statement):
+    """``INSERT name(v, ...) [, (v, ...)]*`` / ``DELETE name(v, ...)``.
+
+    ``kind`` is ``"insert"`` or ``"delete"``; ``rows`` holds the literal
+    tuples (integers and strings) in statement order.  Set semantics
+    apply at execution: rows already present (insert) or absent (delete)
+    are no-ops, and the session reports how many rows actually changed.
+    """
+
+    kind: str = "insert"
+    relation: str = ""
+    rows: Tuple[Tuple[object, ...], ...] = ()
 
 
 @dataclass(frozen=True)

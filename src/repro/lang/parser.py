@@ -13,10 +13,19 @@ The rule sub-grammar is the strict-mode grammar of
 assert it accepts and rejects the same strings as ``parse_query`` and
 builds equal :class:`~repro.db.query.ConjunctiveQuery` objects.
 :func:`parse_statement` wraps the rule grammar in the statement forms
-(``LOAD``, verb keywords, ``EXPLAIN``, ``LIMIT``, ``\\meta``, an
-optional ``.``/``;`` terminator).  Keywords are contextual: an
-identifier only acts as one when it is *not* immediately followed by
-``(``, so relations named ``count`` or ``select`` keep working.
+(``LOAD``, ``INSERT``/``DELETE``, verb keywords, ``EXPLAIN``,
+``LIMIT``, ``\\meta``, an optional ``.``/``;`` terminator).  Keywords
+are contextual: an identifier only acts as one when it is *not*
+immediately followed by ``(``, so relations named ``count``,
+``select`` or ``insert`` keep working.  The update sub-grammar::
+
+    update := ("INSERT" | "DELETE") IDENT tuple ("," tuple)*
+    tuple  := "(" value ("," value)* ")"
+    value  := NUMBER | STRING | IDENT
+
+(only the first tuple carries the relation name: ``INSERT R(1, 2),
+(3, 4)`` inserts two rows).  Numbers become Python ints, quoted
+strings and bare identifiers become strings.
 
 All errors are :class:`~repro.db.query.QueryParseError` with character
 spans; :func:`caret_diagnostic` renders them as caret-underlined
@@ -29,7 +38,13 @@ import re
 from typing import List, Optional, Tuple
 
 from ..db.query import Atom, ConjunctiveQuery, QueryParseError
-from .ast import LoadStatement, MetaStatement, QueryStatement, Statement
+from .ast import (
+    LoadStatement,
+    MetaStatement,
+    QueryStatement,
+    Statement,
+    UpdateStatement,
+)
 from .lexer import Token, tokenize
 
 __all__ = ["caret_diagnostic", "parse_query_text", "parse_statement"]
@@ -218,6 +233,10 @@ def parse_statement(text: str, name: Optional[str] = None) -> Statement:
     if first is not None and first.matches_keyword("load") and not atom_start:
         return _parse_load(parser)
 
+    for kind in ("insert", "delete"):
+        if first is not None and first.matches_keyword(kind) and not atom_start:
+            return _parse_update(parser, kind)
+
     explain = False
     if first is not None and first.matches_keyword("explain") and not atom_start:
         parser.advance()
@@ -256,6 +275,57 @@ def parse_statement(text: str, name: Optional[str] = None) -> Statement:
     _consume_terminator(parser)
     return QueryStatement(
         text=text, query=query, verb=verb, limit=limit, explain=explain
+    )
+
+
+def _parse_update(parser: _Parser, kind: str) -> UpdateStatement:
+    parser.advance()  # INSERT / DELETE
+    relation = parser.expect(
+        "IDENT", f"a relation name after {kind.upper()}"
+    ).value
+    rows: List[Tuple[object, ...]] = [_parse_update_tuple(parser, relation)]
+    while True:
+        token = parser.peek()
+        if token is None or token.kind != "COMMA":
+            break
+        parser.advance()
+        rows.append(_parse_update_tuple(parser, relation))
+    _consume_terminator(parser)
+    return UpdateStatement(
+        text=parser.text, kind=kind, relation=relation, rows=tuple(rows)
+    )
+
+
+def _parse_update_tuple(parser: _Parser, relation: str) -> Tuple[object, ...]:
+    parser.expect("LPAREN", f"'(' opening a {relation!r} tuple")
+    values: List[object] = []
+    token = parser.peek()
+    if token is not None and token.kind == "RPAREN":
+        parser.advance()
+        return ()
+    values.append(_parse_update_value(parser))
+    while True:
+        token = parser.peek()
+        if token is not None and token.kind == "COMMA":
+            parser.advance()
+            values.append(_parse_update_value(parser))
+            continue
+        break
+    parser.expect("RPAREN", "')' closing the tuple")
+    return tuple(values)
+
+
+def _parse_update_value(parser: _Parser) -> object:
+    token = parser.peek()
+    if token is None:
+        raise parser.error("expected a value, found end of statement")
+    if token.kind == "NUMBER":
+        return int(parser.advance().value)
+    if token.kind in ("STRING", "IDENT"):
+        return parser.advance().value
+    raise parser.error(
+        f"expected a number, string or identifier value, found {token.value!r}",
+        token,
     )
 
 

@@ -21,7 +21,7 @@ from ..api.results import ResultSet
 from ..db.database import Database
 from ..db.query import QueryParseError
 from ..exec.vm import CancellationToken
-from .ast import LoadStatement, MetaStatement, QueryStatement
+from .ast import LoadStatement, MetaStatement, QueryStatement, UpdateStatement
 from .parser import parse_statement
 
 __all__ = ["Outcome", "Session"]
@@ -38,6 +38,8 @@ statements:
   SELECT  <rule-or-body> [LIMIT k]   enumerate output tuples
   EXPLAIN <statement>                show strategy and plan, don't execute
   LOAD name FROM 'file.csv'          load a CSV/TSV file as a relation
+  INSERT name(v, ...), (v, ...)      insert literal rows (incremental)
+  DELETE name(v, ...), (v, ...)      delete literal rows (incremental)
 meta commands:
   \\relations   \\strategies   \\stats   \\help   \\quit"""
 
@@ -47,9 +49,10 @@ class Outcome:
     """What one statement produced.
 
     ``kind`` is one of ``exists``/``count``/``select``/``explain``/
-    ``loaded``/``meta``/``quit``.  ``payload`` is JSON-safe throughout;
-    ``select`` outcomes additionally carry the lazy ``result_set`` —
-    rows are *not* in the payload, the caller streams them.
+    ``loaded``/``inserted``/``deleted``/``meta``/``quit``.  ``payload``
+    is JSON-safe throughout; ``select`` outcomes additionally carry the
+    lazy ``result_set`` — rows are *not* in the payload, the caller
+    streams them.
     """
 
     kind: str
@@ -96,6 +99,19 @@ class Outcome:
                 f"loaded {self.payload['relation']} "
                 f"({self.payload['rows']} rows, "
                 f"columns {tuple(self.payload['columns'])})"
+            )
+        if self.kind in ("inserted", "deleted"):
+            changed = self.payload["rows_changed"]
+            given = self.payload["rows_given"]
+            preposition = "into" if self.kind == "inserted" else "from"
+            skipped = "" if changed == given else (
+                f", {given - changed} already "
+                + ("present" if self.kind == "inserted" else "absent")
+            )
+            return (
+                f"{self.kind} {changed} row{'s' if changed != 1 else ''} "
+                f"{preposition} {self.payload['relation']}{skipped} "
+                f"({self.payload['rows_total']} total)"
             )
         return ""
 
@@ -159,6 +175,8 @@ class Session:
             return self._execute_meta(statement)
         if isinstance(statement, LoadStatement):
             return self._execute_load(statement)
+        if isinstance(statement, UpdateStatement):
+            return self._execute_update(statement)
         assert isinstance(statement, QueryStatement)
         return self._execute_query(
             statement, timeout=timeout, token=token, batch_size=batch_size
@@ -230,6 +248,39 @@ class Session:
                 "rows": len(relation),
                 "columns": list(relation.schema),
                 "path": statement.path,
+            },
+        )
+
+    def _execute_update(self, statement: UpdateStatement) -> Outcome:
+        """Run an ``INSERT``/``DELETE`` through the engine's delta path.
+
+        Strict about the target: updating a relation that was never
+        loaded raises the database's ``KeyError`` (with its
+        known-relations hint) rather than silently creating one — a
+        typo'd name should not fork the data.  Row arity is validated by
+        the storage backend against the relation's schema.
+        """
+        if statement.relation not in self.database:
+            # Surface as a parse-level diagnostic with the statement text
+            # (the server and REPL both render QueryParseError nicely).
+            known = ", ".join(sorted(self.database)) or "(none loaded)"
+            raise QueryParseError(
+                f"unknown relation {statement.relation!r}; "
+                f"known relations: {known}",
+                statement.text,
+                (0, len(statement.text)),
+            )
+        if statement.kind == "insert":
+            changed = self.engine.insert(statement.relation, statement.rows)
+        else:
+            changed = self.engine.delete(statement.relation, statement.rows)
+        return Outcome(
+            kind="inserted" if statement.kind == "insert" else "deleted",
+            payload={
+                "relation": statement.relation,
+                "rows_given": len(statement.rows),
+                "rows_changed": changed,
+                "rows_total": len(self.database[statement.relation]),
             },
         )
 

@@ -15,7 +15,11 @@ Responses — ``type`` is one of:
 
 * ``result`` — the statement finished; ``kind``/``payload`` mirror
   :class:`repro.lang.session.Outcome` (for ``select`` the payload's
-  ``row_count`` arrives here, after the batches);
+  ``row_count`` arrives here, after the batches).  ``INSERT``/``DELETE``
+  statements answer with ``kind`` ``inserted``/``deleted`` and a payload
+  of ``relation``/``rows_given``/``rows_changed``/``rows_total`` — new
+  kinds under the same ``result`` envelope, so v1 ``select``/``count``
+  consumers are unaffected;
 * ``batch`` — one morsel of a ``select`` stream: ``seq`` (0-based) and
   ``rows`` (list of row lists);
 * ``error`` — ``code`` in ``parse_error`` (with a caret ``diagnostic``),

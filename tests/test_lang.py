@@ -15,6 +15,7 @@ from repro.lang import (
     MetaStatement,
     QueryStatement,
     Session,
+    UpdateStatement,
     caret_diagnostic,
     parse_query_text,
     parse_statement,
@@ -383,3 +384,67 @@ class TestRepl:
     def test_comments_and_blank_lines_skipped(self):
         output, _ = self.run("# hi\n\nCOUNT R(X, Y)\n")
         assert "4" in output
+
+
+# ----------------------------------------------------------------------
+# INSERT / DELETE statements
+# ----------------------------------------------------------------------
+class TestUpdateStatements:
+    def test_parse_insert_multiple_tuples(self):
+        statement = parse_statement("INSERT R(1, 2), (3, 'x')")
+        assert isinstance(statement, UpdateStatement)
+        assert statement.kind == "insert"
+        assert statement.relation == "R"
+        assert statement.rows == ((1, 2), (3, "x"))
+
+    def test_parse_delete_single_tuple(self):
+        statement = parse_statement("DELETE Edge(7, 8).")
+        assert statement.kind == "delete"
+        assert statement.relation == "Edge"
+        assert statement.rows == ((7, 8),)
+
+    def test_insert_as_relation_name_still_a_query(self):
+        # Contextual keyword: followed by '(', INSERT is an atom.
+        statement = parse_statement("EXISTS Q() :- INSERT(X, Y)")
+        assert isinstance(statement, QueryStatement)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "INSERT R(1, ",   # unterminated tuple
+            "INSERT R 1, 2",  # missing parenthesis
+            "DELETE R(1; 2)",  # bad separator
+        ],
+    )
+    def test_malformed_updates_caret_diagnosed(self, bad):
+        with pytest.raises(QueryParseError) as info:
+            parse_statement(bad)
+        rendered = caret_diagnostic(info.value)
+        assert "^" in rendered
+
+    def test_session_insert_delete_roundtrip(self):
+        session = Session(triangle_db())
+        count = session.execute("COUNT Q(X, Y, Z) :- R(X, Y), S(Y, Z)")
+        base = count.payload["row_count"]
+        outcome = session.execute("INSERT S(2, 99), (1, 2)")
+        assert outcome.kind == "inserted"
+        assert outcome.payload == {
+            "relation": "S",
+            "rows_given": 2,
+            "rows_changed": 1,  # (1, 2) was already present
+            "rows_total": 5,
+        }
+        assert "1 already present" in outcome.describe()
+        after = session.execute("COUNT Q(X, Y, Z) :- R(X, Y), S(Y, Z)")
+        assert after.payload["row_count"] == base + 1
+        outcome = session.execute("DELETE S(2, 99)")
+        assert outcome.kind == "deleted"
+        assert outcome.payload["rows_changed"] == 1
+        restored = session.execute("COUNT Q(X, Y, Z) :- R(X, Y), S(Y, Z)")
+        assert restored.payload["row_count"] == base
+
+    def test_session_rejects_unknown_relation(self):
+        session = Session(triangle_db())
+        with pytest.raises(QueryParseError, match="unknown relation"):
+            session.execute("INSERT Zed(1, 2)")
+        assert "Zed" not in session.database  # no silent auto-create

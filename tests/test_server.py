@@ -495,3 +495,106 @@ class TestDrain:
                 await asyncio.open_connection("127.0.0.1", server.port)
 
         run_async(scenario())
+
+
+# ----------------------------------------------------------------------
+# Updates over the wire
+# ----------------------------------------------------------------------
+class TestUpdates:
+    """INSERT/DELETE statements answer with the versioned update wire op."""
+
+    def test_insert_delete_round_trip(self, expected_count):
+        async def scenario():
+            server = await started_server()
+            try:
+                async with await QueryClient.connect("127.0.0.1", server.port) as c:
+                    before = await c.execute(COUNT_CHAIN)
+                    assert before["payload"]["row_count"] == expected_count
+
+                    # S(4, 9) pairs with R(3, 4): one brand-new (3, 9).
+                    inserted = await c.execute("INSERT S(4, 9), (3, 1)")
+                    assert inserted["type"] == "result"
+                    assert inserted["kind"] == "inserted"
+                    assert inserted["protocol_version"] == PROTOCOL_VERSION
+                    assert inserted["payload"] == {
+                        "relation": "S",
+                        "rows_given": 2,
+                        "rows_changed": 1,  # (3, 1) was already present
+                        "rows_total": len(EDGES) + 1,
+                    }
+
+                    after = await c.execute(COUNT_CHAIN)
+                    assert after["payload"]["row_count"] == expected_count + 1
+
+                    deleted = await c.execute("DELETE S(4, 9)")
+                    assert deleted["kind"] == "deleted"
+                    assert deleted["payload"]["rows_changed"] == 1
+                    assert deleted["payload"]["rows_total"] == len(EDGES)
+
+                    restored = await c.execute(COUNT_CHAIN)
+                    assert restored["payload"]["row_count"] == expected_count
+            finally:
+                await server.shutdown(drain_timeout=1.0)
+
+        run_async(scenario())
+
+    def test_update_message_matches_golden_document(self):
+        from pathlib import Path
+
+        golden = json.loads(
+            (Path(__file__).parent / "golden" / "update_result_v1.json").read_text(
+                encoding="utf-8"
+            )
+        )
+
+        async def scenario():
+            server = await started_server()
+            try:
+                async with await QueryClient.connect("127.0.0.1", server.port) as c:
+                    live = await c.execute("INSERT R(1, 2), (8, 9)")
+            finally:
+                await server.shutdown(drain_timeout=1.0)
+            # Same envelope and payload keys as the pinned v1 document —
+            # extending the protocol with new result kinds must not
+            # change the existing shapes.
+            assert set(live) == set(golden)
+            assert live["type"] == golden["type"]
+            assert live["protocol_version"] == golden["protocol_version"] == 1
+            assert set(live["payload"]) == set(golden["payload"])
+            assert live["kind"] == golden["kind"] == "inserted"
+
+        run_async(scenario())
+
+    def test_update_unknown_relation_is_a_parse_error(self):
+        async def scenario():
+            server = await started_server()
+            try:
+                async with await QueryClient.connect("127.0.0.1", server.port) as c:
+                    with pytest.raises(ServerError) as exc:
+                        await c.execute("INSERT Zed(1, 2)")
+                    assert exc.value.code == "parse_error"
+                    assert "unknown relation" in str(exc.value)
+            finally:
+                await server.shutdown(drain_timeout=1.0)
+
+        run_async(scenario())
+
+    def test_update_bad_syntax_carries_caret_diagnostic(self):
+        async def scenario():
+            server = await started_server()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                writer.write(encode_message({"id": 1, "statement": "INSERT R 1"}))
+                await writer.drain()
+                document = json.loads(await reader.readline())
+                assert document["type"] == "error"
+                assert document["code"] == "parse_error"
+                assert "^" in document["diagnostic"]
+                writer.close()
+                await writer.wait_closed()
+            finally:
+                await server.shutdown(drain_timeout=1.0)
+
+        run_async(scenario())

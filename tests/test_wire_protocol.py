@@ -94,3 +94,24 @@ class TestVersioning:
         document["protocol_version"] = "2"
         with pytest.raises(ValueError, match="protocol_version"):
             QueryResult.from_dict(document)
+
+
+class TestUpdateWireDocument:
+    """The v1 update result envelope is pinned alongside the query one."""
+
+    UPDATE_GOLDEN = Path(__file__).parent / "golden" / "update_result_v1.json"
+
+    def test_pinned_shape(self):
+        document = json.loads(self.UPDATE_GOLDEN.read_text(encoding="utf-8"))
+        assert document["protocol_version"] == 1
+        assert document["type"] == "result"
+        assert document["kind"] in ("inserted", "deleted")
+        assert set(document["payload"]) == {
+            "relation",
+            "rows_given",
+            "rows_changed",
+            "rows_total",
+        }
+        # Set semantics: never more rows change than were given.
+        assert 0 <= document["payload"]["rows_changed"]
+        assert document["payload"]["rows_changed"] <= document["payload"]["rows_given"]
