@@ -1,0 +1,222 @@
+"""The lint rule framework: registry, findings, baselines, the runner.
+
+A rule is a callable ``(module: LintModule) -> iterable of LintFinding``
+registered under a unique name with :func:`register_rule`.  The runner
+parses each file once into a :class:`LintModule` (AST + raw source lines,
+so rules can read trailing ``# guarded-by:``-style annotations the AST
+drops) and feeds it to every registered rule.
+
+Findings are identified by a *fingerprint* that deliberately excludes
+line numbers — ``path::rule::scope::symbol`` — so accepted findings in
+the baseline file survive unrelated edits above them.  ``repro lint``
+fails only on findings whose fingerprint is not baselined.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "DEFAULT_BASELINE",
+    "LintFinding",
+    "LintModule",
+    "LintReport",
+    "LintRule",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "register_rule",
+    "registered_rules",
+]
+
+#: The committed baseline of accepted findings, shipped with the package.
+DEFAULT_BASELINE = os.path.join(os.path.dirname(__file__), "baseline.txt")
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One rule violation at one site."""
+
+    rule: str
+    path: str
+    line: int
+    #: ``Class.method`` (or module-level symbol) enclosing the site.
+    scope: str
+    #: The offending name (attribute, call, handler) inside the scope.
+    symbol: str
+    message: str
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-number-free identity used for baselining."""
+        return f"{self.path}::{self.rule}::{self.scope}::{self.symbol}"
+
+    def describe(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+class LintModule:
+    """One parsed source file: AST, raw lines, and annotation helpers."""
+
+    def __init__(self, path: str, source: str) -> None:
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=path)
+
+    def line(self, lineno: int) -> str:
+        """The 1-based source line (empty when out of range)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def annotation(self, node: ast.AST, tag: str) -> Optional[str]:
+        """The value of a ``# <tag>: <value>`` comment on a node's lines.
+
+        Checks every physical line the node spans plus the line directly
+        above it, so both trailing and leading annotation styles work.
+        """
+        start = getattr(node, "lineno", 0)
+        end = getattr(node, "end_lineno", start) or start
+        marker = f"{tag}:"
+        for lineno in range(max(1, start - 1), end + 1):
+            text = self.line(lineno)
+            hash_position = text.find("#")
+            if hash_position < 0:
+                continue
+            comment = text[hash_position:]
+            position = comment.find(marker)
+            if position >= 0:
+                return comment[position + len(marker):].strip() or None
+        return None
+
+
+#: Rule signature: parsed module in, findings out.
+LintRule = Callable[[LintModule], Iterable[LintFinding]]
+
+_RULES: Dict[str, LintRule] = {}
+
+
+def register_rule(name: str) -> Callable[[LintRule], LintRule]:
+    """Class/function decorator adding a rule to the registry."""
+
+    def decorate(rule: LintRule) -> LintRule:
+        if name in _RULES:
+            raise ValueError(f"lint rule {name!r} already registered")
+        _RULES[name] = rule
+        return rule
+
+    return decorate
+
+
+def registered_rules() -> Tuple[str, ...]:
+    """The registered rule names, sorted."""
+    return tuple(sorted(_RULES))
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: List[LintFinding] = field(default_factory=list)
+    baselined: List[LintFinding] = field(default_factory=list)
+    files: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """Whether the run should exit 0 (only baselined findings)."""
+        return not self.findings
+
+    def describe(self) -> str:
+        lines = [finding.describe() for finding in self.findings]
+        lines.append(
+            f"{len(self.findings)} finding{'s' if len(self.findings) != 1 else ''} "
+            f"({len(self.baselined)} baselined) across {self.files} files"
+        )
+        return "\n".join(lines)
+
+
+def load_baseline(path: Optional[str] = None) -> frozenset:
+    """Accepted fingerprints from a baseline file (``#`` comments skipped)."""
+    baseline_path = DEFAULT_BASELINE if path is None else path
+    if not os.path.exists(baseline_path):
+        return frozenset()
+    accepted = set()
+    with open(baseline_path, "r", encoding="utf-8") as handle:
+        for raw in handle:
+            line = raw.strip()
+            if line and not line.startswith("#"):
+                accepted.add(line)
+    return frozenset(accepted)
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[str]] = None,
+) -> List[LintFinding]:
+    """Lint one source string (the per-rule fixture entry point)."""
+    module = LintModule(path, source)
+    selected = registered_rules() if rules is None else tuple(rules)
+    findings: List[LintFinding] = []
+    for name in selected:
+        findings.extend(_RULES[name](module))
+    findings.sort(key=lambda finding: (finding.path, finding.line, finding.rule))
+    return findings
+
+
+def _python_files(paths: Sequence[str]) -> List[str]:
+    files: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            files.append(path)
+            continue
+        for root, dirs, names in os.walk(path):
+            dirs[:] = sorted(d for d in dirs if d != "__pycache__")
+            files.extend(
+                os.path.join(root, name)
+                for name in sorted(names)
+                if name.endswith(".py")
+            )
+    return files
+
+
+def lint_paths(
+    paths: Sequence[str],
+    *,
+    baseline: Optional[str] = None,
+    use_baseline: bool = True,
+    rules: Optional[Sequence[str]] = None,
+) -> LintReport:
+    """Lint files/directories; split findings by the baseline.
+
+    ``baseline=None`` with ``use_baseline=True`` loads the committed
+    :data:`DEFAULT_BASELINE`.  Fingerprints are computed over paths
+    *relative to the repo/scan root* where possible so the baseline is
+    checkout-location independent.
+    """
+    accepted = load_baseline(baseline) if use_baseline else frozenset()
+    report = LintReport()
+    for file_path in _python_files(paths):
+        with open(file_path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        report.files += 1
+        for finding in lint_source(source, _normalize(file_path), rules=rules):
+            if finding.fingerprint in accepted:
+                report.baselined.append(finding)
+            else:
+                report.findings.append(finding)
+    return report
+
+
+def _normalize(path: str) -> str:
+    """A stable posix-style path rooted at ``src``/``tests`` when present."""
+    normalized = path.replace(os.sep, "/")
+    for anchor in ("src/", "tests/", "benchmarks/", "examples/"):
+        position = normalized.find(anchor)
+        if position >= 0:
+            return normalized[position:]
+    return normalized

@@ -93,6 +93,7 @@ class PlanCache:
 
     def __init__(self, maxsize: int = 128) -> None:
         self.maxsize = maxsize
+        # guarded-by: _lock; bounded-by: LRU eviction at maxsize
         self._entries: "OrderedDict[PlanCacheKey, object]" = OrderedDict()
         # ``ask_many`` shards batches across worker threads; all cache
         # operations are serialized on this lock so concurrent shards
@@ -178,6 +179,7 @@ class IncrementalResultStore:
 
     def __init__(self, maxsize: int = 256) -> None:
         self.maxsize = maxsize
+        # guarded-by: _lock; bounded-by: LRU eviction at maxsize
         self._entries: "OrderedDict[Hashable, IncrementalEntry]" = OrderedDict()
         self._lock = threading.Lock()
         self._patched = 0

@@ -27,6 +27,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, Iterable, List, NoReturn, Optional, Sequence, Tuple
 
+from ..analysis.verify import VERIFY_STAGES, assert_verified
 from ..constants import DEFAULT_OMEGA
 from ..db.database import Database
 from ..db.query import ConjunctiveQuery
@@ -56,6 +57,7 @@ from .cache import (
     PlanCacheKey,
 )
 from .errors import (
+    PlanVerificationError,
     QueryCancelledError,
     QueryTimeout,
     StrategyDisagreement,
@@ -72,6 +74,12 @@ from .strategies import (
 #: Environment knob for the default engine worker count (``1`` = fully
 #: sequential execution, the historical behaviour).
 PARALLELISM_ENV = "REPRO_PARALLELISM"
+
+#: Environment knob for the default ``verify_plans`` stage — ``off``
+#: (the default), ``lowered`` or ``optimized``.  The test suite exports
+#: ``optimized`` from ``tests/conftest.py`` so every engine it builds
+#: statically verifies every program it lowers.
+VERIFY_PLANS_ENV = "REPRO_VERIFY_PLANS"
 
 #: Version of the :meth:`QueryResult.to_dict` wire schema.  Bump on any
 #: incompatible change; :meth:`QueryResult.from_dict` refuses documents
@@ -397,6 +405,15 @@ class QueryEngine:
         results report ``plan_source == "incremental"``.  ``False``
         disables the store (every ask re-executes; the per-relation
         cache keys still apply).
+    verify_plans:
+        Static plan verification stage (see
+        :mod:`repro.analysis.verify`): ``"off"`` (no checking),
+        ``"lowered"`` (verify each strategy's raw lowering) or
+        ``"optimized"`` (verify the final program after the rewrite
+        passes and select-option stamping).  Unsound programs raise
+        :class:`~repro.api.errors.PlanVerificationError` instead of
+        executing.  Defaults to the ``REPRO_VERIFY_PLANS`` environment
+        variable, else ``"off"``.
     """
 
     def __init__(
@@ -411,9 +428,18 @@ class QueryEngine:
         parallelism: Optional[int] = None,
         dispatcher: Optional[KernelDispatcher] = None,
         incremental: bool = True,
+        verify_plans: Optional[str] = None,
     ) -> None:
         if backend is not None:
             database.convert_backend(backend)
+        if verify_plans is None:
+            verify_plans = os.environ.get(VERIFY_PLANS_ENV, "off")
+        if verify_plans not in VERIFY_STAGES:
+            raise ValueError(
+                f"verify_plans must be one of {VERIFY_STAGES}, "
+                f"got {verify_plans!r}"
+            )
+        self.verify_plans = verify_plans
         self.database = database
         self.omega = omega
         self.registry = registry if registry is not None else DEFAULT_REGISTRY
@@ -1162,6 +1188,35 @@ class QueryEngine:
             program=program,
         )
 
+    def verify(
+        self,
+        query: ConjunctiveQuery,
+        strategy: str = "auto",
+        *,
+        omega: Optional[float] = None,
+        verb: str = "exists",
+    ):
+        """Lower the query and statically verify the optimized program.
+
+        Returns the list of :class:`~repro.analysis.verify.Violation`
+        objects (empty when the program is sound) instead of raising, so
+        callers — ``EXPLAIN VERIFY`` and the ``repro verify`` CLI verb —
+        can render every violation at once.  Runs regardless of the
+        engine's ``verify_plans`` setting; when that setting already
+        verifies eagerly, the violations are recovered from the raised
+        :class:`~repro.api.errors.PlanVerificationError`.
+        """
+        from ..analysis.verify import verify_program
+
+        try:
+            explanation = self.explain(query, strategy, omega=omega, verb=verb)
+        except PlanVerificationError as error:
+            return list(error.violations)
+        program = explanation.program
+        if program is None:
+            return []
+        return verify_program(program, verb=verb, database=self.database)
+
     def compare(
         self,
         query: ConjunctiveQuery,
@@ -1507,6 +1562,10 @@ class QueryEngine:
                 raise UnsupportedWorkload(strategy.name, verb, query)
         if program is None:
             return None
+        if self.verify_plans == "lowered":
+            assert_verified(
+                program, verb=verb, database=self.database, stage="lowered"
+            )
         program, _ = optimize_program(program)
         if (
             verb == "select"
@@ -1514,6 +1573,10 @@ class QueryEngine:
             and select_options.streaming
         ):
             program = apply_select_options(program, select_options)
+        if self.verify_plans == "optimized":
+            assert_verified(
+                program, verb=verb, database=self.database, stage="optimized"
+            )
         return program
 
     def _plan_fingerprint(self, query: ConjunctiveQuery) -> Hashable:

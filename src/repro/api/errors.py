@@ -12,6 +12,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "EngineError",
+    "PlanVerificationError",
     "QueryCancelledError",
     "QueryParseError",
     "QueryTimeout",
@@ -23,6 +24,32 @@ __all__ = [
 
 class EngineError(Exception):
     """Base class for query-engine API errors."""
+
+
+class PlanVerificationError(EngineError):
+    """A lowered/optimized program failed static verification.
+
+    Raised by :func:`repro.analysis.verify.assert_verified` (and by the
+    engine when constructed with ``verify_plans != 'off'``) before the
+    unsound program reaches the VM.  ``violations`` carries the structured
+    :class:`repro.analysis.verify.Violation` records — each names the rule
+    that fired and the offending operator's position in the program's
+    ``describe()`` rendering — and ``program`` the rejected program.
+    """
+
+    def __init__(self, program, violations, stage: str = "optimized") -> None:
+        self.program = program
+        self.violations = tuple(violations)
+        self.stage = stage
+        lines = [
+            f"{len(self.violations)} plan verification "
+            f"failure{'s' if len(self.violations) != 1 else ''} "
+            f"({stage} program, source {program.source!r}):"
+        ]
+        lines.extend(f"  {v.describe()}" for v in self.violations)
+        lines.append("program:")
+        lines.extend(f"  {line}" for line in program.describe().splitlines())
+        super().__init__("\n".join(lines))
 
 
 class QueryCancelledError(EngineError):

@@ -28,7 +28,8 @@ computed once in ``__post_init__``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import functools
+from dataclasses import dataclass, fields
 from typing import Dict, List, Mapping, Optional, Tuple
 
 Schema = Tuple[str, ...]
@@ -66,6 +67,49 @@ def _shared_pairs(left: Schema, right: Schema) -> Tuple[Tuple[int, int], ...]:
     )
 
 
+def _operator_inputs(node: "Operator") -> Tuple["Operator", ...]:
+    """The operator-valued declared fields, before ``children`` is derived."""
+    inputs: List[Operator] = []
+    for field in fields(node):  # type: ignore[arg-type]
+        value = getattr(node, field.name, None)
+        if isinstance(value, Operator):
+            inputs.append(value)
+        elif isinstance(value, tuple):
+            inputs.extend(item for item in value if isinstance(item, Operator))
+    return tuple(inputs)
+
+
+def _describe_inputs(inputs: Tuple["Operator", ...]) -> str:
+    if not inputs:
+        return "none"
+    return "; ".join(
+        "bool" if node.boolean else f"({', '.join(node.schema)})"
+        for node in inputs
+    )
+
+
+def _with_input_context(post_init):
+    """Wrap a ``__post_init__`` so validation errors carry input schemas.
+
+    The construction-time checks raise from deep helpers that only see a
+    fragment of the node; every subclass's ``__post_init__`` is wrapped at
+    class-creation time so the surfaced message always names the operator
+    class and the schemas of its operand subplans.
+    """
+
+    @functools.wraps(post_init)
+    def wrapped(self) -> None:
+        try:
+            post_init(self)
+        except ValueError as error:
+            raise ValueError(
+                f"{error} [in {type(self).__name__}; input schemas: "
+                f"{_describe_inputs(_operator_inputs(self))}]"
+            ) from None
+
+    return wrapped
+
+
 class Operator:
     """Base class for IR nodes.
 
@@ -93,12 +137,43 @@ class Operator:
     #: now-doomed sibling subtrees.
     empty_short_circuit: Optional[int] = None
 
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        post_init = cls.__dict__.get("__post_init__")
+        if post_init is not None:
+            cls.__post_init__ = _with_input_context(post_init)
+
     def _derive(
         self, schema: Schema, children: Tuple["Operator", ...], skey: StructuralKey
     ) -> None:
         object.__setattr__(self, "schema", schema)
         object.__setattr__(self, "children", children)
         object.__setattr__(self, "skey", skey)
+
+    def validate(self, program: Optional["Program"] = None) -> None:
+        """Re-run the construction-time checks (and re-derive the schema).
+
+        Used by the static plan verifier: a node rebuilt by a rewrite
+        pass, or mutated through ``object.__setattr__``, re-proves its
+        own well-formedness here.  Errors carry the input schemas (via
+        the wrapped ``__post_init__``) and — when a ``program`` is given
+        — the operator's ``#id`` position in ``program.describe()``.
+        """
+        post_init = getattr(self, "__post_init__", None)
+        if post_init is None:  # pragma: no cover - every subclass has one
+            return
+        try:
+            post_init()
+        except ValueError as error:
+            message = str(error)
+            if program is not None:
+                node_id = program.node_ids().get(self)
+                if node_id is not None:
+                    message = (
+                        f"operator #{node_id} of the program failed "
+                        f"validation: {message}"
+                    )
+            raise ValueError(message) from None
 
     @property
     def variables(self) -> frozenset:

@@ -128,12 +128,16 @@ def _rebuild(node: Operator, children: Tuple[Operator, ...]) -> Operator:
     if isinstance(node, Count):
         return Count(children[0], node.variables_out)
     if isinstance(node, Enumerate):
+        # ``parents`` must ride along: the ranked (any-k) stream follows
+        # exactly these join-tree edges, and dropping them here would
+        # silently degrade it to shared-variable parent guessing.
         return Enumerate(
             children[0],
             tuple(children[1:]),
             node.variables_out,
             node.limit,
             node.order,
+            node.parents,
         )
     if isinstance(node, NonEmpty):
         return NonEmpty(children[0])

@@ -731,6 +731,7 @@ class ResultCache:
         self.maxsize = maxsize
         self.max_entry_rows = max_entry_rows
         self.max_total_rows = max_total_rows
+        # guarded-by: _lock; bounded-by: LRU eviction at maxsize/max_total_rows
         self._entries: "OrderedDict[Hashable, Tuple[Tuple[str, ...], Payload]]" = (
             OrderedDict()
         )
@@ -1026,7 +1027,9 @@ class _EvalContext:
         self.dispatcher = vm.dispatcher
         self.pool = vm.pool
         self.workers = vm.parallelism if vm.pool is not None else 1
+        # guarded-by: _locks_guard; bounded-by: per-run lifetime (one program)
         self.split_memo: Dict[Operator, Tuple[Relation, Relation]] = {}
+        # guarded-by: _locks_guard
         self._split_locks: Dict[Operator, threading.Lock] = {}
         self._locks_guard = threading.Lock()
 
@@ -1448,6 +1451,7 @@ class _RunState:
         self.ids = ids
         self.fingerprints = fingerprints
         self.context = context
+        # bounded-by: per-run lifetime (one entry per program operator)
         self.memo: Dict[Operator, Payload] = {}
         self.traces: List[OpTrace] = []
         self.cache_hits = 0
@@ -1627,9 +1631,11 @@ class _ParallelRun:
         self.pool = vm.pool
         assert self.pool is not None
         nodes = program.nodes()
-        self.parents: Dict[Operator, List[Operator]] = {node: [] for node in nodes}
-        self.unresolved: Dict[Operator, int] = {}
-        self.need: Dict[Operator, int] = {node: 0 for node in nodes}
+        # All per-node scheduler tables below are guarded-by: lock and
+        # bounded-by: per-run lifetime (at most one entry per operator).
+        self.parents: Dict[Operator, List[Operator]] = {node: [] for node in nodes}  # guarded-by: lock
+        self.unresolved: Dict[Operator, int] = {}  # guarded-by: lock
+        self.need: Dict[Operator, int] = {node: 0 for node in nodes}  # guarded-by: lock
         for node in nodes:
             distinct_children = set(node.children)
             self.unresolved[node] = len(distinct_children)
@@ -1637,13 +1643,13 @@ class _ParallelRun:
                 self.parents[child].append(node)
                 self.need[child] += 1
         self.need[program.root] += 1  # the root is always needed
-        self.state: Dict[Operator, int] = {node: _WAITING for node in nodes}
-        self.dirty: Dict[Operator, bool] = {}
-        self.memo: Dict[Operator, Payload] = {}
-        self.records: Dict[Operator, OpTrace] = {}
-        self.accessed: Dict[Operator, Tuple[Operator, ...]] = {}
-        self.checked_cache: Dict[Operator, bool] = {}
-        self.futures: Dict[Operator, Future] = {}
+        self.state: Dict[Operator, int] = {node: _WAITING for node in nodes}  # guarded-by: lock
+        self.dirty: Dict[Operator, bool] = {}  # guarded-by: lock
+        self.memo: Dict[Operator, Payload] = {}  # guarded-by: lock; bounded-by: per-run lifetime
+        self.records: Dict[Operator, OpTrace] = {}  # guarded-by: lock; bounded-by: per-run lifetime
+        self.accessed: Dict[Operator, Tuple[Operator, ...]] = {}  # guarded-by: lock
+        self.checked_cache: Dict[Operator, bool] = {}  # guarded-by: lock; bounded-by: per-run lifetime
+        self.futures: Dict[Operator, Future] = {}  # guarded-by: lock
         self.cancelled = 0
         #: Exceptions raised by node attempts.  A failure does NOT abort
         #: the run by itself: sequential lazy evaluation never executes a
@@ -1653,7 +1659,7 @@ class _ParallelRun:
         #: propagates only when a consumer actually *pulls* the failed
         #: node — ending at the root exactly when the sequential run
         #: would have raised.
-        self.failures: Dict[Operator, BaseException] = {}
+        self.failures: Dict[Operator, BaseException] = {}  # guarded-by: lock
         self.lock = threading.Lock()
         self.done = threading.Condition(self.lock)
 

@@ -37,18 +37,21 @@ class Statement:
 
 @dataclass(frozen=True)
 class QueryStatement(Statement):
-    """A rule to execute: ``[EXPLAIN] [verb] <rule> [LIMIT k]``.
+    """A rule to execute: ``[EXPLAIN [VERIFY]] [verb] <rule> [LIMIT k]``.
 
     ``verb`` is always concrete by the time the statement exists: a
     plain rule defaults to ``exists`` when the head is Boolean and
     ``select`` otherwise, and a verb keyword over a bare body implies
     a head over all body variables (sorted) for ``count``/``select``.
+    ``EXPLAIN VERIFY`` sets both flags: the plan is lowered, statically
+    verified, and reported without being executed.
     """
 
     query: ConjunctiveQuery = field(default=None)  # type: ignore[assignment]
     verb: str = "exists"
     limit: Optional[int] = None
     explain: bool = False
+    verify: bool = False
 
 
 @dataclass(frozen=True)

@@ -238,12 +238,19 @@ def parse_statement(text: str, name: Optional[str] = None) -> Statement:
             return _parse_update(parser, kind)
 
     explain = False
+    verify = False
     if first is not None and first.matches_keyword("explain") and not atom_start:
         parser.advance()
         explain = True
         first = parser.peek()
         follower = parser.peek(1)
         atom_start = follower is not None and follower.kind == "LPAREN"
+        if first is not None and first.matches_keyword("verify") and not atom_start:
+            parser.advance()
+            verify = True
+            first = parser.peek()
+            follower = parser.peek(1)
+            atom_start = follower is not None and follower.kind == "LPAREN"
 
     verb: Optional[str] = None
     if first is not None and not atom_start:
@@ -274,7 +281,8 @@ def parse_statement(text: str, name: Optional[str] = None) -> Statement:
         limit = int(parser.expect("NUMBER", "a row limit after LIMIT").value)
     _consume_terminator(parser)
     return QueryStatement(
-        text=text, query=query, verb=verb, limit=limit, explain=explain
+        text=text, query=query, verb=verb, limit=limit, explain=explain,
+        verify=verify,
     )
 
 

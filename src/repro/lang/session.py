@@ -37,6 +37,7 @@ statements:
   COUNT   <rule-or-body>             count distinct output tuples
   SELECT  <rule-or-body> [LIMIT k]   enumerate output tuples
   EXPLAIN <statement>                show strategy and plan, don't execute
+  EXPLAIN VERIFY <statement>         also statically verify the plan
   LOAD name FROM 'file.csv'          load a CSV/TSV file as a relation
   INSERT name(v, ...), (v, ...)      insert literal rows (incremental)
   DELETE name(v, ...), (v, ...)      delete literal rows (incremental)
@@ -197,14 +198,25 @@ class Session:
             explanation = engine.explain(
                 query, self.strategy, verb=statement.verb
             )
-            return Outcome(
-                kind="explain",
-                payload={
-                    "verb": statement.verb,
-                    "strategy": explanation.strategy,
-                    "text": explanation.describe(),
-                },
-            )
+            payload: Dict[str, object] = {
+                "verb": statement.verb,
+                "strategy": explanation.strategy,
+                "text": explanation.describe(),
+            }
+            if statement.verify:
+                violations = engine.verify(
+                    query, self.strategy, verb=statement.verb
+                )
+                payload["violations"] = [v.describe() for v in violations]
+                if violations:
+                    verdict = "\n".join(
+                        [f"plan FAILS verification ({len(violations)} violations):"]
+                        + [f"  {v.describe()}" for v in violations]
+                    )
+                else:
+                    verdict = "plan verifies (0 violations)"
+                payload["text"] = f"{verdict}\n{payload['text']}"
+            return Outcome(kind="explain", payload=payload)
         if statement.verb == "exists":
             result = engine.exists(
                 query, self.strategy, timeout=timeout, token=token

@@ -154,7 +154,7 @@ def cycle_exponent_estimate(
         step /= 2.0
         improved = False
         for index in range(k):
-            for which, values in (("minus", minus), ("plus", plus)):
+            for _which, values in (("minus", minus), ("plus", plus)):
                 for delta in (-step, step):
                     candidate = values[index] + delta
                     if not 0.0 <= candidate <= 1.0:

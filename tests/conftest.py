@@ -2,10 +2,18 @@
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
 from hypothesis import HealthCheck, settings
+
+# Every engine the suite builds statically verifies every program it
+# lowers (see repro.analysis.verify): the whole test corpus doubles as
+# the verifier's plan corpus, and an unsound rewrite fails loudly here
+# before it can corrupt a result.  Explicit QueryEngine(verify_plans=...)
+# arguments in individual tests still win over this default.
+os.environ.setdefault("REPRO_VERIFY_PLANS", "optimized")
 
 from repro.constants import OMEGA_BEST_KNOWN
 from repro.polymatroid import SetFunction, entropy_from_distribution

@@ -61,6 +61,25 @@ class TestIRConstruction:
         with pytest.raises(ValueError, match="cover exactly"):
             Wcoj((r,), ("X",), False)
 
+    def test_validation_errors_carry_input_schemas(self):
+        r = Scan("R", ("X", "Y"))
+        with pytest.raises(ValueError, match=r"in Project; input schemas: \(X, Y\)"):
+            Project(r, ("Q",))
+        s = Scan("S", ("Y", "Z"))
+        with pytest.raises(ValueError, match=r"in Wcoj; input schemas: \(X, Y\); \(Y, Z\)"):
+            Wcoj((r, s), ("X",), False)
+
+    def test_validate_reports_program_position(self):
+        program = lower_naive(TRIANGLE)
+        node = program.nodes()[0]
+        node.validate(program)  # a sound node round-trips silently
+        bad = Project(Scan("R", ("X", "Y")), ("X",))
+        object.__setattr__(bad, "variables_out", ("Q",))
+        wrapped = Program(bad)
+        position = wrapped.node_ids()[bad]
+        with pytest.raises(ValueError, match=f"operator #{position} of the program"):
+            bad.validate(wrapped)
+
     def test_structural_key_is_name_insensitive(self):
         a = Semijoin(Scan("R", ("X", "Y")), Scan("S", ("Y", "Z")))
         b = Semijoin(Scan("R", ("P", "Q")), Scan("S", ("Q", "V")))

@@ -36,7 +36,7 @@ CHAIN = parse_query("Q() :- R0(A,B), R1(B,C), R2(C,D), R3(D,E)")
 TRIANGLE = parse_query("Q() :- R(X, Y), S(Y, Z), T(X, Z)")
 
 #: Morsel sizes small enough that test-sized relations split into chunks.
-SMALL_DISPATCHER = dict(morsel_size=64, min_partition_rows=128)
+SMALL_DISPATCHER = {"morsel_size": 64, "min_partition_rows": 128}
 
 
 def small_dispatcher() -> KernelDispatcher:
